@@ -1,0 +1,186 @@
+// bench_test.go regenerates every experiment of DESIGN.md Section 4 as a
+// testing.B benchmark: E1–E10 (the paper's claims), F1–F3 (figure
+// equivalents) and A1–A3 (ablations), plus micro-benchmarks for the
+// hot paths (conflict-graph construction, exact solving with and without
+// the clique bound, implicit vs explicit first-fit). The benchmarks use
+// the Quick grids; `cmd/psctab` prints the full grids.
+package pslocal_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"pslocal"
+	"pslocal/internal/core"
+	"pslocal/internal/experiments"
+	"pslocal/internal/hypergraph"
+	"pslocal/internal/maxis"
+)
+
+var benchCfg = experiments.Config{Seed: 42, Quick: true}
+
+// benchTable runs one experiment generator as a benchmark body and fails
+// the benchmark if the paper's claim does not hold.
+func benchTable(b *testing.B, fn func(experiments.Config) (*experiments.Table, error)) {
+	b.Helper()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := fn(benchCfg); err != nil {
+			b.Fatalf("claim failed: %v", err)
+		}
+	}
+}
+
+func BenchmarkE1ConflictGraphSize(b *testing.B) { benchTable(b, experiments.E1ConflictGraphSize) }
+func BenchmarkE2Lemma21a(b *testing.B)          { benchTable(b, experiments.E2Lemma21a) }
+func BenchmarkE3Lemma21b(b *testing.B)          { benchTable(b, experiments.E3Lemma21b) }
+func BenchmarkE4PhaseDecay(b *testing.B)        { benchTable(b, experiments.E4PhaseDecay) }
+func BenchmarkE5ColorBudget(b *testing.B)       { benchTable(b, experiments.E5ColorBudget) }
+func BenchmarkE6Containment(b *testing.B)       { benchTable(b, experiments.E6Containment) }
+func BenchmarkE7OracleQuality(b *testing.B)     { benchTable(b, experiments.E7OracleQuality) }
+func BenchmarkE8ModelBaselines(b *testing.B)    { benchTable(b, experiments.E8ModelBaselines) }
+func BenchmarkE9NetDecomp(b *testing.B)         { benchTable(b, experiments.E9NetDecomp) }
+func BenchmarkE10IntervalCF(b *testing.B)       { benchTable(b, experiments.E10IntervalCF) }
+func BenchmarkE11DistributedPipeline(b *testing.B) {
+	benchTable(b, experiments.E11DistributedPipeline)
+}
+func BenchmarkE12CompleteSiblings(b *testing.B) { benchTable(b, experiments.E12CompleteSiblings) }
+
+func BenchmarkF1DecayCurve(b *testing.B)        { benchTable(b, experiments.F1DecayCurve) }
+func BenchmarkF2LocalityHistogram(b *testing.B) { benchTable(b, experiments.F2LocalityHistogram) }
+func BenchmarkF3LambdaVsDensity(b *testing.B)   { benchTable(b, experiments.F3LambdaVsDensity) }
+
+func BenchmarkAblationImplicitVsExplicit(b *testing.B) {
+	benchTable(b, experiments.A1ImplicitVsExplicit)
+}
+func BenchmarkAblationCliqueBound(b *testing.B) { benchTable(b, experiments.A2CliqueBound) }
+func BenchmarkAblationOracleOrder(b *testing.B) { benchTable(b, experiments.A3OrderSensitivity) }
+
+// --- micro-benchmarks for the hot paths ---
+
+// benchInstance builds one shared planted instance and its index.
+func benchInstance(b *testing.B, m, k int) (*hypergraph.Hypergraph, *core.Index) {
+	b.Helper()
+	rng := rand.New(rand.NewSource(7))
+	h, _, err := hypergraph.PlantedCF(30, m, k, 3, 5, rng)
+	if err != nil {
+		b.Fatalf("generator: %v", err)
+	}
+	ix, err := core.NewIndex(h, k)
+	if err != nil {
+		b.Fatalf("index: %v", err)
+	}
+	return h, ix
+}
+
+func BenchmarkConflictGraphBuild(b *testing.B) {
+	_, ix := benchInstance(b, 20, 3)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Build(ix); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkImplicitFirstFit(b *testing.B) {
+	_, ix := benchInstance(b, 20, 3)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if set := core.FirstFitTriples(ix); len(set) == 0 {
+			b.Fatal("empty result")
+		}
+	}
+}
+
+func BenchmarkExplicitFirstFit(b *testing.B) {
+	_, ix := benchInstance(b, 20, 3)
+	g, err := core.Build(ix)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		set, err := maxis.FirstFitOracle{}.Solve(g)
+		if err != nil || len(set) == 0 {
+			b.Fatalf("solve: %v (%d nodes)", err, len(set))
+		}
+	}
+}
+
+func BenchmarkExactHinted(b *testing.B) {
+	_, ix := benchInstance(b, 16, 3)
+	g, err := core.Build(ix)
+	if err != nil {
+		b.Fatal(err)
+	}
+	hint := ix.EdgeCliqueHint()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := maxis.ExactOpts(g, maxis.ExactOptions{CliqueHint: hint}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExactPlain(b *testing.B) {
+	_, ix := benchInstance(b, 16, 3)
+	g, err := core.Build(ix)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := maxis.Exact(g); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkReduceImplicitEndToEnd(b *testing.B) {
+	rng := rand.New(rand.NewSource(9))
+	h, _, err := pslocal.PlantedCF(60, 40, 3, 3, 5, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := pslocal.Reduce(h, pslocal.ReduceOptions{K: 3, Mode: pslocal.ModeImplicitFirstFit})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.TotalColors == 0 {
+			b.Fatal("no colours")
+		}
+	}
+}
+
+func BenchmarkBallCarving(b *testing.B) {
+	rng := rand.New(rand.NewSource(11))
+	g := pslocal.GnP(80, 0.06, rng)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pslocal.BallCarvingMaxIS(g, pslocal.CarvingOptions{Delta: 1.0}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkNetworkDecomposition(b *testing.B) {
+	rng := rand.New(rand.NewSource(13))
+	g := pslocal.GnP(200, 0.03, rng)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pslocal.NetworkDecomposition(g, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

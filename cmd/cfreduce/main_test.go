@@ -1,0 +1,85 @@
+package main
+
+import (
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"pslocal/internal/core"
+	"pslocal/internal/encode"
+	"pslocal/internal/hypergraph"
+)
+
+func TestMakeInstanceGenerators(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, gen := range []string{"planted", "uniform", "interval", "star"} {
+		h, err := makeInstance("", gen, 30, 10, 3, 3, 5, rng)
+		if err != nil {
+			t.Fatalf("%s: %v", gen, err)
+		}
+		if h.N() != 30 || h.M() != 10 {
+			t.Errorf("%s: n=%d m=%d, want 30, 10", gen, h.N(), h.M())
+		}
+	}
+	if _, err := makeInstance("", "nope", 10, 5, 2, 2, 3, rng); err == nil {
+		t.Error("unknown generator accepted")
+	}
+}
+
+func TestMakeInstanceFromFile(t *testing.T) {
+	h := hypergraph.MustNew(4, [][]int32{{0, 1}, {2, 3}})
+	path := filepath.Join(t.TempDir(), "h.hg")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatalf("create: %v", err)
+	}
+	if err := encode.WriteHypergraph(f, h); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	back, err := makeInstance(path, "ignored", 0, 0, 0, 0, 0, nil)
+	if err != nil {
+		t.Fatalf("read back: %v", err)
+	}
+	if back.N() != 4 || back.M() != 2 {
+		t.Errorf("n=%d m=%d, want 4, 2", back.N(), back.M())
+	}
+	if _, err := makeInstance(filepath.Join(t.TempDir(), "missing"), "", 0, 0, 0, 0, 0, nil); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestMakeOptions(t *testing.T) {
+	tests := []struct {
+		mode     string
+		wantMode core.Mode
+		oracle   bool
+	}{
+		{"exact", core.ModeExactHinted, false},
+		{"implicit", core.ModeImplicitFirstFit, false},
+		{"greedy", core.ModeOracle, true},
+		{"random", core.ModeOracle, true},
+		{"cliquerem", core.ModeOracle, true},
+	}
+	for _, tt := range tests {
+		opts, err := makeOptions(tt.mode, 3, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", tt.mode, err)
+		}
+		if opts.Mode != tt.wantMode {
+			t.Errorf("%s: mode %d, want %d", tt.mode, opts.Mode, tt.wantMode)
+		}
+		if (opts.Oracle != nil) != tt.oracle {
+			t.Errorf("%s: oracle presence %v, want %v", tt.mode, opts.Oracle != nil, tt.oracle)
+		}
+		if opts.K != 3 {
+			t.Errorf("%s: K = %d, want 3", tt.mode, opts.K)
+		}
+	}
+	if _, err := makeOptions("nope", 3, 1); err == nil {
+		t.Error("unknown mode accepted")
+	}
+}

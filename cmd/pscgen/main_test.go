@@ -1,0 +1,48 @@
+package main
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestMakeGraph(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	tests := []struct {
+		gen  string
+		n, m int
+		want int // expected node count
+	}{
+		{"gnp", 20, 0, 20},
+		{"grid", 3, 4, 12},
+		{"cycle", 9, 0, 9},
+		{"tree", 15, 0, 15},
+	}
+	for _, tt := range tests {
+		g, err := makeGraph(tt.gen, tt.n, tt.m, 0.2, rng)
+		if err != nil {
+			t.Fatalf("%s: %v", tt.gen, err)
+		}
+		if g.N() != tt.want {
+			t.Errorf("%s: N = %d, want %d", tt.gen, g.N(), tt.want)
+		}
+	}
+	if _, err := makeGraph("nope", 5, 5, 0.1, rng); err == nil {
+		t.Error("unknown generator accepted")
+	}
+}
+
+func TestMakeHypergraph(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, gen := range []string{"planted", "uniform", "interval", "star"} {
+		h, err := makeHypergraph(gen, 30, 8, 3, 3, 5, rng)
+		if err != nil {
+			t.Fatalf("%s: %v", gen, err)
+		}
+		if h.M() != 8 {
+			t.Errorf("%s: M = %d, want 8", gen, h.M())
+		}
+	}
+	if _, err := makeHypergraph("nope", 10, 5, 2, 2, 3, rng); err == nil {
+		t.Error("unknown generator accepted")
+	}
+}

@@ -1,0 +1,96 @@
+// Command psctab regenerates the reproduction's experiment tables
+// (E1–E10), figure-equivalents (F1–F3) and ablations (A1–A3) — the
+// DESIGN.md Section 4 index. A non-zero exit status means a paper claim
+// failed on the generated grid.
+//
+// Usage:
+//
+//	psctab                 # everything
+//	psctab -only E4,F1     # a subset
+//	psctab -quick -seed 7  # small grids, different seed
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"pslocal/internal/experiments"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "psctab:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		seed  = flag.Int64("seed", 42, "random seed for all grids")
+		quick = flag.Bool("quick", false, "use the reduced benchmark grids")
+		only  = flag.String("only", "", "comma-separated subset, e.g. E1,E4,F2,A1 (empty = all)")
+	)
+	flag.Parse()
+	cfg := experiments.Config{Seed: *seed, Quick: *quick}
+
+	type gen struct {
+		id string
+		fn func(experiments.Config) (*experiments.Table, error)
+	}
+	gens := []gen{
+		{"E1", experiments.E1ConflictGraphSize},
+		{"E2", experiments.E2Lemma21a},
+		{"E3", experiments.E3Lemma21b},
+		{"E4", experiments.E4PhaseDecay},
+		{"E5", experiments.E5ColorBudget},
+		{"E6", experiments.E6Containment},
+		{"E7", experiments.E7OracleQuality},
+		{"E8", experiments.E8ModelBaselines},
+		{"E9", experiments.E9NetDecomp},
+		{"E10", experiments.E10IntervalCF},
+		{"E11", experiments.E11DistributedPipeline},
+		{"E12", experiments.E12CompleteSiblings},
+		{"F1", experiments.F1DecayCurve},
+		{"F2", experiments.F2LocalityHistogram},
+		{"F3", experiments.F3LambdaVsDensity},
+		{"A1", experiments.A1ImplicitVsExplicit},
+		{"A2", experiments.A2CliqueBound},
+		{"A3", experiments.A3OrderSensitivity},
+	}
+
+	want := map[string]bool{}
+	if *only != "" {
+		for _, id := range strings.Split(*only, ",") {
+			want[strings.ToUpper(strings.TrimSpace(id))] = true
+		}
+	}
+	var failures []string
+	printed := 0
+	for _, g := range gens {
+		if len(want) > 0 && !want[g.id] {
+			continue
+		}
+		if printed > 0 {
+			fmt.Println()
+		}
+		tab, err := g.fn(cfg)
+		if tab != nil {
+			if rerr := tab.Render(os.Stdout); rerr != nil {
+				return rerr
+			}
+			printed++
+		}
+		if err != nil {
+			failures = append(failures, fmt.Sprintf("%s: %v", g.id, err))
+		}
+	}
+	if printed == 0 {
+		return fmt.Errorf("no experiment matched -only=%q", *only)
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("claims failed: %s", strings.Join(failures, "; "))
+	}
+	return nil
+}

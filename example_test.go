@@ -1,0 +1,92 @@
+package pslocal_test
+
+// Testable examples for the godoc of the public facade. Deterministic
+// seeds make the outputs stable.
+
+import (
+	"fmt"
+	"math/rand"
+
+	"pslocal"
+)
+
+// ExampleReduce runs the Theorem 1.1 reduction on a planted instance and
+// verifies the result.
+func ExampleReduce() {
+	rng := rand.New(rand.NewSource(7))
+	h, _, err := pslocal.PlantedCF(60, 24, 3, 3, 5, rng)
+	if err != nil {
+		fmt.Println("generator:", err)
+		return
+	}
+	res, err := pslocal.Reduce(h, pslocal.ReduceOptions{K: 3, Mode: pslocal.ModeImplicitFirstFit})
+	if err != nil {
+		fmt.Println("reduce:", err)
+		return
+	}
+	fmt.Println("phases:", len(res.Phases))
+	fmt.Println("colours:", res.TotalColors)
+	fmt.Println("verified:", pslocal.VerifyReduction(h, res) == nil)
+	// Output:
+	// phases: 1
+	// colours: 3
+	// verified: true
+}
+
+// ExampleColoringToIS demonstrates the Lemma 2.1(a) correspondence: a
+// conflict-free colouring induces one conflict-graph triple per edge.
+func ExampleColoringToIS() {
+	h, err := pslocal.NewHypergraph(4, [][]int32{{0, 1, 2}, {1, 2, 3}})
+	if err != nil {
+		fmt.Println("hypergraph:", err)
+		return
+	}
+	ix, err := pslocal.NewConflictIndex(h, 2)
+	if err != nil {
+		fmt.Println("index:", err)
+		return
+	}
+	f := pslocal.Coloring{1, 2, 2, 1} // conflict-free: vertex 0 unique in e0, vertex 3 in e1
+	is, err := pslocal.ColoringToIS(ix, f)
+	if err != nil {
+		fmt.Println("mapping:", err)
+		return
+	}
+	fmt.Println("independent set size:", len(is))
+	fmt.Println("first triple:", is[0])
+	// Output:
+	// independent set size: 2
+	// first triple: (e0,v0,c1)
+}
+
+// ExampleBallCarvingMaxIS shows the containment direction: a
+// (1+δ)-approximate maximum independent set with logarithmic locality.
+func ExampleBallCarvingMaxIS() {
+	g := pslocal.Grid(4, 5)
+	res, err := pslocal.BallCarvingMaxIS(g, pslocal.CarvingOptions{Delta: 1.0})
+	if err != nil {
+		fmt.Println("carving:", err)
+		return
+	}
+	opt, err := pslocal.ExactMaxIS(g)
+	if err != nil {
+		fmt.Println("exact:", err)
+		return
+	}
+	fmt.Println("alpha:", len(opt))
+	fmt.Println("carved at least half:", 2*len(res.Set) >= len(opt))
+	fmt.Println("locality within bound:", res.Locality <= res.RadiusBound)
+	// Output:
+	// alpha: 10
+	// carved at least half: true
+	// locality within bound: true
+}
+
+// ExampleDyadicIntervalColoring colours line vertices so every interval
+// hypergraph is conflict-free.
+func ExampleDyadicIntervalColoring() {
+	c := pslocal.DyadicIntervalColoring(7)
+	fmt.Println(c)
+	// Output:
+	// [3 2 3 1 3 2 3]
+}

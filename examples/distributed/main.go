@@ -1,0 +1,51 @@
+// Distributed reduction: the paper's remark that "G_k can be efficiently
+// simulated in H in the LOCAL model" as a running pipeline. Each phase
+// runs Luby's randomized MIS over the *implicit* conflict graph — every
+// virtual node (e, v, c) hosted at vertex v, adjacency answered from H's
+// incidence structure — and the harness accounts the LOCAL rounds the
+// simulation costs.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+
+	"pslocal"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "distributed:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	rng := rand.New(rand.NewSource(21))
+	h, _, err := pslocal.PlantedCF(25, 60, 3, 3, 5, rng)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("instance: %v\n\n", h)
+
+	res, err := pslocal.ReduceLocalRandomized(h, 3, 4)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-6s %-8s %-12s %-8s %-8s\n", "phase", "edges", "G_k triples", "|MIS|", "removed")
+	for _, ph := range res.Phases {
+		fmt.Printf("%-6d %-8d %-12d %-8d %-8d\n",
+			ph.Phase, ph.EdgesBefore, ph.ConflictNodes, ph.ISSize, ph.HappyRemoved)
+	}
+	fmt.Printf("\nphases=%d  colours=%d  virtual G_k rounds=%d  simulated H rounds=%d\n",
+		len(res.Phases), res.TotalColors, res.VirtualRounds, res.HostRounds)
+
+	if err := pslocal.VerifyConflictFreeMulti(h, res.Multicoloring); err != nil {
+		return err
+	}
+	fmt.Println("multicolouring verified conflict-free ✓")
+	fmt.Println("\nnote: a LOCAL MIS of G_k guarantees progress (Lemma 2.1b) but is not a")
+	fmt.Println("MaxIS approximation — exactly the gap the paper's completeness result is about.")
+	return nil
+}

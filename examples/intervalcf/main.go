@@ -1,0 +1,53 @@
+// Interval conflict-free colouring — the [DN18] scenario the paper adapted
+// its technique from. Compares the direct dyadic O(log n)-colour algorithm
+// against the paper's reduction pipeline on random interval hypergraphs.
+package main
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+
+	"pslocal"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "intervalcf:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	rng := rand.New(rand.NewSource(11))
+	fmt.Printf("%-6s %-6s %-14s %-10s %-18s\n", "n", "m", "dyadic colours", "log bound", "reduction colours")
+	for _, n := range []int{32, 64, 128} {
+		m := n / 2
+		h, err := pslocal.IntervalHypergraph(n, m, 2, n/3+1, rng)
+		if err != nil {
+			return err
+		}
+
+		// Direct route: the dyadic colouring is conflict-free for every
+		// interval hypergraph on the line.
+		dyadic := pslocal.DyadicIntervalColoring(n)
+		if !pslocal.IsConflictFree(h, dyadic) {
+			return fmt.Errorf("n=%d: dyadic colouring unexpectedly not conflict-free", n)
+		}
+
+		// Paper route: iterated approximate MaxIS on conflict graphs.
+		res, err := pslocal.Reduce(h, pslocal.ReduceOptions{K: 2, Mode: pslocal.ModeImplicitFirstFit})
+		if err != nil {
+			return err
+		}
+		if err := pslocal.VerifyReduction(h, res); err != nil {
+			return err
+		}
+		bound := int(math.Ceil(math.Log2(float64(n + 1))))
+		fmt.Printf("%-6d %-6d %-14d %-10d %-18d\n",
+			n, m, dyadic.MaxColor(), bound, res.TotalColors)
+	}
+	fmt.Println("both routes conflict-free on every instance ✓")
+	return nil
+}

@@ -1,0 +1,55 @@
+// Quickstart: generate a conflict-free-colourable hypergraph, run the
+// paper's Theorem 1.1 reduction with three different MaxIS oracles, and
+// verify that every output is a conflict-free multicolouring.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+
+	"pslocal"
+	"pslocal/internal/maxis"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "quickstart:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	rng := rand.New(rand.NewSource(7))
+
+	// A hypergraph with 60 vertices and 24 almost-uniform edges that is
+	// guaranteed to admit a conflict-free 3-colouring (the planted one).
+	h, planted, err := pslocal.PlantedCF(60, 24, 3, 3, 5, rng)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("instance: %v (planted conflict-free 3-colouring exists: %v)\n",
+		h, pslocal.IsConflictFree(h, planted))
+
+	configs := []struct {
+		name string
+		opts pslocal.ReduceOptions
+	}{
+		{"exact oracle (λ=1)", pslocal.ReduceOptions{K: 3, Mode: pslocal.ModeExactHinted}},
+		{"implicit first-fit", pslocal.ReduceOptions{K: 3, Mode: pslocal.ModeImplicitFirstFit}},
+		{"min-degree greedy", pslocal.ReduceOptions{K: 3, Mode: pslocal.ModeOracle, Oracle: maxis.MinDegreeOracle{}}},
+	}
+	for _, cfg := range configs {
+		res, err := pslocal.Reduce(h, cfg.opts)
+		if err != nil {
+			return fmt.Errorf("%s: %w", cfg.name, err)
+		}
+		if err := pslocal.VerifyReduction(h, res); err != nil {
+			return fmt.Errorf("%s failed verification: %w", cfg.name, err)
+		}
+		fmt.Printf("%-22s phases=%d  colours=%d  (paper bound ρ·k with λ=1: %d)\n",
+			cfg.name, len(res.Phases), res.TotalColors, 3*pslocal.PhaseBound(1, h.M()))
+	}
+	fmt.Println("all reductions verified conflict-free ✓")
+	return nil
+}

@@ -1,0 +1,59 @@
+// SLOCAL vs LOCAL maximal independent set — the Section 1 landscape of the
+// paper: Luby's randomized MIS needs O(log n) LOCAL rounds, the greedy
+// SLOCAL MIS needs locality 1, and the SLOCAL ball-carving algorithm
+// (1+δ)-approximates the *maximum* independent set with locality O(log n).
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+
+	"pslocal"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "slocalmis:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	rng := rand.New(rand.NewSource(5))
+	n := 300
+	g := pslocal.GnP(n, 4.0/float64(n), rng)
+	fmt.Printf("graph: %v\n\n", g)
+
+	// LOCAL model: Luby's randomized MIS.
+	mis, lres, err := pslocal.LubyMIS(g, 1, pslocal.LocalOptions{})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("LOCAL  Luby MIS:          |MIS|=%-4d rounds=%-3d messages=%d\n",
+		len(mis), lres.Rounds, lres.Messages)
+
+	// SLOCAL model: greedy MIS with locality 1.
+	smis, sres, err := pslocal.SLOCALGreedyMIS(g, pslocal.IdentityOrder(n))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("SLOCAL greedy MIS:        |MIS|=%-4d locality=%d\n", len(smis), sres.Locality)
+
+	// SLOCAL model: ball carving approximates MaxIS, not just MIS.
+	carve, err := pslocal.BallCarvingMaxIS(g, pslocal.CarvingOptions{Delta: 1.0})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("SLOCAL ball carving (δ=1): |IS|=%-4d locality=%d (bound %d) regions=%d\n",
+		len(carve.Set), carve.Locality, carve.RadiusBound, len(carve.Regions))
+
+	for name, set := range map[string][]int32{"luby": mis, "greedy": smis, "carving": carve.Set} {
+		if err := pslocal.VerifyIndependentSet(g, set); err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+	}
+	fmt.Println("\nall three outputs verified independent ✓")
+	fmt.Println("note: ball carving guarantees |IS| >= α/(1+δ); MIS algorithms do not approximate α(G)")
+	return nil
+}

@@ -1,0 +1,94 @@
+// facade_test.go covers the public-surface helpers not exercised by the
+// integration flows: constructors, generators, and the thin re-exports.
+package pslocal_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"pslocal"
+)
+
+func TestFacadeGraphConstructors(t *testing.T) {
+	b := pslocal.NewGraphBuilder(3)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if g.N() != 3 || g.M() != 2 {
+		t.Errorf("n=%d m=%d, want 3, 2", g.N(), g.M())
+	}
+	if c := pslocal.Cycle(7); c.M() != 7 {
+		t.Errorf("Cycle(7).M() = %d", c.M())
+	}
+	if gr := pslocal.Grid(2, 5); gr.N() != 10 {
+		t.Errorf("Grid(2,5).N() = %d", gr.N())
+	}
+	rng := rand.New(rand.NewSource(1))
+	if gp := pslocal.GnP(12, 1, rng); gp.M() != 66 {
+		t.Errorf("GnP(12,1).M() = %d, want 66", gp.M())
+	}
+}
+
+func TestFacadeHypergraphAndColourings(t *testing.T) {
+	h, err := pslocal.NewHypergraph(4, [][]int32{{0, 1, 2}, {1, 2, 3}})
+	if err != nil {
+		t.Fatalf("NewHypergraph: %v", err)
+	}
+	if _, err := pslocal.NewHypergraph(2, [][]int32{{}}); err == nil {
+		t.Error("empty edge accepted")
+	}
+	c := pslocal.Coloring{1, 2, 2, 1}
+	if !pslocal.IsConflictFree(h, c) {
+		t.Error("conflict-free colouring rejected")
+	}
+	mc := pslocal.Multicoloring{{1}, {}, {}, {2}}
+	if !pslocal.IsConflictFreeMulti(h, mc) {
+		t.Error("conflict-free multicolouring rejected")
+	}
+	if err := pslocal.VerifyConflictFreeMulti(h, mc); err != nil {
+		t.Errorf("VerifyConflictFreeMulti: %v", err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	ih, err := pslocal.IntervalHypergraph(20, 10, 2, 6, rng)
+	if err != nil {
+		t.Fatalf("IntervalHypergraph: %v", err)
+	}
+	if !pslocal.IsConflictFree(ih, pslocal.DyadicIntervalColoring(20)) {
+		t.Error("dyadic colouring not conflict-free on an interval hypergraph")
+	}
+}
+
+func TestFacadeMaxISSolvers(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g := pslocal.GnP(35, 0.15, rng)
+	exact, err := pslocal.ExactMaxIS(g)
+	if err != nil {
+		t.Fatalf("ExactMaxIS: %v", err)
+	}
+	greedy := pslocal.GreedyMaxIS(g)
+	ramsey := pslocal.CliqueRemovalMaxIS(g)
+	for name, set := range map[string][]int32{"exact": exact, "greedy": greedy, "ramsey": ramsey} {
+		if err := pslocal.VerifyIndependentSet(g, set); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+	if len(exact) < len(greedy) || len(exact) < len(ramsey) {
+		t.Errorf("exact %d smaller than a heuristic (greedy %d, ramsey %d)",
+			len(exact), len(greedy), len(ramsey))
+	}
+}
+
+func TestFacadePhaseBoundAndOrders(t *testing.T) {
+	if got := pslocal.PhaseBound(1, 1); got != 1 {
+		t.Errorf("PhaseBound(1,1) = %d", got)
+	}
+	order := pslocal.IdentityOrder(4)
+	for i, v := range order {
+		if int(v) != i {
+			t.Fatalf("IdentityOrder broken at %d", i)
+		}
+	}
+}

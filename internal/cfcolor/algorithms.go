@@ -1,0 +1,113 @@
+package cfcolor
+
+// algorithms.go provides two direct conflict-free colouring algorithms that
+// bracket the paper's reduction: the dyadic interval colouring (the [DN18]
+// domain the paper adapted its technique from) and an exponential
+// brute-force optimum for cross-checking colour counts on tiny instances.
+
+import (
+	"errors"
+	"fmt"
+
+	"pslocal/internal/hypergraph"
+)
+
+// ErrTooLarge reports a brute-force request beyond the guarded size.
+var ErrTooLarge = errors.New("cfcolor: instance too large for brute force")
+
+// ErrNoColoring reports that no conflict-free colouring exists within the
+// allowed palette.
+var ErrNoColoring = errors.New("cfcolor: no conflict-free colouring within maxK colours")
+
+// DyadicIntervalColoring colours the n line vertices 0..n-1 by their level
+// in a balanced binary recursion: the midpoint gets colour 1, the midpoints
+// of the two halves colour 2, and so on. The result uses at most
+// ceil(log2(n+1)) colours and is conflict-free for EVERY interval
+// hypergraph on those vertices: descending the recursion, the first
+// midpoint an interval contains is the interval's unique minimum-level
+// vertex.
+func DyadicIntervalColoring(n int) Coloring {
+	c := make(Coloring, n)
+	var assign func(lo, hi int, level int32)
+	assign = func(lo, hi int, level int32) {
+		if lo > hi {
+			return
+		}
+		mid := lo + (hi-lo)/2
+		c[mid] = level
+		assign(lo, mid-1, level+1)
+		assign(mid+1, hi, level+1)
+	}
+	assign(0, n-1, 1)
+	return c
+}
+
+// BruteForceMinCF finds a conflict-free colouring of h with the fewest
+// colours by exhaustive search over total colourings, trying palettes
+// k = 1..maxK. Guarded to k^n <= 4^12-ish work; returns ErrTooLarge beyond
+// that and ErrNoColoring when maxK colours do not suffice.
+func BruteForceMinCF(h *hypergraph.Hypergraph, maxK int) (Coloring, int, error) {
+	n := h.N()
+	if n > 16 {
+		return nil, 0, fmt.Errorf("%w: n=%d", ErrTooLarge, n)
+	}
+	for k := 1; k <= maxK; k++ {
+		if pow := intPow(k, n); pow < 0 || pow > 20_000_000 {
+			return nil, 0, fmt.Errorf("%w: k^n = %d^%d", ErrTooLarge, k, n)
+		}
+		c := make(Coloring, n)
+		if searchColoring(h, c, 0, int32(k)) {
+			return c, k, nil
+		}
+	}
+	return nil, 0, fmt.Errorf("%w: maxK=%d", ErrNoColoring, maxK)
+}
+
+// searchColoring backtracks over total colourings of vertices v.. with k
+// colours, pruning when an all-coloured edge is already unhappy.
+func searchColoring(h *hypergraph.Hypergraph, c Coloring, v int, k int32) bool {
+	if v == h.N() {
+		return IsConflictFree(h, c)
+	}
+	for col := int32(1); col <= k; col++ {
+		c[v] = col
+		if partialFeasible(h, c, int32(v)) && searchColoring(h, c, v+1, k) {
+			return true
+		}
+	}
+	c[v] = Uncolored
+	return false
+}
+
+// partialFeasible prunes: every edge whose vertices are all coloured (all
+// indices <= v) must already be happy.
+func partialFeasible(h *hypergraph.Hypergraph, c Coloring, v int32) bool {
+	feasible := true
+	h.ForEachIncidentEdge(v, func(j int32) bool {
+		complete := true
+		h.ForEachEdgeVertex(int(j), func(u int32) bool {
+			if c[u] == Uncolored {
+				complete = false
+				return false
+			}
+			return true
+		})
+		if complete && !EdgeHappy(h, int(j), c) {
+			feasible = false
+			return false
+		}
+		return true
+	})
+	return feasible
+}
+
+func intPow(base, exp int) int {
+	out := 1
+	for i := 0; i < exp; i++ {
+		out *= base
+		if out < 0 || out > 1<<40 {
+			return -1
+		}
+	}
+	return out
+}

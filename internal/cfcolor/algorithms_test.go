@@ -1,0 +1,127 @@
+package cfcolor
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"pslocal/internal/hypergraph"
+)
+
+func TestDyadicIntervalColoringIsConflictFreeForAllIntervals(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 7, 8, 16, 33} {
+		c := DyadicIntervalColoring(n)
+		bound := int32(math.Ceil(math.Log2(float64(n + 1))))
+		if c.MaxColor() > bound {
+			t.Errorf("n=%d: %d colours exceed ceil(log2(n+1)) = %d", n, c.MaxColor(), bound)
+		}
+		// Exhaustively check EVERY interval [a,b].
+		var edges [][]int32
+		for a := 0; a < n; a++ {
+			for b := a; b < n; b++ {
+				e := make([]int32, 0, b-a+1)
+				for v := a; v <= b; v++ {
+					e = append(e, int32(v))
+				}
+				edges = append(edges, e)
+			}
+		}
+		h := hypergraph.MustNew(n, edges)
+		if !IsConflictFree(h, c) {
+			t.Errorf("n=%d: dyadic colouring not conflict-free for all intervals", n)
+		}
+	}
+}
+
+func TestDyadicOnRandomIntervalHypergraphs(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 10; trial++ {
+		n := 10 + rng.Intn(60)
+		h, err := hypergraph.Interval(n, 5+rng.Intn(30), 1, n/2+1, rng)
+		if err != nil {
+			t.Fatalf("Interval error: %v", err)
+		}
+		if !IsConflictFree(h, DyadicIntervalColoring(n)) {
+			t.Errorf("trial %d: not conflict-free", trial)
+		}
+	}
+}
+
+func TestBruteForceMinCFKnownInstances(t *testing.T) {
+	tests := []struct {
+		name  string
+		h     *hypergraph.Hypergraph
+		wantK int
+	}{
+		{
+			// Colourings are total, so an all-same colouring of a 3-edge is
+			// unhappy; two colours give a uniquely coloured vertex.
+			"single 3-edge", hypergraph.MustNew(3, [][]int32{{0, 1, 2}}), 2,
+		},
+		{
+			// Singleton edges are always happy once coloured.
+			"singletons", hypergraph.MustNew(2, [][]int32{{0}, {1}}), 1,
+		},
+		{
+			// 2-uniform conflict-free colouring = proper graph colouring:
+			// a 2-edge is happy iff its endpoints differ.
+			"disjoint pairs", hypergraph.MustNew(4, [][]int32{{0, 1}, {2, 3}}), 2,
+		},
+		{
+			"triangle pairs need 3", hypergraph.MustNew(3, [][]int32{{0, 1}, {1, 2}, {0, 2}}), 3,
+		},
+		{
+			"K4 pairs need 4", hypergraph.MustNew(4, [][]int32{{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3}}), 4,
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			c, k, err := BruteForceMinCF(tt.h, 6)
+			if err != nil {
+				t.Fatalf("BruteForceMinCF error: %v", err)
+			}
+			if k != tt.wantK {
+				t.Errorf("min colours = %d, want %d", k, tt.wantK)
+			}
+			if !IsConflictFree(tt.h, c) {
+				t.Error("returned colouring not conflict-free")
+			}
+			if c.MaxColor() > int32(k) {
+				t.Errorf("colouring uses colour %d > reported k=%d", c.MaxColor(), k)
+			}
+		})
+	}
+}
+
+func TestBruteForceGuards(t *testing.T) {
+	big := hypergraph.MustNew(17, [][]int32{{0, 1}})
+	if _, _, err := BruteForceMinCF(big, 2); !errors.Is(err, ErrTooLarge) {
+		t.Errorf("error = %v, want ErrTooLarge", err)
+	}
+	// No CF colouring with k=1 for a triangle of pairs.
+	tri := hypergraph.MustNew(3, [][]int32{{0, 1}, {1, 2}, {0, 2}})
+	if _, _, err := BruteForceMinCF(tri, 1); !errors.Is(err, ErrNoColoring) {
+		t.Errorf("error = %v, want ErrNoColoring", err)
+	}
+}
+
+func TestBruteForceAgreesWithPlanted(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 10; trial++ {
+		h, planted, err := hypergraph.PlantedCF(8, 4, 3, 2, 4, rng)
+		if err != nil {
+			t.Fatalf("PlantedCF error: %v", err)
+		}
+		if !IsConflictFree(h, Coloring(planted)) {
+			t.Fatalf("trial %d: planted colouring not conflict-free", trial)
+		}
+		_, k, err := BruteForceMinCF(h, 3)
+		if err != nil {
+			t.Fatalf("trial %d: brute force error: %v", trial, err)
+		}
+		if k > 3 {
+			t.Errorf("trial %d: brute force needs %d > 3 colours despite planted witness", trial, k)
+		}
+	}
+}

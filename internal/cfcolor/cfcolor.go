@@ -1,0 +1,203 @@
+// Package cfcolor defines conflict-free (multi)colourings of hypergraphs —
+// the source problem of the paper's reduction (Theorem 1.2, quoted from
+// [GKM17]) — together with their verifiers.
+//
+// A colouring f: V → {1..k} ∪ {⊥} makes hyperedge e "happy" when some
+// vertex of e carries a colour no other vertex of e carries; f is
+// conflict-free when every edge is happy. A multicolouring assigns each
+// vertex a set of colours with the same per-edge requirement.
+package cfcolor
+
+import (
+	"errors"
+	"fmt"
+
+	"pslocal/internal/hypergraph"
+)
+
+// Uncolored is the ⊥ colour.
+const Uncolored int32 = 0
+
+// ErrBadColor reports a negative colour value.
+var ErrBadColor = errors.New("cfcolor: colours must be >= 0 (0 = uncoloured)")
+
+// Coloring is a (partial) vertex colouring: Coloring[v] is v's colour,
+// 1-based, with 0 meaning uncoloured (the paper's ⊥).
+type Coloring []int32
+
+// Validate checks lengths and colour ranges against h.
+func (c Coloring) Validate(h *hypergraph.Hypergraph) error {
+	if len(c) != h.N() {
+		return fmt.Errorf("cfcolor: colouring covers %d vertices, hypergraph has %d", len(c), h.N())
+	}
+	for v, col := range c {
+		if col < 0 {
+			return fmt.Errorf("%w: vertex %d has colour %d", ErrBadColor, v, col)
+		}
+	}
+	return nil
+}
+
+// MaxColor returns the largest colour used, or 0 for an all-⊥ colouring.
+func (c Coloring) MaxColor() int32 {
+	max := int32(0)
+	for _, col := range c {
+		if col > max {
+			max = col
+		}
+	}
+	return max
+}
+
+// ColoredCount returns the number of non-⊥ vertices.
+func (c Coloring) ColoredCount() int {
+	count := 0
+	for _, col := range c {
+		if col != Uncolored {
+			count++
+		}
+	}
+	return count
+}
+
+// EdgeHappy reports whether edge j of h has a vertex with a unique non-⊥
+// colour — the paper's happiness condition.
+func EdgeHappy(h *hypergraph.Hypergraph, j int, c Coloring) bool {
+	counts := map[int32]int{}
+	h.ForEachEdgeVertex(j, func(v int32) bool {
+		if c[v] != Uncolored {
+			counts[c[v]]++
+		}
+		return true
+	})
+	for _, n := range counts {
+		if n == 1 {
+			return true
+		}
+	}
+	return false
+}
+
+// HappyEdges returns the ascending indices of happy edges under c.
+func HappyEdges(h *hypergraph.Hypergraph, c Coloring) []int32 {
+	var out []int32
+	for j := 0; j < h.M(); j++ {
+		if EdgeHappy(h, j, c) {
+			out = append(out, int32(j))
+		}
+	}
+	return out
+}
+
+// UnhappyEdges returns the ascending indices of edges that are not happy
+// under c — the edge set E_{i+1} of the next reduction phase.
+func UnhappyEdges(h *hypergraph.Hypergraph, c Coloring) []int32 {
+	var out []int32
+	for j := 0; j < h.M(); j++ {
+		if !EdgeHappy(h, j, c) {
+			out = append(out, int32(j))
+		}
+	}
+	return out
+}
+
+// IsConflictFree reports whether every edge of h is happy under c.
+func IsConflictFree(h *hypergraph.Hypergraph, c Coloring) bool {
+	for j := 0; j < h.M(); j++ {
+		if !EdgeHappy(h, j, c) {
+			return false
+		}
+	}
+	return true
+}
+
+// Multicoloring assigns each vertex a (possibly empty) set of colours, the
+// output shape of the paper's conflict-free multicolouring problem.
+type Multicoloring [][]int32
+
+// NewMulticoloring returns an empty multicolouring over n vertices.
+func NewMulticoloring(n int) Multicoloring { return make(Multicoloring, n) }
+
+// Add gives vertex v the extra colour c.
+func (mc Multicoloring) Add(v, c int32) { mc[v] = append(mc[v], c) }
+
+// Validate checks lengths and colour positivity against h.
+func (mc Multicoloring) Validate(h *hypergraph.Hypergraph) error {
+	if len(mc) != h.N() {
+		return fmt.Errorf("cfcolor: multicolouring covers %d vertices, hypergraph has %d", len(mc), h.N())
+	}
+	for v, cols := range mc {
+		for _, col := range cols {
+			if col <= 0 {
+				return fmt.Errorf("%w: vertex %d has colour %d", ErrBadColor, v, col)
+			}
+		}
+	}
+	return nil
+}
+
+// NumDistinctColors returns the number of distinct colours used anywhere.
+func (mc Multicoloring) NumDistinctColors() int {
+	seen := map[int32]bool{}
+	for _, cols := range mc {
+		for _, col := range cols {
+			seen[col] = true
+		}
+	}
+	return len(seen)
+}
+
+// MaxColorsPerVertex returns the largest per-vertex colour-set size.
+func (mc Multicoloring) MaxColorsPerVertex() int {
+	max := 0
+	for _, cols := range mc {
+		if len(cols) > max {
+			max = len(cols)
+		}
+	}
+	return max
+}
+
+// EdgeHappyMulti reports whether edge j has a vertex carrying a colour no
+// other vertex of the edge carries (in any of its sets).
+func EdgeHappyMulti(h *hypergraph.Hypergraph, j int, mc Multicoloring) bool {
+	counts := map[int32]int{}
+	h.ForEachEdgeVertex(j, func(v int32) bool {
+		seen := map[int32]bool{}
+		for _, col := range mc[v] {
+			if !seen[col] { // a vertex listing a colour twice counts once
+				seen[col] = true
+				counts[col]++
+			}
+		}
+		return true
+	})
+	for _, n := range counts {
+		if n == 1 {
+			return true
+		}
+	}
+	return false
+}
+
+// IsConflictFreeMulti reports whether every edge of h is happy under mc.
+func IsConflictFreeMulti(h *hypergraph.Hypergraph, mc Multicoloring) bool {
+	for j := 0; j < h.M(); j++ {
+		if !EdgeHappyMulti(h, j, mc) {
+			return false
+		}
+	}
+	return true
+}
+
+// SingleToMulti lifts a partial colouring to a multicolouring (⊥ becomes
+// the empty set).
+func SingleToMulti(c Coloring) Multicoloring {
+	mc := NewMulticoloring(len(c))
+	for v, col := range c {
+		if col != Uncolored {
+			mc.Add(int32(v), col)
+		}
+	}
+	return mc
+}

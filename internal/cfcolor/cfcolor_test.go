@@ -1,0 +1,148 @@
+package cfcolor
+
+import (
+	"testing"
+
+	"pslocal/internal/hypergraph"
+)
+
+func TestEdgeHappy(t *testing.T) {
+	h := hypergraph.MustNew(5, [][]int32{{0, 1, 2}, {2, 3, 4}, {0, 4}})
+	tests := []struct {
+		name string
+		c    Coloring
+		want []bool
+	}{
+		{"all uncoloured", Coloring{0, 0, 0, 0, 0}, []bool{false, false, false}},
+		{"one unique", Coloring{1, 0, 0, 0, 0}, []bool{true, false, true}},
+		{"pair cancels", Coloring{1, 1, 0, 0, 0}, []bool{false, false, true}},
+		{"pair plus unique", Coloring{1, 1, 2, 0, 0}, []bool{true, true, true}},
+		{"triple cancels", Coloring{1, 1, 1, 1, 1}, []bool{false, false, false}},
+		{"distinct everywhere", Coloring{1, 2, 3, 4, 5}, []bool{true, true, true}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			for j, want := range tt.want {
+				if got := EdgeHappy(h, j, tt.c); got != want {
+					t.Errorf("edge %d happy = %v, want %v", j, got, want)
+				}
+			}
+		})
+	}
+}
+
+func TestHappyAndUnhappyPartition(t *testing.T) {
+	h := hypergraph.MustNew(4, [][]int32{{0, 1}, {1, 2}, {2, 3}})
+	c := Coloring{1, 1, 0, 2}
+	happy := HappyEdges(h, c)
+	unhappy := UnhappyEdges(h, c)
+	if len(happy)+len(unhappy) != h.M() {
+		t.Fatalf("partition sizes %d+%d != %d", len(happy), len(unhappy), h.M())
+	}
+	// Edge 0 = {0,1} colours 1,1 -> unhappy; edge 1 = {1,2} colour 1,⊥ ->
+	// happy; edge 2 = {2,3} ⊥,2 -> happy.
+	if len(happy) != 2 || happy[0] != 1 || happy[1] != 2 {
+		t.Errorf("happy = %v, want [1 2]", happy)
+	}
+	if len(unhappy) != 1 || unhappy[0] != 0 {
+		t.Errorf("unhappy = %v, want [0]", unhappy)
+	}
+	if IsConflictFree(h, c) {
+		t.Error("colouring should not be conflict-free")
+	}
+	if !IsConflictFree(h, Coloring{1, 2, 1, 2}) {
+		t.Error("proper-style colouring should be conflict-free here")
+	}
+}
+
+func TestColoringValidate(t *testing.T) {
+	h := hypergraph.MustNew(3, [][]int32{{0, 1, 2}})
+	if err := (Coloring{1, 0, 2}).Validate(h); err != nil {
+		t.Errorf("valid colouring rejected: %v", err)
+	}
+	if err := (Coloring{1, 0}).Validate(h); err == nil {
+		t.Error("short colouring accepted")
+	}
+	if err := (Coloring{1, -1, 0}).Validate(h); err == nil {
+		t.Error("negative colour accepted")
+	}
+}
+
+func TestColoringStats(t *testing.T) {
+	c := Coloring{0, 3, 1, 0, 2}
+	if c.MaxColor() != 3 {
+		t.Errorf("MaxColor = %d, want 3", c.MaxColor())
+	}
+	if c.ColoredCount() != 3 {
+		t.Errorf("ColoredCount = %d, want 3", c.ColoredCount())
+	}
+	var empty Coloring
+	if empty.MaxColor() != 0 || empty.ColoredCount() != 0 {
+		t.Error("empty colouring stats wrong")
+	}
+}
+
+func TestMulticoloring(t *testing.T) {
+	h := hypergraph.MustNew(4, [][]int32{{0, 1, 2, 3}})
+	mc := NewMulticoloring(4)
+	if EdgeHappyMulti(h, 0, mc) {
+		t.Error("uncoloured edge should be unhappy")
+	}
+	mc.Add(0, 1)
+	mc.Add(1, 1)
+	if EdgeHappyMulti(h, 0, mc) {
+		t.Error("colour 1 appears twice: unhappy")
+	}
+	mc.Add(0, 2)
+	if !EdgeHappyMulti(h, 0, mc) {
+		t.Error("colour 2 unique at vertex 0: happy")
+	}
+	if !IsConflictFreeMulti(h, mc) {
+		t.Error("IsConflictFreeMulti disagrees with EdgeHappyMulti")
+	}
+	if mc.NumDistinctColors() != 2 {
+		t.Errorf("NumDistinctColors = %d, want 2", mc.NumDistinctColors())
+	}
+	if mc.MaxColorsPerVertex() != 2 {
+		t.Errorf("MaxColorsPerVertex = %d, want 2", mc.MaxColorsPerVertex())
+	}
+}
+
+func TestMulticoloringDuplicateColorCountsOnce(t *testing.T) {
+	h := hypergraph.MustNew(2, [][]int32{{0, 1}})
+	mc := NewMulticoloring(2)
+	mc.Add(0, 1)
+	mc.Add(0, 1) // duplicate within one vertex
+	if !EdgeHappyMulti(h, 0, mc) {
+		t.Error("a colour listed twice at one vertex is still unique in the edge")
+	}
+}
+
+func TestMulticoloringValidate(t *testing.T) {
+	h := hypergraph.MustNew(2, [][]int32{{0, 1}})
+	mc := NewMulticoloring(2)
+	mc.Add(0, 1)
+	if err := mc.Validate(h); err != nil {
+		t.Errorf("valid multicolouring rejected: %v", err)
+	}
+	mc.Add(1, 0)
+	if err := mc.Validate(h); err == nil {
+		t.Error("non-positive colour accepted")
+	}
+	short := NewMulticoloring(1)
+	if err := short.Validate(h); err == nil {
+		t.Error("short multicolouring accepted")
+	}
+}
+
+func TestSingleToMulti(t *testing.T) {
+	h := hypergraph.MustNew(3, [][]int32{{0, 1, 2}})
+	c := Coloring{1, 0, 2}
+	mc := SingleToMulti(c)
+	if len(mc[1]) != 0 {
+		t.Error("⊥ should become empty set")
+	}
+	if EdgeHappy(h, 0, c) != EdgeHappyMulti(h, 0, mc) {
+		t.Error("happiness must be preserved by lifting")
+	}
+}

@@ -1,0 +1,245 @@
+package core
+
+// conflict.go constructs the conflict graph G_k of Section 2, in two
+// forms. Build materialises it as an explicit graph for the MaxIS oracles.
+// Implicit answers adjacency queries straight from H — mirroring the
+// paper's observation that "the conflict graph G_k can be efficiently
+// simulated in H in the LOCAL model": the neighbourhood of (e, v, c)
+// depends only on the edges incident to v and to e's members, information
+// within O(1) hops of v in the bipartite incidence structure of H.
+//
+// The edge set, for distinct triples t1 = (e, v, c), t2 = (g, u, d):
+//
+//	E_edge:   e == g                                  (per-edge cliques)
+//	E_vertex: v == u and c != d                       (one colour per vertex)
+//	E_color:  c == d, v != u, and {u,v} ⊆ e or {u,v} ⊆ g
+//
+// E_color requires u != v: with u == v allowed, two identical singleton
+// edges {v} would make the corresponding picks adjacent and Lemma 2.1(a)
+// false; the lemma's proof (case E_color) indeed derives its contradiction
+// from a vertex u distinct from v. DESIGN.md records this reading.
+
+import (
+	"fmt"
+
+	"pslocal/internal/graph"
+)
+
+// Build materialises G_k for conflict-free k-colouring of h.
+func Build(ix *Index) (*graph.Graph, error) {
+	h := ix.h
+	k := ix.k
+	b := graph.NewBuilder(ix.NumNodes())
+	addPair := func(t1, t2 Triple) error {
+		id1, err := ix.ID(t1)
+		if err != nil {
+			return err
+		}
+		id2, err := ix.ID(t2)
+		if err != nil {
+			return err
+		}
+		if id1 != id2 {
+			b.AddEdge(id1, id2)
+		}
+		return nil
+	}
+
+	for j := 0; j < h.M(); j++ {
+		// E_edge: clique over the |e|·k triples of edge j.
+		lo, hi := ix.edgeOffset[j], ix.edgeOffset[j+1]
+		for a := lo; a < hi; a++ {
+			for bb := a + 1; bb < hi; bb++ {
+				b.AddEdge(a, bb)
+			}
+		}
+		// E_color, container j: for each ordered pair of distinct vertices
+		// (v, u) of edge j and each edge g containing u, connect
+		// (j, v, c) — (g, u, c) for every colour c. (The g = j pairs are
+		// already in the E_edge clique; the builder deduplicates.)
+		edge := h.Edge(j)
+		for _, v := range edge {
+			for _, u := range edge {
+				if u == v {
+					continue
+				}
+				var err error
+				h.ForEachIncidentEdge(u, func(g int32) bool {
+					for c := int32(1); c <= k; c++ {
+						if e := addPair(
+							Triple{Edge: int32(j), Vertex: v, Color: c},
+							Triple{Edge: g, Vertex: u, Color: c},
+						); e != nil {
+							err = e
+							return false
+						}
+					}
+					return true
+				})
+				if err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	// E_vertex: for each vertex v and pair of incident edges, connect
+	// differing colours.
+	for v := int32(0); int(v) < h.N(); v++ {
+		inc := h.IncidentEdges(v)
+		for i, e := range inc {
+			for _, g := range inc[i:] {
+				for c := int32(1); c <= k; c++ {
+					for d := int32(1); d <= k; d++ {
+						if c == d {
+							continue
+						}
+						if err := addPair(
+							Triple{Edge: e, Vertex: v, Color: c},
+							Triple{Edge: g, Vertex: v, Color: d},
+						); err != nil {
+							return nil, err
+						}
+					}
+				}
+			}
+		}
+	}
+	g, err := b.Build()
+	if err != nil {
+		return nil, fmt.Errorf("core: conflict graph assembly: %w", err)
+	}
+	return g, nil
+}
+
+// Adjacent reports whether two triples are adjacent in G_k, directly from
+// the definition (no materialisation).
+func Adjacent(ix *Index, t1, t2 Triple) (bool, error) {
+	if _, err := ix.ID(t1); err != nil {
+		return false, err
+	}
+	if _, err := ix.ID(t2); err != nil {
+		return false, err
+	}
+	if t1 == t2 {
+		return false, nil
+	}
+	if t1.Edge == t2.Edge {
+		return true, nil // E_edge
+	}
+	if t1.Vertex == t2.Vertex && t1.Color != t2.Color {
+		return true, nil // E_vertex
+	}
+	if t1.Color == t2.Color && t1.Vertex != t2.Vertex {
+		// E_color: {u, v} ⊆ e or {u, v} ⊆ g. t1.Vertex ∈ e and
+		// t2.Vertex ∈ g hold by construction.
+		if ix.h.EdgeContains(int(t1.Edge), t2.Vertex) || ix.h.EdgeContains(int(t2.Edge), t1.Vertex) {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// FirstFitTriples runs the first-fit greedy independent set directly on
+// the implicit conflict graph: triples are scanned in dense id order and
+// kept when compatible with everything kept so far. The blocking tests use
+// only H-local information, so the scan runs in O(Σ_e |e| · k · (|e| +
+// deg_H)) time without building G_k. The result equals first-fit greedy on
+// the explicit graph (asserted by tests) and powers the reduction's
+// large-instance mode.
+func FirstFitTriples(ix *Index) []Triple {
+	h := ix.h
+	// edgeChoice[e] = chosen triple on edge e, if any (E_edge allows at
+	// most one).
+	edgeChoice := make([]*Triple, h.M())
+	// vertexColor[v] = colour of v's chosen triples (E_vertex forces
+	// uniqueness; 0 = none).
+	vertexColor := make([]int32, h.N())
+	var out []Triple
+	ix.ForEachTriple(func(_ int32, t Triple) bool {
+		if edgeChoice[t.Edge] != nil {
+			return true // E_edge block
+		}
+		if vc := vertexColor[t.Vertex]; vc != 0 && vc != t.Color {
+			return true // E_vertex block
+		}
+		// E_color, container e: some chosen triple with colour t.Color at
+		// another vertex of t.Edge.
+		blocked := false
+		h.ForEachEdgeVertex(int(t.Edge), func(u int32) bool {
+			if u != t.Vertex && vertexColor[u] == t.Color {
+				blocked = true
+				return false
+			}
+			return true
+		})
+		if blocked {
+			return true
+		}
+		// E_color, container g: a chosen triple (g, u, t.Color) with u
+		// different from t.Vertex on an edge g containing t.Vertex.
+		h.ForEachIncidentEdge(t.Vertex, func(g int32) bool {
+			ch := edgeChoice[g]
+			if ch != nil && ch.Color == t.Color && ch.Vertex != t.Vertex {
+				blocked = true
+				return false
+			}
+			return true
+		})
+		if blocked {
+			return true
+		}
+		chosen := t
+		edgeChoice[t.Edge] = &chosen
+		vertexColor[t.Vertex] = t.Color
+		out = append(out, t)
+		return true
+	})
+	return out
+}
+
+// IsIndependentTriples reports whether the given triples are pairwise
+// non-adjacent in G_k (quadratic; intended for verification in tests and
+// experiments).
+func IsIndependentTriples(ix *Index, ts []Triple) (bool, error) {
+	for i := 0; i < len(ts); i++ {
+		for j := i + 1; j < len(ts); j++ {
+			if ts[i] == ts[j] {
+				return false, nil
+			}
+			adj, err := Adjacent(ix, ts[i], ts[j])
+			if err != nil {
+				return false, err
+			}
+			if adj {
+				return false, nil
+			}
+		}
+	}
+	return true, nil
+}
+
+// IDsToTriples maps dense node ids to triples.
+func IDsToTriples(ix *Index, ids []int32) ([]Triple, error) {
+	out := make([]Triple, len(ids))
+	for i, id := range ids {
+		t, err := ix.TripleOf(id)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = t
+	}
+	return out, nil
+}
+
+// TriplesToIDs maps triples to dense node ids.
+func TriplesToIDs(ix *Index, ts []Triple) ([]int32, error) {
+	out := make([]int32, len(ts))
+	for i, t := range ts {
+		id, err := ix.ID(t)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = id
+	}
+	return out, nil
+}

@@ -1,0 +1,216 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"pslocal/internal/hypergraph"
+	"pslocal/internal/maxis"
+)
+
+// TestBuildMatchesAdjacentPredicate is the central structural check: the
+// materialised G_k must agree edge-for-edge with the implicit definition.
+func TestBuildMatchesAdjacentPredicate(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 8; trial++ {
+		h, _, err := hypergraph.PlantedCF(8+rng.Intn(6), 3+rng.Intn(5), 2, 2, 4, rng)
+		if err != nil {
+			t.Fatalf("PlantedCF error: %v", err)
+		}
+		k := 1 + rng.Intn(3)
+		ix := mustIndex(t, h, k)
+		g, err := Build(ix)
+		if err != nil {
+			t.Fatalf("Build error: %v", err)
+		}
+		if g.N() != ix.NumNodes() {
+			t.Fatalf("graph has %d nodes, want %d", g.N(), ix.NumNodes())
+		}
+		var all []Triple
+		ix.ForEachTriple(func(_ int32, tr Triple) bool {
+			all = append(all, tr)
+			return true
+		})
+		for i := 0; i < len(all); i++ {
+			for j := i + 1; j < len(all); j++ {
+				want, err := Adjacent(ix, all[i], all[j])
+				if err != nil {
+					t.Fatalf("Adjacent error: %v", err)
+				}
+				id1, _ := ix.ID(all[i])
+				id2, _ := ix.ID(all[j])
+				if got := g.HasEdge(id1, id2); got != want {
+					t.Fatalf("trial %d: edge %v-%v: built=%v, definition=%v",
+						trial, all[i], all[j], got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestAdjacentCases(t *testing.T) {
+	// H: e0 = {0,1}, e1 = {1,2}, e2 = {3}. k = 2.
+	h := hypergraph.MustNew(4, [][]int32{{0, 1}, {1, 2}, {3}})
+	ix := mustIndex(t, h, 2)
+	tests := []struct {
+		name   string
+		t1, t2 Triple
+		want   bool
+	}{
+		{"self", Triple{0, 0, 1}, Triple{0, 0, 1}, false},
+		{"E_edge same edge any colours", Triple{0, 0, 1}, Triple{0, 1, 2}, true},
+		{"E_edge same edge same vertex", Triple{0, 0, 1}, Triple{0, 0, 2}, true},
+		{"E_vertex shared vertex diff colours", Triple{0, 1, 1}, Triple{1, 1, 2}, true},
+		{"shared vertex same colour NOT adjacent", Triple{0, 1, 1}, Triple{1, 1, 1}, false},
+		{"E_color u,v in e0", Triple{0, 0, 1}, Triple{1, 1, 1}, true}, // {0,1} ⊆ e0, colours equal
+		{"E_color different colours not", Triple{0, 0, 1}, Triple{1, 1, 2}, false},
+		{"no relation", Triple{0, 0, 1}, Triple{2, 3, 1}, false},
+		{"no shared container", Triple{0, 0, 1}, Triple{1, 2, 1}, false}, // {0,2} ⊄ e0, ⊄ e1
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got, err := Adjacent(ix, tt.t1, tt.t2)
+			if err != nil {
+				t.Fatalf("Adjacent error: %v", err)
+			}
+			if got != tt.want {
+				t.Errorf("Adjacent(%v, %v) = %v, want %v", tt.t1, tt.t2, got, tt.want)
+			}
+			// Symmetry.
+			rev, err := Adjacent(ix, tt.t2, tt.t1)
+			if err != nil {
+				t.Fatalf("Adjacent error: %v", err)
+			}
+			if rev != got {
+				t.Errorf("Adjacent not symmetric for %v, %v", tt.t1, tt.t2)
+			}
+		})
+	}
+}
+
+func TestAdjacentRejectsBadTriples(t *testing.T) {
+	h := hypergraph.MustNew(2, [][]int32{{0, 1}})
+	ix := mustIndex(t, h, 1)
+	if _, err := Adjacent(ix, Triple{0, 0, 1}, Triple{5, 0, 1}); err == nil {
+		t.Error("bad triple accepted")
+	}
+	if _, err := Adjacent(ix, Triple{0, 0, 9}, Triple{0, 1, 1}); err == nil {
+		t.Error("bad colour accepted")
+	}
+}
+
+// TestFirstFitTriplesMatchesExplicitFirstFit: the implicit greedy must
+// coincide exactly with first-fit greedy on the materialised graph.
+func TestFirstFitTriplesMatchesExplicitFirstFit(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 12; trial++ {
+		var h *hypergraph.Hypergraph
+		var err error
+		if trial%3 == 0 {
+			h, err = hypergraph.Uniform(12+rng.Intn(10), 4+rng.Intn(8), 3, rng)
+		} else {
+			h, _, err = hypergraph.PlantedCF(12+rng.Intn(10), 4+rng.Intn(8), 3, 2, 5, rng)
+		}
+		if err != nil {
+			t.Fatalf("generator error: %v", err)
+		}
+		k := 1 + rng.Intn(3)
+		ix := mustIndex(t, h, k)
+		implicit := FirstFitTriples(ix)
+		implicitIDs, err := TriplesToIDs(ix, implicit)
+		if err != nil {
+			t.Fatalf("TriplesToIDs error: %v", err)
+		}
+
+		g, err := Build(ix)
+		if err != nil {
+			t.Fatalf("Build error: %v", err)
+		}
+		explicitIDs, err := maxis.FirstFitOracle{}.Solve(g)
+		if err != nil {
+			t.Fatalf("explicit first fit error: %v", err)
+		}
+		if len(implicitIDs) != len(explicitIDs) {
+			t.Fatalf("trial %d: implicit %d vs explicit %d nodes", trial, len(implicitIDs), len(explicitIDs))
+		}
+		for i := range implicitIDs {
+			if implicitIDs[i] != explicitIDs[i] {
+				t.Fatalf("trial %d: id %d differs: %d vs %d", trial, i, implicitIDs[i], explicitIDs[i])
+			}
+		}
+		ok, err := IsIndependentTriples(ix, implicit)
+		if err != nil {
+			t.Fatalf("IsIndependentTriples error: %v", err)
+		}
+		if !ok {
+			t.Fatalf("trial %d: implicit first fit not independent", trial)
+		}
+	}
+}
+
+func TestIsIndependentTriples(t *testing.T) {
+	h := hypergraph.MustNew(3, [][]int32{{0, 1}, {1, 2}})
+	ix := mustIndex(t, h, 2)
+	ok, err := IsIndependentTriples(ix, []Triple{{0, 0, 1}, {1, 2, 1}})
+	if err != nil {
+		t.Fatalf("error: %v", err)
+	}
+	// (0,0,1) and (1,2,1): same colour, vertices 0 and 2, {0,2} not inside
+	// either edge: independent.
+	if !ok {
+		t.Error("independent pair rejected")
+	}
+	ok, err = IsIndependentTriples(ix, []Triple{{0, 0, 1}, {0, 1, 1}})
+	if err != nil {
+		t.Fatalf("error: %v", err)
+	}
+	if ok {
+		t.Error("same-edge pair accepted")
+	}
+	ok, err = IsIndependentTriples(ix, []Triple{{0, 0, 1}, {0, 0, 1}})
+	if err != nil {
+		t.Fatalf("error: %v", err)
+	}
+	if ok {
+		t.Error("duplicate accepted")
+	}
+}
+
+// TestConflictGraphCliquePartitionBound verifies the α(G_k) <= m argument
+// of Lemma 2.1(a): the per-edge blocks are cliques, so any independent set
+// has at most one triple per edge.
+func TestConflictGraphCliquePartitionBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	h, _, err := hypergraph.PlantedCF(15, 7, 3, 2, 4, rng)
+	if err != nil {
+		t.Fatalf("PlantedCF error: %v", err)
+	}
+	ix := mustIndex(t, h, 3)
+	g, err := Build(ix)
+	if err != nil {
+		t.Fatalf("Build error: %v", err)
+	}
+	set, err := maxis.ExactOpts(g, maxis.ExactOptions{CliqueHint: ix.EdgeCliqueHint()})
+	if err != nil {
+		t.Fatalf("Exact error: %v", err)
+	}
+	if len(set) > h.M() {
+		t.Errorf("α(G_k) = %d exceeds m = %d", len(set), h.M())
+	}
+}
+
+func TestBuildValidates(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	h, err := hypergraph.Uniform(10, 6, 3, rng)
+	if err != nil {
+		t.Fatalf("Uniform error: %v", err)
+	}
+	ix := mustIndex(t, h, 2)
+	g, err := Build(ix)
+	if err != nil {
+		t.Fatalf("Build error: %v", err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Errorf("built conflict graph invalid: %v", err)
+	}
+}

@@ -1,0 +1,100 @@
+package core
+
+// lemma.go implements the two directions of Lemma 2.1 — the exact
+// correspondence between independent sets of the conflict graph G_k and
+// partial conflict-free colourings of H that drives the Theorem 1.1
+// reduction.
+
+import (
+	"errors"
+	"fmt"
+
+	"pslocal/internal/cfcolor"
+)
+
+// ErrIllDefined reports an input set containing triples that give one
+// vertex two different colours; by E_vertex such a set cannot be
+// independent, so Lemma 2.1(b) never triggers this for genuine independent
+// sets.
+var ErrIllDefined = errors.New("core: triple set assigns two colours to one vertex")
+
+// ColoringToIS implements Lemma 2.1(a) constructively: for every edge of H
+// that is happy under f, add one triple (e, v, f(v)) where v is the
+// (smallest, as the paper breaks ties arbitrarily) vertex of e whose
+// colour is unique within e. For a conflict-free f the result has exactly
+// |E(H)| triples and is a maximum independent set of G_k; for a partial f
+// it has one triple per happy edge and is still independent.
+func ColoringToIS(ix *Index, f cfcolor.Coloring) ([]Triple, error) {
+	h := ix.h
+	if err := f.Validate(h); err != nil {
+		return nil, err
+	}
+	if mc := f.MaxColor(); mc > int32(ix.K()) {
+		return nil, fmt.Errorf("%w: colouring uses colour %d > k=%d",
+			cfcolor.ErrBadColor, mc, ix.K())
+	}
+	var out []Triple
+	counts := map[int32]int{}
+	for j := 0; j < h.M(); j++ {
+		for c := range counts {
+			delete(counts, c)
+		}
+		h.ForEachEdgeVertex(j, func(v int32) bool {
+			if f[v] != cfcolor.Uncolored {
+				counts[f[v]]++
+			}
+			return true
+		})
+		picked := false
+		h.ForEachEdgeVertex(j, func(v int32) bool {
+			if f[v] != cfcolor.Uncolored && counts[f[v]] == 1 {
+				out = append(out, Triple{Edge: int32(j), Vertex: v, Color: f[v]})
+				picked = true
+				return false // smallest qualifying vertex; ties broken by order
+			}
+			return true
+		})
+		_ = picked // unhappy edges simply contribute no triple
+	}
+	return out, nil
+}
+
+// ISToColoring implements Lemma 2.1(b): the partial colouring f_I with
+// f_I(v) = c when some (·, v, c) ∈ I and ⊥ otherwise. It verifies
+// well-definedness (one colour per vertex) and returns ErrIllDefined
+// otherwise. For an independent I, at least |I| edges of H are happy under
+// the result (exactly |I| — one per triple, by E_edge).
+func ISToColoring(ix *Index, is []Triple) (cfcolor.Coloring, error) {
+	h := ix.h
+	f := make(cfcolor.Coloring, h.N())
+	for _, t := range is {
+		if _, err := ix.ID(t); err != nil {
+			return nil, err
+		}
+		switch f[t.Vertex] {
+		case cfcolor.Uncolored:
+			f[t.Vertex] = t.Color
+		case t.Color:
+			// Same vertex, same colour from another edge: consistent.
+		default:
+			return nil, fmt.Errorf("%w: vertex %d gets colours %d and %d",
+				ErrIllDefined, t.Vertex, f[t.Vertex], t.Color)
+		}
+	}
+	return f, nil
+}
+
+// HappyFromIS returns the edges of H guaranteed happy by the triples of an
+// independent set (its distinct edge indices), implementing the counting
+// step |E_{i+1}| <= |E_i| - |I_i| of the Theorem 1.1 proof.
+func HappyFromIS(is []Triple) []int32 {
+	seen := map[int32]bool{}
+	var out []int32
+	for _, t := range is {
+		if !seen[t.Edge] {
+			seen[t.Edge] = true
+			out = append(out, t.Edge)
+		}
+	}
+	return out
+}

@@ -1,0 +1,198 @@
+package core
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"pslocal/internal/cfcolor"
+	"pslocal/internal/hypergraph"
+	"pslocal/internal/maxis"
+)
+
+// TestLemma21aPlanted: a conflict-free k-colouring induces an independent
+// set of size exactly m, and α(G_k) = m (Lemma 2.1(a) in both directions:
+// the construction and the matching upper bound).
+func TestLemma21aPlanted(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 6; trial++ {
+		k := 2 + rng.Intn(2)
+		h, planted, err := hypergraph.PlantedCF(12+rng.Intn(8), 5+rng.Intn(6), k, 2, 4, rng)
+		if err != nil {
+			t.Fatalf("PlantedCF error: %v", err)
+		}
+		ix := mustIndex(t, h, k)
+		is, err := ColoringToIS(ix, cfcolor.Coloring(planted))
+		if err != nil {
+			t.Fatalf("ColoringToIS error: %v", err)
+		}
+		if len(is) != h.M() {
+			t.Fatalf("trial %d: |I_f| = %d, want m = %d", trial, len(is), h.M())
+		}
+		ok, err := IsIndependentTriples(ix, is)
+		if err != nil {
+			t.Fatalf("IsIndependentTriples error: %v", err)
+		}
+		if !ok {
+			t.Fatalf("trial %d: I_f not independent", trial)
+		}
+		// α(G_k) = m exactly.
+		g, err := Build(ix)
+		if err != nil {
+			t.Fatalf("Build error: %v", err)
+		}
+		opt, err := maxis.ExactOpts(g, maxis.ExactOptions{CliqueHint: ix.EdgeCliqueHint()})
+		if err != nil {
+			t.Fatalf("Exact error: %v", err)
+		}
+		if len(opt) != h.M() {
+			t.Errorf("trial %d: α(G_k) = %d, want m = %d", trial, len(opt), h.M())
+		}
+	}
+}
+
+// TestLemma21aPartialColoring: with some vertices uncoloured, the
+// construction still yields an independent set with one triple per happy
+// edge (the proofs "consider colourings in which only some edges are
+// happy").
+func TestLemma21aPartialColoring(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 10; trial++ {
+		k := 2 + rng.Intn(2)
+		h, planted, err := hypergraph.PlantedCF(14, 8, k, 2, 4, rng)
+		if err != nil {
+			t.Fatalf("PlantedCF error: %v", err)
+		}
+		partial := make(cfcolor.Coloring, len(planted))
+		copy(partial, planted)
+		for v := range partial {
+			if rng.Float64() < 0.4 {
+				partial[v] = cfcolor.Uncolored
+			}
+		}
+		ix := mustIndex(t, h, k)
+		is, err := ColoringToIS(ix, partial)
+		if err != nil {
+			t.Fatalf("ColoringToIS error: %v", err)
+		}
+		happy := cfcolor.HappyEdges(h, partial)
+		if len(is) != len(happy) {
+			t.Fatalf("trial %d: |I| = %d, want one per happy edge = %d", trial, len(is), len(happy))
+		}
+		ok, err := IsIndependentTriples(ix, is)
+		if err != nil {
+			t.Fatalf("IsIndependentTriples error: %v", err)
+		}
+		if !ok {
+			t.Fatalf("trial %d: partial-colouring IS not independent", trial)
+		}
+	}
+}
+
+// TestLemma21b: for any independent set I of G_k, f_I is well defined and
+// at least |I| edges are happy (the count is exactly |I| distinct edges by
+// E_edge).
+func TestLemma21b(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 10; trial++ {
+		var h *hypergraph.Hypergraph
+		var err error
+		if trial%2 == 0 {
+			h, err = hypergraph.Uniform(14, 8, 3, rng)
+		} else {
+			h, _, err = hypergraph.PlantedCF(14, 8, 3, 2, 4, rng)
+		}
+		if err != nil {
+			t.Fatalf("generator error: %v", err)
+		}
+		k := 1 + rng.Intn(3)
+		ix := mustIndex(t, h, k)
+		g, err := Build(ix)
+		if err != nil {
+			t.Fatalf("Build error: %v", err)
+		}
+		// Random maximal independent sets exercise many distinct IS shapes.
+		ids := maxis.GreedyRandomOrder(g, rng)
+		is, err := IDsToTriples(ix, ids)
+		if err != nil {
+			t.Fatalf("IDsToTriples error: %v", err)
+		}
+		f, err := ISToColoring(ix, is)
+		if err != nil {
+			t.Fatalf("trial %d: ISToColoring error: %v", trial, err)
+		}
+		happy := cfcolor.HappyEdges(h, f)
+		if len(happy) < len(is) {
+			t.Fatalf("trial %d: %d happy edges < |I| = %d", trial, len(happy), len(is))
+		}
+		if got := len(HappyFromIS(is)); got != len(is) {
+			t.Fatalf("trial %d: HappyFromIS = %d distinct edges, want %d", trial, got, len(is))
+		}
+	}
+}
+
+func TestISToColoringIllDefined(t *testing.T) {
+	h := hypergraph.MustNew(3, [][]int32{{0, 1}, {0, 2}})
+	ix := mustIndex(t, h, 2)
+	// Vertex 0 coloured 1 by edge 0 and 2 by edge 1 — not independent in
+	// G_k (E_vertex), and ISToColoring must refuse it.
+	_, err := ISToColoring(ix, []Triple{{0, 0, 1}, {1, 0, 2}})
+	if !errors.Is(err, ErrIllDefined) {
+		t.Errorf("error = %v, want ErrIllDefined", err)
+	}
+	// Same vertex, same colour: consistent.
+	f, err := ISToColoring(ix, []Triple{{0, 0, 1}, {1, 0, 1}})
+	if err != nil {
+		t.Fatalf("consistent set rejected: %v", err)
+	}
+	if f[0] != 1 || f[1] != 0 || f[2] != 0 {
+		t.Errorf("f = %v, want [1 0 0]", f)
+	}
+}
+
+func TestISToColoringRejectsBadTriples(t *testing.T) {
+	h := hypergraph.MustNew(2, [][]int32{{0, 1}})
+	ix := mustIndex(t, h, 1)
+	if _, err := ISToColoring(ix, []Triple{{3, 0, 1}}); !errors.Is(err, ErrBadTriple) {
+		t.Errorf("error = %v, want ErrBadTriple", err)
+	}
+}
+
+func TestColoringToISRejectsOverflowingColors(t *testing.T) {
+	h := hypergraph.MustNew(2, [][]int32{{0, 1}})
+	ix := mustIndex(t, h, 2)
+	if _, err := ColoringToIS(ix, cfcolor.Coloring{3, 0}); err == nil {
+		t.Error("colour 3 with k=2 accepted")
+	}
+	if _, err := ColoringToIS(ix, cfcolor.Coloring{1}); err == nil {
+		t.Error("short colouring accepted")
+	}
+}
+
+// TestLemmaRoundTrip: f conflict-free → I_f → f_{I_f} preserves the colour
+// of every selected vertex and keeps every edge happy.
+func TestLemmaRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	k := 3
+	h, planted, err := hypergraph.PlantedCF(16, 9, k, 2, 4, rng)
+	if err != nil {
+		t.Fatalf("PlantedCF error: %v", err)
+	}
+	ix := mustIndex(t, h, k)
+	is, err := ColoringToIS(ix, cfcolor.Coloring(planted))
+	if err != nil {
+		t.Fatalf("ColoringToIS error: %v", err)
+	}
+	f2, err := ISToColoring(ix, is)
+	if err != nil {
+		t.Fatalf("ISToColoring error: %v", err)
+	}
+	for v, c := range f2 {
+		if c != cfcolor.Uncolored && c != planted[v] {
+			t.Errorf("vertex %d: round trip colour %d, planted %d", v, c, planted[v])
+		}
+	}
+	if !cfcolor.IsConflictFree(h, f2) {
+		t.Error("round-trip colouring lost conflict-freeness")
+	}
+}

@@ -1,0 +1,318 @@
+package core
+
+// localsim.go makes the paper's remark "the conflict graph G_k can be
+// efficiently simulated in H in the LOCAL model" executable. Triples
+// (e, v, c) are hosted at their vertex v; every conflict-graph neighbour
+// of a triple lives within two hops of v in the bipartite incidence
+// structure of H (through e for E_edge/E_color, through v itself for
+// E_vertex), so one synchronous round of any G_k algorithm costs O(1)
+// rounds of H. VirtualLubyTriples runs Luby's randomized MIS over this
+// virtual graph, and ReduceLocalRandomized chains it into the fully
+// distributed (randomized) version of the Theorem 1.1 pipeline.
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"pslocal/internal/cfcolor"
+	"pslocal/internal/hypergraph"
+)
+
+// ErrTooManyPhases reports a Luby run that did not converge within the
+// phase budget (vanishingly unlikely for correct inputs).
+var ErrTooManyPhases = errors.New("core: virtual Luby phase budget exhausted")
+
+// HostDilation is the number of H-incidence rounds needed to emulate one
+// synchronous round of G_k: a request and a reply across the two-hop
+// v–e–u paths of the incidence structure.
+const HostDilation = 4
+
+// ForEachNeighborTriple enumerates the G_k-neighbours of t directly from
+// H. A neighbour reachable through several containment witnesses is
+// visited once per witness (callers that need set semantics deduplicate
+// by id); enumeration stops early when fn returns false.
+func ForEachNeighborTriple(ix *Index, t Triple, fn func(Triple) bool) error {
+	h := ix.h
+	if _, err := ix.ID(t); err != nil {
+		return err
+	}
+	stop := false
+	emit := func(u Triple) bool {
+		if u == t {
+			return true
+		}
+		if !fn(u) {
+			stop = true
+			return false
+		}
+		return true
+	}
+	// E_edge: the clique block of t.Edge.
+	h.ForEachEdgeVertex(int(t.Edge), func(u int32) bool {
+		for c := int32(1); c <= ix.k; c++ {
+			if !emit(Triple{Edge: t.Edge, Vertex: u, Color: c}) {
+				return false
+			}
+		}
+		return true
+	})
+	if stop {
+		return nil
+	}
+	// E_vertex: same vertex, different colour, any other incident edge.
+	h.ForEachIncidentEdge(t.Vertex, func(g int32) bool {
+		if g == t.Edge {
+			return true // inside the E_edge block, already emitted
+		}
+		for d := int32(1); d <= ix.k; d++ {
+			if d == t.Color {
+				continue
+			}
+			if !emit(Triple{Edge: g, Vertex: t.Vertex, Color: d}) {
+				return false
+			}
+		}
+		return true
+	})
+	if stop {
+		return nil
+	}
+	// E_color with container t.Edge: (g, u, c) for u ∈ e \ {v}, g ∋ u.
+	h.ForEachEdgeVertex(int(t.Edge), func(u int32) bool {
+		if u == t.Vertex {
+			return true
+		}
+		h.ForEachIncidentEdge(u, func(g int32) bool {
+			if g == t.Edge {
+				return true // already emitted via E_edge
+			}
+			return emit(Triple{Edge: g, Vertex: u, Color: t.Color})
+		})
+		return !stop
+	})
+	if stop {
+		return nil
+	}
+	// E_color with container g: (g, u, c) for g ∋ v, u ∈ g \ {v}.
+	h.ForEachIncidentEdge(t.Vertex, func(g int32) bool {
+		if g == t.Edge {
+			return true
+		}
+		h.ForEachEdgeVertex(int(g), func(u int32) bool {
+			if u == t.Vertex {
+				return true
+			}
+			return emit(Triple{Edge: g, Vertex: u, Color: t.Color})
+		})
+		return !stop
+	})
+	return nil
+}
+
+// LubyStats reports a virtual Luby run.
+type LubyStats struct {
+	// Phases is the number of bid/join phases executed.
+	Phases int
+	// VirtualRounds is 2·Phases, the synchronous rounds on G_k.
+	VirtualRounds int
+	// HostRounds is VirtualRounds·HostDilation, the cost after simulating
+	// G_k on H's incidence structure.
+	HostRounds int
+}
+
+// VirtualLubyTriples runs Luby's randomized MIS over the implicit
+// conflict graph G_k, never materialising it. The result is a maximal
+// independent set of G_k; with probability 1 the run converges, and the
+// phase budget (0 = a generous default) only guards against broken
+// randomness.
+func VirtualLubyTriples(ix *Index, seed int64, maxPhases int) ([]Triple, *LubyStats, error) {
+	n := ix.NumNodes()
+	if maxPhases <= 0 {
+		maxPhases = 8*bitsLen(n) + 32
+	}
+	rng := rand.New(rand.NewSource(seed))
+	active := make([]bool, n)
+	for i := range active {
+		active[i] = true
+	}
+	activeCount := n
+	var out []Triple
+	stats := &LubyStats{}
+	priorities := make([]uint64, n)
+	for phase := 1; activeCount > 0; phase++ {
+		if phase > maxPhases {
+			return nil, stats, fmt.Errorf("%w: %d phases, %d triples still active", ErrTooManyPhases, maxPhases, activeCount)
+		}
+		stats.Phases = phase
+		// Bid round: every active triple draws a priority.
+		for id := 0; id < n; id++ {
+			if active[id] {
+				priorities[id] = rng.Uint64()
+			}
+		}
+		// Join round: local minima join; (priority, id) breaks ties.
+		var winners []int32
+		for id := int32(0); int(id) < n; id++ {
+			if !active[id] {
+				continue
+			}
+			t, err := ix.TripleOf(id)
+			if err != nil {
+				return nil, stats, err
+			}
+			win := true
+			err = ForEachNeighborTriple(ix, t, func(u Triple) bool {
+				uid, idErr := ix.ID(u)
+				if idErr != nil {
+					err = idErr
+					return false
+				}
+				if active[uid] && less(priorities[uid], uid, priorities[id], id) {
+					win = false
+					return false
+				}
+				return true
+			})
+			if err != nil {
+				return nil, stats, err
+			}
+			if win {
+				winners = append(winners, id)
+			}
+		}
+		// Winners and their neighbourhoods retire.
+		for _, id := range winners {
+			if !active[id] {
+				continue // a neighbour of an earlier winner this phase? impossible, but stay safe
+			}
+			t, err := ix.TripleOf(id)
+			if err != nil {
+				return nil, stats, err
+			}
+			out = append(out, t)
+			active[id] = false
+			activeCount--
+			err = ForEachNeighborTriple(ix, t, func(u Triple) bool {
+				uid, idErr := ix.ID(u)
+				if idErr != nil {
+					err = idErr
+					return false
+				}
+				if active[uid] {
+					active[uid] = false
+					activeCount--
+				}
+				return true
+			})
+			if err != nil {
+				return nil, stats, err
+			}
+		}
+	}
+	stats.VirtualRounds = 2 * stats.Phases
+	stats.HostRounds = stats.VirtualRounds * HostDilation
+	return out, stats, nil
+}
+
+// less orders (priority, id) pairs lexicographically.
+func less(p1 uint64, id1 int32, p2 uint64, id2 int32) bool {
+	if p1 != p2 {
+		return p1 < p2
+	}
+	return id1 < id2
+}
+
+// bitsLen returns ceil(log2(n+1)), a crude log for phase budgets.
+func bitsLen(n int) int {
+	l := 0
+	for v := n; v > 0; v >>= 1 {
+		l++
+	}
+	return l
+}
+
+// LocalResult is the outcome of the distributed randomized reduction.
+type LocalResult struct {
+	// Multicoloring is the conflict-free multicolouring of the input.
+	Multicoloring cfcolor.Multicoloring
+	// Phases records the usual per-phase statistics.
+	Phases []PhaseStat
+	// TotalColors is K times the number of phases.
+	TotalColors int
+	// K echoes the palette size.
+	K int
+	// VirtualRounds sums the G_k rounds over all phases.
+	VirtualRounds int
+	// HostRounds sums the simulated H-incidence rounds over all phases.
+	HostRounds int
+}
+
+// ReduceLocalRandomized is the fully distributed (LOCAL-model,
+// randomized) variant of the Theorem 1.1 pipeline: each phase computes a
+// maximal independent set of the implicit conflict graph with Luby's
+// algorithm simulated on H. An MIS of G_k is an independent set, so
+// Lemma 2.1(b) applies and every phase removes at least one edge; unlike
+// the SLOCAL λ-oracle pipeline this randomized variant carries no
+// polylog-phase guarantee (the paper's point: a LOCAL MIS is *not* known
+// to give a MaxIS approximation), and the phase count is an empirical
+// observation the experiments record.
+func ReduceLocalRandomized(h *hypergraph.Hypergraph, k int, seed int64) (*LocalResult, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("%w: %d", ErrBadK, k)
+	}
+	res := &LocalResult{
+		Multicoloring: cfcolor.NewMulticoloring(h.N()),
+		K:             k,
+	}
+	cur := h
+	maxPhases := 4*h.M() + 16
+	for phase := 1; cur.M() > 0; phase++ {
+		if phase > maxPhases {
+			return nil, fmt.Errorf("%w: %d phases", ErrPhaseBudget, maxPhases)
+		}
+		ix, err := NewIndex(cur, k)
+		if err != nil {
+			return nil, err
+		}
+		triples, stats, err := VirtualLubyTriples(ix, seed+int64(phase), 0)
+		if err != nil {
+			return nil, fmt.Errorf("core: local phase %d: %w", phase, err)
+		}
+		res.VirtualRounds += stats.VirtualRounds
+		res.HostRounds += stats.HostRounds
+		f, err := ISToColoring(ix, triples)
+		if err != nil {
+			return nil, fmt.Errorf("core: local phase %d: %w", phase, err)
+		}
+		unhappy := cfcolor.UnhappyEdges(cur, f)
+		removed := cur.M() - len(unhappy)
+		if removed < len(triples) {
+			return nil, fmt.Errorf("core: local phase %d removed %d < |I| = %d, violating Lemma 2.1(b)",
+				phase, removed, len(triples))
+		}
+		if removed == 0 {
+			return nil, fmt.Errorf("%w: local phase %d", ErrNoProgress, phase)
+		}
+		offset := int32((phase - 1) * k)
+		for v := int32(0); int(v) < cur.N(); v++ {
+			if f[v] != cfcolor.Uncolored {
+				res.Multicoloring.Add(v, f[v]+offset)
+			}
+		}
+		res.Phases = append(res.Phases, PhaseStat{
+			Phase:         phase,
+			EdgesBefore:   cur.M(),
+			ConflictNodes: ix.NumNodes(),
+			ConflictEdges: -1,
+			ISSize:        len(triples),
+			HappyRemoved:  removed,
+		})
+		cur, err = cur.KeepEdges(unhappy)
+		if err != nil {
+			return nil, fmt.Errorf("core: local phase %d residual: %w", phase, err)
+		}
+	}
+	res.TotalColors = k * len(res.Phases)
+	return res, nil
+}

@@ -1,0 +1,172 @@
+package core
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"pslocal/internal/cfcolor"
+	"pslocal/internal/hypergraph"
+	"pslocal/internal/maxis"
+)
+
+// TestForEachNeighborTripleMatchesAdjacent: the implicit enumeration must
+// visit exactly the triples the Adjacent predicate accepts (as a set —
+// duplicates through multiple witnesses are allowed).
+func TestForEachNeighborTripleMatchesAdjacent(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 6; trial++ {
+		var h *hypergraph.Hypergraph
+		var err error
+		if trial%2 == 0 {
+			h, err = hypergraph.Uniform(8+rng.Intn(5), 3+rng.Intn(4), 3, rng)
+		} else {
+			h, _, err = hypergraph.PlantedCF(8+rng.Intn(5), 3+rng.Intn(4), 2, 2, 4, rng)
+		}
+		if err != nil {
+			t.Fatalf("generator: %v", err)
+		}
+		k := 1 + rng.Intn(3)
+		ix := mustIndex(t, h, k)
+		ix.ForEachTriple(func(_ int32, tr Triple) bool {
+			visited := map[Triple]bool{}
+			if err := ForEachNeighborTriple(ix, tr, func(u Triple) bool {
+				visited[u] = true
+				return true
+			}); err != nil {
+				t.Fatalf("enumeration error: %v", err)
+			}
+			// Compare against the predicate over ALL triples.
+			ix.ForEachTriple(func(_ int32, other Triple) bool {
+				want, err := Adjacent(ix, tr, other)
+				if err != nil {
+					t.Fatalf("Adjacent error: %v", err)
+				}
+				if want != visited[other] {
+					t.Fatalf("trial %d: neighbour sets disagree at %v vs %v: enumerated=%v, predicate=%v",
+						trial, tr, other, visited[other], want)
+				}
+				return true
+			})
+			return true
+		})
+	}
+}
+
+func TestForEachNeighborTripleEarlyStop(t *testing.T) {
+	h := hypergraph.MustNew(4, [][]int32{{0, 1, 2, 3}})
+	ix := mustIndex(t, h, 2)
+	count := 0
+	if err := ForEachNeighborTriple(ix, Triple{0, 0, 1}, func(Triple) bool {
+		count++
+		return count < 3
+	}); err != nil {
+		t.Fatalf("error: %v", err)
+	}
+	if count != 3 {
+		t.Errorf("early stop visited %d, want 3", count)
+	}
+	if err := ForEachNeighborTriple(ix, Triple{9, 0, 1}, func(Triple) bool { return true }); err == nil {
+		t.Error("bad triple accepted")
+	}
+}
+
+func TestVirtualLubyIsMaximalIndependent(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 6; trial++ {
+		h, _, err := hypergraph.PlantedCF(12+rng.Intn(8), 5+rng.Intn(5), 2, 2, 4, rng)
+		if err != nil {
+			t.Fatalf("generator: %v", err)
+		}
+		k := 1 + rng.Intn(3)
+		ix := mustIndex(t, h, k)
+		triples, stats, err := VirtualLubyTriples(ix, int64(trial), 0)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if stats.Phases < 1 || stats.VirtualRounds != 2*stats.Phases ||
+			stats.HostRounds != HostDilation*stats.VirtualRounds {
+			t.Errorf("trial %d: inconsistent stats %+v", trial, stats)
+		}
+		// Independence and maximality, checked on the explicit graph.
+		g, err := Build(ix)
+		if err != nil {
+			t.Fatalf("Build: %v", err)
+		}
+		ids, err := TriplesToIDs(ix, triples)
+		if err != nil {
+			t.Fatalf("ids: %v", err)
+		}
+		if !maxis.IsMaximalIndependentSet(g, ids) {
+			t.Fatalf("trial %d: virtual Luby output is not a maximal independent set of G_k", trial)
+		}
+	}
+}
+
+func TestVirtualLubyPhaseBudget(t *testing.T) {
+	h := hypergraph.MustNew(4, [][]int32{{0, 1}, {1, 2}, {2, 3}})
+	ix := mustIndex(t, h, 2)
+	// maxPhases = 1 cannot finish a 3-edge instance... actually one phase
+	// can finish if every block resolves; use a deterministic check: the
+	// budget error must surface when the budget is absurdly small and the
+	// run needs more phases. Run with budget 1 repeatedly; accept either
+	// success (lucky single phase) or ErrTooManyPhases, never another
+	// error.
+	for seed := int64(0); seed < 10; seed++ {
+		_, _, err := VirtualLubyTriples(ix, seed, 1)
+		if err != nil && !errors.Is(err, ErrTooManyPhases) {
+			t.Fatalf("seed %d: unexpected error %v", seed, err)
+		}
+	}
+}
+
+func TestReduceLocalRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 4; trial++ {
+		h, _, err := hypergraph.PlantedCF(15, 30, 2, 3, 5, rng)
+		if err != nil {
+			t.Fatalf("generator: %v", err)
+		}
+		res, err := ReduceLocalRandomized(h, 2, int64(trial))
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if !cfcolor.IsConflictFreeMulti(h, res.Multicoloring) {
+			t.Fatalf("trial %d: result not conflict-free", trial)
+		}
+		if res.TotalColors != 2*len(res.Phases) {
+			t.Errorf("trial %d: colours %d != 2·phases", trial, res.TotalColors)
+		}
+		if res.VirtualRounds <= 0 || res.HostRounds != HostDilation*res.VirtualRounds {
+			t.Errorf("trial %d: round accounting broken: %+v", trial, res)
+		}
+		edges := h.M()
+		for _, ph := range res.Phases {
+			if ph.EdgesBefore != edges {
+				t.Errorf("trial %d: phase chain broken", trial)
+			}
+			edges -= ph.HappyRemoved
+		}
+		if edges != 0 {
+			t.Errorf("trial %d: %d edges left", trial, edges)
+		}
+	}
+}
+
+func TestReduceLocalRandomizedErrors(t *testing.T) {
+	h := hypergraph.MustNew(2, [][]int32{{0, 1}})
+	if _, err := ReduceLocalRandomized(h, 0, 1); err == nil {
+		t.Error("k=0 accepted")
+	}
+}
+
+func TestReduceLocalRandomizedEmptyHypergraph(t *testing.T) {
+	h := hypergraph.MustNew(3, nil)
+	res, err := ReduceLocalRandomized(h, 2, 1)
+	if err != nil {
+		t.Fatalf("error: %v", err)
+	}
+	if len(res.Phases) != 0 || res.VirtualRounds != 0 {
+		t.Errorf("empty hypergraph: %+v", res)
+	}
+}

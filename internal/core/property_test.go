@@ -1,0 +1,174 @@
+package core
+
+// property_test.go drives the core invariants through testing/quick over
+// randomly generated hypergraphs: index bijectivity, first-fit
+// independence, and the Lemma 2.1 correspondences.
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"pslocal/internal/cfcolor"
+	"pslocal/internal/hypergraph"
+)
+
+// randomInstance derives a small random hypergraph and palette from a
+// quick-check seed.
+func randomInstance(seed int64) (*hypergraph.Hypergraph, int, *rand.Rand, error) {
+	rng := rand.New(rand.NewSource(seed))
+	n := 4 + rng.Intn(14)
+	m := 1 + rng.Intn(10)
+	r := 2 + rng.Intn(3)
+	if r > n {
+		r = n
+	}
+	h, err := hypergraph.Uniform(n, m, r, rng)
+	return h, 1 + rng.Intn(3), rng, err
+}
+
+func TestQuickIndexBijective(t *testing.T) {
+	f := func(seed int64) bool {
+		h, k, _, err := randomInstance(seed)
+		if err != nil {
+			return false
+		}
+		ix, err := NewIndex(h, k)
+		if err != nil {
+			return false
+		}
+		ok := true
+		count := 0
+		ix.ForEachTriple(func(id int32, tr Triple) bool {
+			count++
+			got, err := ix.ID(tr)
+			if err != nil || got != id {
+				ok = false
+				return false
+			}
+			back, err := ix.TripleOf(id)
+			if err != nil || back != tr {
+				ok = false
+				return false
+			}
+			return true
+		})
+		return ok && count == ix.NumNodes() && count == k*h.TotalEdgeSize()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickFirstFitIndependentAndEdgeUnique(t *testing.T) {
+	f := func(seed int64) bool {
+		h, k, _, err := randomInstance(seed)
+		if err != nil {
+			return false
+		}
+		ix, err := NewIndex(h, k)
+		if err != nil {
+			return false
+		}
+		set := FirstFitTriples(ix)
+		if len(set) == 0 && h.M() > 0 {
+			return false // the first triple is always selectable
+		}
+		indep, err := IsIndependentTriples(ix, set)
+		if err != nil || !indep {
+			return false
+		}
+		// One triple per edge at most (E_edge), and the selection is
+		// maximal: every unselected triple conflicts with a selected one.
+		perEdge := map[int32]int{}
+		for _, tr := range set {
+			perEdge[tr.Edge]++
+			if perEdge[tr.Edge] > 1 {
+				return false
+			}
+		}
+		maximal := true
+		ix.ForEachTriple(func(_ int32, tr Triple) bool {
+			for _, s := range set {
+				if s == tr {
+					return true
+				}
+			}
+			conflicts := false
+			for _, s := range set {
+				adj, err := Adjacent(ix, tr, s)
+				if err != nil {
+					maximal = false
+					return false
+				}
+				if adj {
+					conflicts = true
+					break
+				}
+			}
+			if !conflicts {
+				maximal = false
+				return false
+			}
+			return true
+		})
+		return maximal
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickLemma21bOnFirstFit(t *testing.T) {
+	f := func(seed int64) bool {
+		h, k, _, err := randomInstance(seed)
+		if err != nil {
+			return false
+		}
+		ix, err := NewIndex(h, k)
+		if err != nil {
+			return false
+		}
+		set := FirstFitTriples(ix)
+		fI, err := ISToColoring(ix, set)
+		if err != nil {
+			return false
+		}
+		return len(cfcolor.HappyEdges(h, fI)) >= len(set)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickLemma21aOnRandomPartialColourings(t *testing.T) {
+	f := func(seed int64) bool {
+		h, k, rng, err := randomInstance(seed)
+		if err != nil {
+			return false
+		}
+		ix, err := NewIndex(h, k)
+		if err != nil {
+			return false
+		}
+		// A random partial colouring (not necessarily conflict-free).
+		fc := make(cfcolor.Coloring, h.N())
+		for v := range fc {
+			if rng.Float64() < 0.7 {
+				fc[v] = int32(1 + rng.Intn(k))
+			}
+		}
+		is, err := ColoringToIS(ix, fc)
+		if err != nil {
+			return false
+		}
+		if len(is) != len(cfcolor.HappyEdges(h, fc)) {
+			return false
+		}
+		indep, err := IsIndependentTriples(ix, is)
+		return err == nil && indep
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

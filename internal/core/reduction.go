@@ -1,0 +1,204 @@
+package core
+
+// reduction.go implements the proof of Theorem 1.1 as an executable
+// pipeline: conflict-free multicolouring via iterated approximate maximum
+// independent set. Phase i builds the conflict graph G_k of the residual
+// hypergraph H_i, asks a MaxIS oracle for an independent set I_i, colours
+// each vertex v with (v, ·, c) ∈ I_i using a fresh palette, and removes
+// the happy edges. With a λ-approximate oracle on instances admitting a CF
+// k-colouring, Lemma 2.1 gives |I_i| >= |E_i|/λ, hence
+// |E_{i+1}| <= (1 − 1/λ)|E_i| and termination within ρ = λ·ln m + 1
+// phases with k·ρ total colours.
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"pslocal/internal/cfcolor"
+	"pslocal/internal/hypergraph"
+	"pslocal/internal/maxis"
+)
+
+// Reduction errors.
+var (
+	// ErrNoOracle reports that Options specify no solving mode.
+	ErrNoOracle = errors.New("core: no oracle mode configured")
+	// ErrOracleNotIndependent reports an oracle that returned a
+	// non-independent set — a contract violation, surfaced rather than
+	// silently miscoloured.
+	ErrOracleNotIndependent = errors.New("core: oracle returned a non-independent set")
+	// ErrNoProgress reports a phase that made no edge happy, which a
+	// correct oracle can only cause on an empty conflict graph.
+	ErrNoProgress = errors.New("core: reduction phase made no progress")
+	// ErrPhaseBudget reports more phases than MaxPhases.
+	ErrPhaseBudget = errors.New("core: phase budget exhausted")
+)
+
+// Mode selects how each phase solves MaxIS on the conflict graph.
+type Mode int
+
+const (
+	// ModeOracle materialises G_k and runs Options.Oracle on it.
+	ModeOracle Mode = iota + 1
+	// ModeExactHinted materialises G_k and solves it exactly with the
+	// per-edge clique hint (λ = 1).
+	ModeExactHinted
+	// ModeImplicitFirstFit runs first-fit greedy on the implicit conflict
+	// graph without materialising it (the scalable mode).
+	ModeImplicitFirstFit
+)
+
+// Options configures Reduce.
+type Options struct {
+	// K is the per-phase palette size (the k of Theorem 1.2). Required.
+	K int
+	// Mode selects the solving strategy; ModeOracle requires Oracle.
+	Mode Mode
+	// Oracle is the λ-approximate MaxIS oracle for ModeOracle.
+	Oracle maxis.Oracle
+	// MaxPhases bounds the loop defensively; 0 means 4·m + 16.
+	MaxPhases int
+}
+
+// PhaseStat records one phase of the reduction, the raw material of
+// experiments E4/E5 and figure F1.
+type PhaseStat struct {
+	// Phase is 1-based.
+	Phase int
+	// EdgesBefore is |E_i|.
+	EdgesBefore int
+	// ConflictNodes is |V(G_k(H_i))|.
+	ConflictNodes int
+	// ConflictEdges is |E(G_k(H_i))|; -1 in implicit mode (not built).
+	ConflictEdges int
+	// ISSize is |I_i|.
+	ISSize int
+	// HappyRemoved is the number of edges removed after this phase; by
+	// Lemma 2.1(b) it is at least ISSize.
+	HappyRemoved int
+}
+
+// Result is the outcome of the reduction.
+type Result struct {
+	// Multicoloring is the conflict-free multicolouring of the input.
+	Multicoloring cfcolor.Multicoloring
+	// Phases records per-phase statistics.
+	Phases []PhaseStat
+	// TotalColors is K times the number of phases (distinct palettes).
+	TotalColors int
+	// K echoes the palette size.
+	K int
+}
+
+// PhaseBound returns the paper's phase bound ρ = λ·ln(m) + 1 (at least 1).
+func PhaseBound(lambda float64, m int) int {
+	if m <= 1 {
+		return 1
+	}
+	return int(math.Ceil(lambda*math.Log(float64(m)))) + 1
+}
+
+// Reduce runs the Theorem 1.1 reduction on h.
+func Reduce(h *hypergraph.Hypergraph, opts Options) (*Result, error) {
+	if opts.K < 1 {
+		return nil, fmt.Errorf("%w: %d", ErrBadK, opts.K)
+	}
+	if opts.Mode == ModeOracle && opts.Oracle == nil {
+		return nil, fmt.Errorf("%w: ModeOracle without Oracle", ErrNoOracle)
+	}
+	if opts.Mode < ModeOracle || opts.Mode > ModeImplicitFirstFit {
+		return nil, fmt.Errorf("%w: mode %d", ErrNoOracle, opts.Mode)
+	}
+	maxPhases := opts.MaxPhases
+	if maxPhases <= 0 {
+		maxPhases = 4*h.M() + 16
+	}
+
+	res := &Result{
+		Multicoloring: cfcolor.NewMulticoloring(h.N()),
+		K:             opts.K,
+	}
+	cur := h
+	for phase := 1; cur.M() > 0; phase++ {
+		if phase > maxPhases {
+			return nil, fmt.Errorf("%w: %d phases with %d edges left", ErrPhaseBudget, maxPhases, cur.M())
+		}
+		ix, err := NewIndex(cur, opts.K)
+		if err != nil {
+			return nil, err
+		}
+		stat := PhaseStat{
+			Phase:         phase,
+			EdgesBefore:   cur.M(),
+			ConflictNodes: ix.NumNodes(),
+			ConflictEdges: -1,
+		}
+		triples, conflictEdges, err := solvePhase(ix, opts)
+		if err != nil {
+			return nil, fmt.Errorf("core: phase %d: %w", phase, err)
+		}
+		stat.ConflictEdges = conflictEdges
+		stat.ISSize = len(triples)
+
+		f, err := ISToColoring(ix, triples)
+		if err != nil {
+			return nil, fmt.Errorf("core: phase %d: %w", phase, err)
+		}
+		unhappy := cfcolor.UnhappyEdges(cur, f)
+		stat.HappyRemoved = cur.M() - len(unhappy)
+		if stat.HappyRemoved < stat.ISSize {
+			// Lemma 2.1(b) guarantees >= |I| happy edges; anything less
+			// means the oracle or the mapping is broken.
+			return nil, fmt.Errorf("core: phase %d removed %d < |I| = %d edges, violating Lemma 2.1(b)",
+				phase, stat.HappyRemoved, stat.ISSize)
+		}
+		if stat.HappyRemoved == 0 {
+			return nil, fmt.Errorf("%w: phase %d", ErrNoProgress, phase)
+		}
+		// Commit the phase colouring with a fresh palette block.
+		offset := int32((phase - 1) * opts.K)
+		for v := int32(0); int(v) < cur.N(); v++ {
+			if f[v] != cfcolor.Uncolored {
+				res.Multicoloring.Add(v, f[v]+offset)
+			}
+		}
+		res.Phases = append(res.Phases, stat)
+		cur, err = cur.KeepEdges(unhappy)
+		if err != nil {
+			return nil, fmt.Errorf("core: phase %d residual: %w", phase, err)
+		}
+	}
+	res.TotalColors = opts.K * len(res.Phases)
+	return res, nil
+}
+
+// solvePhase produces the phase's independent set of triples and, when the
+// conflict graph was materialised, its edge count.
+func solvePhase(ix *Index, opts Options) ([]Triple, int, error) {
+	if opts.Mode == ModeImplicitFirstFit {
+		return FirstFitTriples(ix), -1, nil
+	}
+	g, err := Build(ix)
+	if err != nil {
+		return nil, 0, err
+	}
+	var ids []int32
+	switch opts.Mode {
+	case ModeExactHinted:
+		ids, err = maxis.ExactOpts(g, maxis.ExactOptions{CliqueHint: ix.EdgeCliqueHint()})
+	case ModeOracle:
+		ids, err = opts.Oracle.Solve(g)
+	}
+	if err != nil {
+		return nil, 0, err
+	}
+	if !maxis.IsIndependentSet(g, ids) {
+		return nil, 0, ErrOracleNotIndependent
+	}
+	triples, err := IDsToTriples(ix, ids)
+	if err != nil {
+		return nil, 0, err
+	}
+	return triples, g.M(), nil
+}

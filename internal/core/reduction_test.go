@@ -1,0 +1,239 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"pslocal/internal/cfcolor"
+	"pslocal/internal/graph"
+	"pslocal/internal/hypergraph"
+	"pslocal/internal/maxis"
+)
+
+func TestReduceExactSinglePhaseOnPlanted(t *testing.T) {
+	// With the exact oracle (λ = 1) and a CF-k-colourable instance,
+	// α(G_k) = |E| (Lemma 2.1a), so one phase colours everything:
+	// ρ = 1·ln(m)+1 collapses because every edge turns happy at once.
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 5; trial++ {
+		k := 2 + rng.Intn(2)
+		h, _, err := hypergraph.PlantedCF(14+rng.Intn(6), 6+rng.Intn(5), k, 2, 4, rng)
+		if err != nil {
+			t.Fatalf("PlantedCF error: %v", err)
+		}
+		res, err := Reduce(h, Options{K: k, Mode: ModeExactHinted})
+		if err != nil {
+			t.Fatalf("Reduce error: %v", err)
+		}
+		if len(res.Phases) != 1 {
+			t.Errorf("trial %d: %d phases with exact oracle, want 1", trial, len(res.Phases))
+		}
+		if res.Phases[0].ISSize != h.M() {
+			t.Errorf("trial %d: phase IS size %d, want m = %d", trial, res.Phases[0].ISSize, h.M())
+		}
+		if !cfcolor.IsConflictFreeMulti(h, res.Multicoloring) {
+			t.Errorf("trial %d: result not conflict-free", trial)
+		}
+		if res.TotalColors != k {
+			t.Errorf("trial %d: total colours %d, want k = %d", trial, res.TotalColors, k)
+		}
+	}
+}
+
+func TestReduceAllModesProduceConflictFreeMulticolorings(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	oracles := []Options{
+		{Mode: ModeExactHinted},
+		{Mode: ModeImplicitFirstFit},
+		{Mode: ModeOracle, Oracle: maxis.MinDegreeOracle{}},
+		{Mode: ModeOracle, Oracle: &maxis.RandomOrderOracle{Seed: 5}},
+		{Mode: ModeOracle, Oracle: maxis.CliqueRemovalOracle{}},
+	}
+	for trial := 0; trial < 4; trial++ {
+		k := 2 + rng.Intn(2)
+		h, _, err := hypergraph.PlantedCF(15, 8, k, 2, 4, rng)
+		if err != nil {
+			t.Fatalf("PlantedCF error: %v", err)
+		}
+		for _, base := range oracles {
+			opts := base
+			opts.K = k
+			res, err := Reduce(h, opts)
+			if err != nil {
+				t.Fatalf("trial %d mode %d: %v", trial, opts.Mode, err)
+			}
+			if err := res.Multicoloring.Validate(h); err != nil {
+				t.Fatalf("trial %d mode %d: invalid multicolouring: %v", trial, opts.Mode, err)
+			}
+			if !cfcolor.IsConflictFreeMulti(h, res.Multicoloring) {
+				t.Errorf("trial %d mode %d: not conflict-free", trial, opts.Mode)
+			}
+			if res.TotalColors != k*len(res.Phases) {
+				t.Errorf("trial %d mode %d: colours %d != k·phases %d",
+					trial, opts.Mode, res.TotalColors, k*len(res.Phases))
+			}
+			if res.Multicoloring.NumDistinctColors() > res.TotalColors {
+				t.Errorf("trial %d mode %d: more distinct colours than budget", trial, opts.Mode)
+			}
+		}
+	}
+}
+
+func TestReducePhaseInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	h, _, err := hypergraph.PlantedCF(25, 18, 3, 3, 5, rng)
+	if err != nil {
+		t.Fatalf("PlantedCF error: %v", err)
+	}
+	res, err := Reduce(h, Options{K: 3, Mode: ModeImplicitFirstFit})
+	if err != nil {
+		t.Fatalf("Reduce error: %v", err)
+	}
+	edges := h.M()
+	for i, ph := range res.Phases {
+		if ph.Phase != i+1 {
+			t.Errorf("phase numbering %d, want %d", ph.Phase, i+1)
+		}
+		if ph.EdgesBefore != edges {
+			t.Errorf("phase %d: EdgesBefore %d, want %d", ph.Phase, ph.EdgesBefore, edges)
+		}
+		if ph.HappyRemoved < ph.ISSize {
+			t.Errorf("phase %d: removed %d < |I| = %d (Lemma 2.1b)", ph.Phase, ph.HappyRemoved, ph.ISSize)
+		}
+		if ph.ISSize < 1 {
+			t.Errorf("phase %d: empty independent set", ph.Phase)
+		}
+		// Conflict nodes = k·Σ|e| over residual edges; with edge sizes in
+		// [3,5] and k=3 that is between 9·E and 15·E.
+		if ph.ConflictNodes < 9*ph.EdgesBefore || ph.ConflictNodes > 15*ph.EdgesBefore {
+			t.Errorf("phase %d: conflict nodes %d outside [9E,15E] for E=%d",
+				ph.Phase, ph.ConflictNodes, ph.EdgesBefore)
+		}
+		edges -= ph.HappyRemoved
+	}
+	if edges != 0 {
+		t.Errorf("phases end with %d edges, want 0", edges)
+	}
+}
+
+func TestReduceGreedyPhaseBoundLooseEnvelope(t *testing.T) {
+	// The paper's bound with a λ-approximate oracle is λ·ln(m)+1 phases.
+	// First-fit greedy has no a-priori λ, but on planted instances its
+	// empirical phase count should stay within the generous envelope
+	// K·ln(m)+O(1) phases — and must never exceed m (one edge per phase).
+	rng := rand.New(rand.NewSource(4))
+	h, _, err := hypergraph.PlantedCF(30, 22, 3, 3, 5, rng)
+	if err != nil {
+		t.Fatalf("PlantedCF error: %v", err)
+	}
+	res, err := Reduce(h, Options{K: 3, Mode: ModeImplicitFirstFit})
+	if err != nil {
+		t.Fatalf("Reduce error: %v", err)
+	}
+	if len(res.Phases) > h.M() {
+		t.Errorf("%d phases exceed m = %d", len(res.Phases), h.M())
+	}
+	loose := int(10*math.Log(float64(h.M()))) + 5
+	if len(res.Phases) > loose {
+		t.Errorf("%d phases exceed loose envelope %d", len(res.Phases), loose)
+	}
+}
+
+func TestReduceUniformNonPlanted(t *testing.T) {
+	// Uniform random hypergraphs need not be CF k-colourable for small k;
+	// the reduction still terminates (any non-empty conflict graph has a
+	// non-empty independent set) and outputs a valid CF multicolouring.
+	rng := rand.New(rand.NewSource(5))
+	h, err := hypergraph.Uniform(20, 12, 4, rng)
+	if err != nil {
+		t.Fatalf("Uniform error: %v", err)
+	}
+	res, err := Reduce(h, Options{K: 2, Mode: ModeImplicitFirstFit})
+	if err != nil {
+		t.Fatalf("Reduce error: %v", err)
+	}
+	if !cfcolor.IsConflictFreeMulti(h, res.Multicoloring) {
+		t.Error("result not conflict-free")
+	}
+}
+
+func TestReduceSingletonEdges(t *testing.T) {
+	h := hypergraph.MustNew(2, [][]int32{{0}, {0}, {1}})
+	res, err := Reduce(h, Options{K: 1, Mode: ModeExactHinted})
+	if err != nil {
+		t.Fatalf("Reduce error: %v", err)
+	}
+	if len(res.Phases) != 1 {
+		t.Errorf("%d phases, want 1 (singletons are happy once coloured)", len(res.Phases))
+	}
+	if !cfcolor.IsConflictFreeMulti(h, res.Multicoloring) {
+		t.Error("result not conflict-free")
+	}
+}
+
+func TestReduceEmptyHypergraph(t *testing.T) {
+	h := hypergraph.MustNew(5, nil)
+	res, err := Reduce(h, Options{K: 2, Mode: ModeExactHinted})
+	if err != nil {
+		t.Fatalf("Reduce error: %v", err)
+	}
+	if len(res.Phases) != 0 || res.TotalColors != 0 {
+		t.Errorf("empty hypergraph: %d phases, %d colours", len(res.Phases), res.TotalColors)
+	}
+}
+
+func TestReduceOptionErrors(t *testing.T) {
+	h := hypergraph.MustNew(2, [][]int32{{0, 1}})
+	if _, err := Reduce(h, Options{K: 0, Mode: ModeExactHinted}); !errors.Is(err, ErrBadK) {
+		t.Errorf("K=0 error = %v, want ErrBadK", err)
+	}
+	if _, err := Reduce(h, Options{K: 2, Mode: ModeOracle}); !errors.Is(err, ErrNoOracle) {
+		t.Errorf("no oracle error = %v, want ErrNoOracle", err)
+	}
+	if _, err := Reduce(h, Options{K: 2, Mode: 0}); !errors.Is(err, ErrNoOracle) {
+		t.Errorf("bad mode error = %v, want ErrNoOracle", err)
+	}
+}
+
+// emptyOracle always returns the empty set, violating progress.
+type emptyOracle struct{}
+
+func (emptyOracle) Name() string                        { return "empty" }
+func (emptyOracle) Solve(*graph.Graph) ([]int32, error) { return nil, nil }
+
+// brokenOracle returns a dependent set.
+type brokenOracle struct{}
+
+func (brokenOracle) Name() string { return "broken" }
+func (brokenOracle) Solve(g *graph.Graph) ([]int32, error) {
+	var out []int32
+	for v := 0; v < g.N() && v < 4; v++ {
+		out = append(out, int32(v))
+	}
+	return out, nil
+}
+
+func TestReduceBrokenOracles(t *testing.T) {
+	h := hypergraph.MustNew(3, [][]int32{{0, 1}, {1, 2}})
+	if _, err := Reduce(h, Options{K: 2, Mode: ModeOracle, Oracle: emptyOracle{}}); !errors.Is(err, ErrNoProgress) {
+		t.Errorf("empty oracle error = %v, want ErrNoProgress", err)
+	}
+	if _, err := Reduce(h, Options{K: 2, Mode: ModeOracle, Oracle: brokenOracle{}}); !errors.Is(err, ErrOracleNotIndependent) {
+		t.Errorf("broken oracle error = %v, want ErrOracleNotIndependent", err)
+	}
+}
+
+func TestPhaseBound(t *testing.T) {
+	if got := PhaseBound(1, 1); got != 1 {
+		t.Errorf("PhaseBound(1,1) = %d, want 1", got)
+	}
+	// λ=1, m=e^2 ≈ 7.39 → ceil(2)+1 = 3.
+	if got := PhaseBound(1, 8); got != 4 {
+		t.Errorf("PhaseBound(1,8) = %d, want 4", got)
+	}
+	if got := PhaseBound(2, 100); got != int(math.Ceil(2*math.Log(100)))+1 {
+		t.Errorf("PhaseBound(2,100) = %d", got)
+	}
+}

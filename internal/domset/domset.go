@@ -1,0 +1,285 @@
+// Package domset implements minimum dominating set and minimum set cover
+// approximation — together with network decomposition and local
+// splittings, the problems the paper lists as P-SLOCAL-complete
+// ("approximations of dominating set and distributed set cover [GHK18]").
+// The greedy algorithm attains the classic H_Δ ≈ ln Δ approximation
+// guarantee; an exact branch-and-bound solver over small instances lets
+// the experiment suite measure true ratios.
+package domset
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"pslocal/internal/graph"
+)
+
+// Errors returned by the solvers and verifiers.
+var (
+	// ErrNotCover reports a set family that misses universe elements.
+	ErrNotCover = errors.New("domset: sets do not cover the universe")
+	// ErrNotDominating reports a vertex set leaving some node undominated.
+	ErrNotDominating = errors.New("domset: set is not dominating")
+	// ErrBadInstance reports malformed set-cover input.
+	ErrBadInstance = errors.New("domset: malformed instance")
+	// ErrTooLarge reports an exact-solver request beyond the guard.
+	ErrTooLarge = errors.New("domset: instance too large for exact solving")
+)
+
+// Instance is a set-cover instance: a universe 0..N-1 and a family of
+// subsets.
+type Instance struct {
+	// N is the universe size.
+	N int
+	// Sets is the family; each set lists universe elements.
+	Sets [][]int32
+}
+
+// Validate checks element ranges.
+func (in *Instance) Validate() error {
+	if in.N < 0 {
+		return fmt.Errorf("%w: negative universe", ErrBadInstance)
+	}
+	for i, s := range in.Sets {
+		for _, e := range s {
+			if e < 0 || int(e) >= in.N {
+				return fmt.Errorf("%w: set %d contains %d outside [0,%d)", ErrBadInstance, i, e, in.N)
+			}
+		}
+	}
+	return nil
+}
+
+// Coverable reports whether the union of all sets is the universe.
+func (in *Instance) Coverable() bool {
+	covered := make([]bool, in.N)
+	count := 0
+	for _, s := range in.Sets {
+		for _, e := range s {
+			if !covered[e] {
+				covered[e] = true
+				count++
+			}
+		}
+	}
+	return count == in.N
+}
+
+// GreedySetCover repeatedly picks the set covering the most uncovered
+// elements (ties to the lower index) and returns the chosen set indices.
+// The classic guarantee is |greedy| <= H_s·opt with s the largest set
+// size.
+func GreedySetCover(in *Instance) ([]int32, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	covered := make([]bool, in.N)
+	remaining := in.N
+	var out []int32
+	for remaining > 0 {
+		best, bestGain := -1, 0
+		for i, s := range in.Sets {
+			gain := 0
+			for _, e := range s {
+				if !covered[e] {
+					gain++
+				}
+			}
+			if gain > bestGain {
+				best, bestGain = i, gain
+			}
+		}
+		if best < 0 {
+			return nil, fmt.Errorf("%w: %d elements uncoverable", ErrNotCover, remaining)
+		}
+		out = append(out, int32(best))
+		for _, e := range in.Sets[best] {
+			if !covered[e] {
+				covered[e] = true
+				remaining--
+			}
+		}
+	}
+	return out, nil
+}
+
+// VerifyCover checks that the chosen sets cover the universe.
+func VerifyCover(in *Instance, chosen []int32) error {
+	if err := in.Validate(); err != nil {
+		return err
+	}
+	covered := make([]bool, in.N)
+	for _, i := range chosen {
+		if i < 0 || int(i) >= len(in.Sets) {
+			return fmt.Errorf("%w: set index %d out of range", ErrBadInstance, i)
+		}
+		for _, e := range in.Sets[i] {
+			covered[e] = true
+		}
+	}
+	for e, ok := range covered {
+		if !ok {
+			return fmt.Errorf("%w: element %d uncovered", ErrNotCover, e)
+		}
+	}
+	return nil
+}
+
+// ExactSetCover finds a minimum cover by branch and bound; guarded to
+// at most 30 sets.
+func ExactSetCover(in *Instance) ([]int32, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	if len(in.Sets) > 30 {
+		return nil, fmt.Errorf("%w: %d sets", ErrTooLarge, len(in.Sets))
+	}
+	if in.N > 64 {
+		return nil, fmt.Errorf("%w: universe %d > 64", ErrTooLarge, in.N)
+	}
+	if !in.Coverable() {
+		return nil, ErrNotCover
+	}
+	masks := make([]uint64, len(in.Sets))
+	for i, s := range in.Sets {
+		for _, e := range s {
+			masks[i] |= 1 << uint(e)
+		}
+	}
+	full := uint64(0)
+	if in.N == 64 {
+		full = ^uint64(0)
+	} else {
+		full = (1 << uint(in.N)) - 1
+	}
+	// Order sets by size descending for earlier strong covers.
+	order := make([]int, len(in.Sets))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		return popcount(masks[order[a]]) > popcount(masks[order[b]])
+	})
+	best := make([]int32, 0, len(in.Sets))
+	for _, i := range order {
+		best = append(best, int32(i)) // all sets (in order) trivially cover
+	}
+	var cur []int32
+	var rec func(covered uint64, idx int)
+	rec = func(covered uint64, idx int) {
+		if covered == full {
+			if len(cur) < len(best) {
+				best = append(best[:0], cur...)
+			}
+			return
+		}
+		if len(cur)+1 >= len(best) || idx == len(order) {
+			return
+		}
+		// Bound: the largest remaining set covers at most maxGain new
+		// elements per pick.
+		uncovered := popcount(full &^ covered)
+		maxGain := 0
+		for _, i := range order[idx:] {
+			if g := popcount(masks[i] &^ covered); g > maxGain {
+				maxGain = g
+			}
+		}
+		if maxGain == 0 {
+			return
+		}
+		need := (uncovered + maxGain - 1) / maxGain
+		if len(cur)+need >= len(best) {
+			return
+		}
+		// Branch on the first element still uncovered: one of the sets
+		// containing it must be picked.
+		e := firstZero(covered, full)
+		for _, i := range order[idx:] {
+			if masks[i]&(1<<uint(e)) == 0 {
+				continue
+			}
+			cur = append(cur, int32(i))
+			rec(covered|masks[i], idx)
+			cur = cur[:len(cur)-1]
+		}
+	}
+	rec(0, 0)
+	sort.Slice(best, func(a, b int) bool { return best[a] < best[b] })
+	return best, nil
+}
+
+func popcount(v uint64) int {
+	c := 0
+	for ; v != 0; v &= v - 1 {
+		c++
+	}
+	return c
+}
+
+func firstZero(covered, full uint64) int {
+	missing := full &^ covered
+	i := 0
+	for missing&1 == 0 {
+		missing >>= 1
+		i++
+	}
+	return i
+}
+
+// DominationInstance builds the set-cover view of dominating set: element
+// v is covered by the sets of its closed neighbourhood.
+func DominationInstance(g *graph.Graph) *Instance {
+	in := &Instance{N: g.N(), Sets: make([][]int32, g.N())}
+	for v := int32(0); int(v) < g.N(); v++ {
+		s := append(g.Neighbors(v), v)
+		sort.Slice(s, func(a, b int) bool { return s[a] < s[b] })
+		in.Sets[v] = s
+	}
+	return in
+}
+
+// GreedyDominatingSet runs greedy set cover on the domination instance;
+// the guarantee is |DS| <= (ln(Δ+1)+1)·γ(G).
+func GreedyDominatingSet(g *graph.Graph) ([]int32, error) {
+	return GreedySetCover(DominationInstance(g))
+}
+
+// VerifyDominating checks that every node is in the closed neighbourhood
+// of the set.
+func VerifyDominating(g *graph.Graph, set []int32) error {
+	dominated := make([]bool, g.N())
+	for _, v := range set {
+		if v < 0 || int(v) >= g.N() {
+			return fmt.Errorf("%w: node %d out of range", ErrBadInstance, v)
+		}
+		dominated[v] = true
+		g.ForEachNeighbor(v, func(u int32) bool {
+			dominated[u] = true
+			return true
+		})
+	}
+	for v, ok := range dominated {
+		if !ok {
+			return fmt.Errorf("%w: node %d", ErrNotDominating, v)
+		}
+	}
+	return nil
+}
+
+// HarmonicBound returns H_s = 1 + 1/2 + ... + 1/s, the greedy set-cover
+// guarantee for maximum set size s.
+func HarmonicBound(s int) float64 {
+	total := 0.0
+	for i := 1; i <= s; i++ {
+		total += 1 / float64(i)
+	}
+	return total
+}
+
+// LnBound returns ln(Δ+1)+1, the dominating-set form of the guarantee.
+func LnBound(maxDegree int) float64 {
+	return math.Log(float64(maxDegree+1)) + 1
+}

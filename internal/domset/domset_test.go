@@ -1,0 +1,206 @@
+package domset
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"pslocal/internal/graph"
+)
+
+func TestGreedySetCoverBasic(t *testing.T) {
+	in := &Instance{N: 5, Sets: [][]int32{{0, 1}, {2, 3}, {4}, {0, 1, 2, 3}}}
+	chosen, err := GreedySetCover(in)
+	if err != nil {
+		t.Fatalf("GreedySetCover error: %v", err)
+	}
+	if err := VerifyCover(in, chosen); err != nil {
+		t.Fatalf("cover invalid: %v", err)
+	}
+	if len(chosen) != 2 { // {0,1,2,3} then {4}
+		t.Errorf("greedy picked %d sets (%v), want 2", len(chosen), chosen)
+	}
+}
+
+func TestGreedySetCoverUncoverable(t *testing.T) {
+	in := &Instance{N: 3, Sets: [][]int32{{0, 1}}}
+	if _, err := GreedySetCover(in); !errors.Is(err, ErrNotCover) {
+		t.Errorf("error = %v, want ErrNotCover", err)
+	}
+}
+
+func TestInstanceValidate(t *testing.T) {
+	bad := &Instance{N: 2, Sets: [][]int32{{5}}}
+	if err := bad.Validate(); !errors.Is(err, ErrBadInstance) {
+		t.Errorf("error = %v, want ErrBadInstance", err)
+	}
+	if err := (&Instance{N: -1}).Validate(); !errors.Is(err, ErrBadInstance) {
+		t.Errorf("negative universe error = %v", err)
+	}
+}
+
+func TestVerifyCoverErrors(t *testing.T) {
+	in := &Instance{N: 2, Sets: [][]int32{{0}, {1}}}
+	if err := VerifyCover(in, []int32{0}); !errors.Is(err, ErrNotCover) {
+		t.Errorf("partial cover accepted: %v", err)
+	}
+	if err := VerifyCover(in, []int32{7}); !errors.Is(err, ErrBadInstance) {
+		t.Errorf("bad index accepted: %v", err)
+	}
+	if err := VerifyCover(in, []int32{0, 1}); err != nil {
+		t.Errorf("valid cover rejected: %v", err)
+	}
+}
+
+func TestExactSetCoverKnown(t *testing.T) {
+	tests := []struct {
+		name string
+		in   *Instance
+		want int
+	}{
+		{"single set", &Instance{N: 3, Sets: [][]int32{{0, 1, 2}}}, 1},
+		{"two halves", &Instance{N: 4, Sets: [][]int32{{0, 1}, {2, 3}, {0}, {1}, {2}}}, 2},
+		{"greedy trap", &Instance{
+			// Classic: greedy takes the big set then two more; optimum is 2.
+			N:    6,
+			Sets: [][]int32{{0, 1, 2, 3}, {0, 1, 4}, {2, 3, 5}, {4}, {5}},
+		}, 2},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			chosen, err := ExactSetCover(tt.in)
+			if err != nil {
+				t.Fatalf("ExactSetCover error: %v", err)
+			}
+			if err := VerifyCover(tt.in, chosen); err != nil {
+				t.Fatalf("cover invalid: %v", err)
+			}
+			if len(chosen) != tt.want {
+				t.Errorf("optimum = %d (%v), want %d", len(chosen), chosen, tt.want)
+			}
+		})
+	}
+}
+
+func TestExactSetCoverGuards(t *testing.T) {
+	big := &Instance{N: 70, Sets: [][]int32{{0}}}
+	if _, err := ExactSetCover(big); !errors.Is(err, ErrTooLarge) {
+		t.Errorf("universe guard: %v", err)
+	}
+	sets := make([][]int32, 31)
+	for i := range sets {
+		sets[i] = []int32{0}
+	}
+	if _, err := ExactSetCover(&Instance{N: 1, Sets: sets}); !errors.Is(err, ErrTooLarge) {
+		t.Errorf("set-count guard: %v", err)
+	}
+	if _, err := ExactSetCover(&Instance{N: 2, Sets: [][]int32{{0}}}); !errors.Is(err, ErrNotCover) {
+		t.Errorf("uncoverable: %v", err)
+	}
+}
+
+// TestGreedyWithinHarmonicOfExact is the H_s guarantee, property-tested
+// on random instances.
+func TestGreedyWithinHarmonicOfExact(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(10)
+		nSets := 3 + rng.Intn(10)
+		in := &Instance{N: n, Sets: make([][]int32, nSets)}
+		maxSize := 0
+		for i := range in.Sets {
+			size := 1 + rng.Intn(n)
+			if size > maxSize {
+				maxSize = size
+			}
+			perm := rng.Perm(n)
+			s := make([]int32, size)
+			for j := 0; j < size; j++ {
+				s[j] = int32(perm[j])
+			}
+			in.Sets[i] = s
+		}
+		if !in.Coverable() {
+			return true // vacuous
+		}
+		greedy, err := GreedySetCover(in)
+		if err != nil {
+			return false
+		}
+		exact, err := ExactSetCover(in)
+		if err != nil {
+			return false
+		}
+		return float64(len(greedy)) <= HarmonicBound(maxSize)*float64(len(exact))+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGreedyDominatingSet(t *testing.T) {
+	tests := []struct {
+		name string
+		g    *graph.Graph
+		max  int // acceptable upper bound on greedy size
+	}{
+		{"star is centre", graph.Star(9), 1},
+		{"complete", graph.Complete(7), 1},
+		{"path9 needs 3", graph.Path(9), 3},
+		{"cycle9 needs 3", graph.Cycle(9), 3},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			ds, err := GreedyDominatingSet(tt.g)
+			if err != nil {
+				t.Fatalf("GreedyDominatingSet error: %v", err)
+			}
+			if err := VerifyDominating(tt.g, ds); err != nil {
+				t.Fatalf("not dominating: %v", err)
+			}
+			if len(ds) > tt.max {
+				t.Errorf("greedy size %d > %d", len(ds), tt.max)
+			}
+		})
+	}
+}
+
+func TestGreedyDominatingSetOnRandomGraphs(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 10; trial++ {
+		g := graph.GnP(5+rng.Intn(40), 0.1+rng.Float64()*0.3, rng)
+		ds, err := GreedyDominatingSet(g)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if err := VerifyDominating(g, ds); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+	}
+}
+
+func TestVerifyDominatingErrors(t *testing.T) {
+	g := graph.Path(4)
+	if err := VerifyDominating(g, []int32{0}); !errors.Is(err, ErrNotDominating) {
+		t.Errorf("undominated accepted: %v", err)
+	}
+	if err := VerifyDominating(g, []int32{9}); !errors.Is(err, ErrBadInstance) {
+		t.Errorf("bad node accepted: %v", err)
+	}
+	if err := VerifyDominating(g, []int32{1, 3}); err != nil {
+		t.Errorf("valid dominating set rejected: %v", err)
+	}
+}
+
+func TestBounds(t *testing.T) {
+	if h := HarmonicBound(1); h != 1 {
+		t.Errorf("H_1 = %v, want 1", h)
+	}
+	if h := HarmonicBound(4); h < 2.08 || h > 2.09 {
+		t.Errorf("H_4 = %v, want ~2.083", h)
+	}
+	if b := LnBound(0); b != 1 {
+		t.Errorf("LnBound(0) = %v, want 1", b)
+	}
+}

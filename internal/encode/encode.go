@@ -1,0 +1,182 @@
+// Package encode reads and writes the plain-text instance formats used by
+// the command-line tools:
+//
+//	graph <n> <m>          hypergraph <n> <m>
+//	u v                    v1 v2 v3 ...
+//	...                    ...
+//
+// One edge per line; '#' starts a comment; blank lines are skipped.
+// Multicolourings are written as "v: c1 c2 ..." lines for human review.
+package encode
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"pslocal/internal/cfcolor"
+	"pslocal/internal/graph"
+	"pslocal/internal/hypergraph"
+)
+
+// ErrFormat reports malformed input.
+var ErrFormat = errors.New("encode: malformed input")
+
+// WriteGraph writes g in the text format.
+func WriteGraph(w io.Writer, g *graph.Graph) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "graph %d %d\n", g.N(), g.M())
+	var err error
+	g.ForEachEdge(func(u, v int32) bool {
+		_, err = fmt.Fprintf(bw, "%d %d\n", u, v)
+		return err == nil
+	})
+	if err != nil {
+		return fmt.Errorf("encode: writing graph: %w", err)
+	}
+	return bw.Flush()
+}
+
+// ReadGraph parses the text format into a graph.
+func ReadGraph(r io.Reader) (*graph.Graph, error) {
+	sc, header, err := readHeader(r, "graph")
+	if err != nil {
+		return nil, err
+	}
+	n, m := header[0], header[1]
+	b := graph.NewBuilder(n)
+	edges := 0
+	for sc.Scan() {
+		fields, skip := splitLine(sc.Text())
+		if skip {
+			continue
+		}
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("%w: edge line %q", ErrFormat, sc.Text())
+		}
+		u, err1 := parseNode(fields[0])
+		v, err2 := parseNode(fields[1])
+		if err1 != nil || err2 != nil {
+			return nil, fmt.Errorf("%w: edge line %q", ErrFormat, sc.Text())
+		}
+		b.AddEdge(u, v)
+		edges++
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("encode: reading graph: %w", err)
+	}
+	if edges != m {
+		return nil, fmt.Errorf("%w: header promises %d edges, found %d", ErrFormat, m, edges)
+	}
+	return b.Build()
+}
+
+// WriteHypergraph writes h in the text format.
+func WriteHypergraph(w io.Writer, h *hypergraph.Hypergraph) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "hypergraph %d %d\n", h.N(), h.M())
+	for j := 0; j < h.M(); j++ {
+		parts := make([]string, 0, h.EdgeSize(j))
+		h.ForEachEdgeVertex(j, func(v int32) bool {
+			parts = append(parts, strconv.Itoa(int(v)))
+			return true
+		})
+		if _, err := fmt.Fprintln(bw, strings.Join(parts, " ")); err != nil {
+			return fmt.Errorf("encode: writing hypergraph: %w", err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadHypergraph parses the text format into a hypergraph.
+func ReadHypergraph(r io.Reader) (*hypergraph.Hypergraph, error) {
+	sc, header, err := readHeader(r, "hypergraph")
+	if err != nil {
+		return nil, err
+	}
+	n, m := header[0], header[1]
+	var edges [][]int32
+	for sc.Scan() {
+		fields, skip := splitLine(sc.Text())
+		if skip {
+			continue
+		}
+		edge := make([]int32, 0, len(fields))
+		for _, f := range fields {
+			v, err := parseNode(f)
+			if err != nil {
+				return nil, fmt.Errorf("%w: edge line %q", ErrFormat, sc.Text())
+			}
+			edge = append(edge, v)
+		}
+		edges = append(edges, edge)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("encode: reading hypergraph: %w", err)
+	}
+	if len(edges) != m {
+		return nil, fmt.Errorf("%w: header promises %d edges, found %d", ErrFormat, m, len(edges))
+	}
+	return hypergraph.New(n, edges)
+}
+
+// WriteMulticoloring writes mc as "v: c1 c2 ..." lines (uncoloured
+// vertices are written with an empty colour list).
+func WriteMulticoloring(w io.Writer, mc cfcolor.Multicoloring) error {
+	bw := bufio.NewWriter(w)
+	for v, cols := range mc {
+		parts := make([]string, len(cols))
+		for i, c := range cols {
+			parts[i] = strconv.Itoa(int(c))
+		}
+		if _, err := fmt.Fprintf(bw, "%d: %s\n", v, strings.Join(parts, " ")); err != nil {
+			return fmt.Errorf("encode: writing multicolouring: %w", err)
+		}
+	}
+	return bw.Flush()
+}
+
+// readHeader validates the "<kind> <n> <m>" first line.
+func readHeader(r io.Reader, kind string) (*bufio.Scanner, [2]int, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	for sc.Scan() {
+		fields, skip := splitLine(sc.Text())
+		if skip {
+			continue
+		}
+		if len(fields) != 3 || fields[0] != kind {
+			return nil, [2]int{}, fmt.Errorf("%w: header %q, want %q n m", ErrFormat, sc.Text(), kind)
+		}
+		n, err1 := strconv.Atoi(fields[1])
+		m, err2 := strconv.Atoi(fields[2])
+		if err1 != nil || err2 != nil || n < 0 || m < 0 {
+			return nil, [2]int{}, fmt.Errorf("%w: header %q", ErrFormat, sc.Text())
+		}
+		return sc, [2]int{n, m}, nil
+	}
+	if err := sc.Err(); err != nil {
+		return nil, [2]int{}, fmt.Errorf("encode: reading header: %w", err)
+	}
+	return nil, [2]int{}, fmt.Errorf("%w: empty input", ErrFormat)
+}
+
+// splitLine tokenises a line; skip is true for blanks and comments.
+func splitLine(line string) (fields []string, skip bool) {
+	if i := strings.IndexByte(line, '#'); i >= 0 {
+		line = line[:i]
+	}
+	fields = strings.Fields(line)
+	return fields, len(fields) == 0
+}
+
+func parseNode(s string) (int32, error) {
+	v, err := strconv.ParseInt(s, 10, 32)
+	if err != nil {
+		return 0, err
+	}
+	return int32(v), nil
+}

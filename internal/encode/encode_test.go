@@ -1,0 +1,144 @@
+package encode
+
+import (
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"pslocal/internal/cfcolor"
+	"pslocal/internal/graph"
+	"pslocal/internal/hypergraph"
+)
+
+func TestGraphRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 10; trial++ {
+		g := graph.GnP(1+rng.Intn(30), rng.Float64()*0.5, rng)
+		var sb strings.Builder
+		if err := WriteGraph(&sb, g); err != nil {
+			t.Fatalf("WriteGraph error: %v", err)
+		}
+		back, err := ReadGraph(strings.NewReader(sb.String()))
+		if err != nil {
+			t.Fatalf("ReadGraph error: %v\ninput:\n%s", err, sb.String())
+		}
+		if back.N() != g.N() || back.M() != g.M() {
+			t.Fatalf("round trip n=%d m=%d, want n=%d m=%d", back.N(), back.M(), g.N(), g.M())
+		}
+		g.ForEachEdge(func(u, v int32) bool {
+			if !back.HasEdge(u, v) {
+				t.Errorf("edge (%d,%d) lost", u, v)
+				return false
+			}
+			return true
+		})
+	}
+}
+
+func TestHypergraphRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 10; trial++ {
+		h, err := hypergraph.Uniform(5+rng.Intn(20), rng.Intn(15), 3, rng)
+		if err != nil {
+			t.Fatalf("Uniform error: %v", err)
+		}
+		var sb strings.Builder
+		if err := WriteHypergraph(&sb, h); err != nil {
+			t.Fatalf("WriteHypergraph error: %v", err)
+		}
+		back, err := ReadHypergraph(strings.NewReader(sb.String()))
+		if err != nil {
+			t.Fatalf("ReadHypergraph error: %v", err)
+		}
+		if back.N() != h.N() || back.M() != h.M() {
+			t.Fatalf("round trip n=%d m=%d, want n=%d m=%d", back.N(), back.M(), h.N(), h.M())
+		}
+		for j := 0; j < h.M(); j++ {
+			a, b := h.Edge(j), back.Edge(j)
+			if len(a) != len(b) {
+				t.Fatalf("edge %d sizes differ", j)
+			}
+			for i := range a {
+				if a[i] != b[i] {
+					t.Fatalf("edge %d differs: %v vs %v", j, a, b)
+				}
+			}
+		}
+	}
+}
+
+func TestCommentsAndBlankLines(t *testing.T) {
+	input := `
+# a comment
+graph 3 2
+
+0 1   # trailing comment
+1 2
+`
+	g, err := ReadGraph(strings.NewReader(input))
+	if err != nil {
+		t.Fatalf("ReadGraph error: %v", err)
+	}
+	if g.N() != 3 || g.M() != 2 {
+		t.Errorf("n=%d m=%d, want 3, 2", g.N(), g.M())
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	tests := []struct {
+		name  string
+		input string
+	}{
+		{"empty", ""},
+		{"wrong kind", "hypergraph 2 0"},
+		{"bad header counts", "graph x y"},
+		{"negative n", "graph -1 0"},
+		{"edge arity", "graph 3 1\n0 1 2"},
+		{"edge not number", "graph 3 1\na b"},
+		{"edge count mismatch", "graph 3 2\n0 1"},
+		{"self loop surfaces", "graph 3 1\n1 1"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := ReadGraph(strings.NewReader(tt.input)); err == nil {
+				t.Errorf("input %q accepted", tt.input)
+			}
+		})
+	}
+	if _, err := ReadGraph(strings.NewReader("graph x y")); !errors.Is(err, ErrFormat) {
+		t.Error("format errors should wrap ErrFormat")
+	}
+}
+
+func TestReadHypergraphErrors(t *testing.T) {
+	tests := []string{
+		"",
+		"graph 2 0",
+		"hypergraph 3 1\n0 x",
+		"hypergraph 3 2\n0 1",
+		"hypergraph 3 1\n0 5", // out of range surfaces from hypergraph.New
+	}
+	for _, input := range tests {
+		if _, err := ReadHypergraph(strings.NewReader(input)); err == nil {
+			t.Errorf("input %q accepted", input)
+		}
+	}
+}
+
+func TestWriteMulticoloring(t *testing.T) {
+	mc := cfcolor.NewMulticoloring(3)
+	mc.Add(0, 2)
+	mc.Add(0, 5)
+	mc.Add(2, 1)
+	var sb strings.Builder
+	if err := WriteMulticoloring(&sb, mc); err != nil {
+		t.Fatalf("WriteMulticoloring error: %v", err)
+	}
+	out := sb.String()
+	for _, want := range []string{"0: 2 5", "1: ", "2: 1"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}

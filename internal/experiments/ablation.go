@@ -1,0 +1,162 @@
+package experiments
+
+// ablation.go measures the design choices DESIGN.md Section 5 calls out:
+// implicit vs explicit conflict-graph solving, the clique-partition bound,
+// and processing-order sensitivity of the first-fit reduction.
+
+import (
+	"fmt"
+	"math/rand"
+
+	"pslocal/internal/core"
+	"pslocal/internal/hypergraph"
+	"pslocal/internal/maxis"
+)
+
+// A1ImplicitVsExplicit checks that the implicit first-fit reduction and
+// the explicit-graph first-fit reduction produce identical phase
+// structures (they run the same greedy; the modes differ only in where
+// adjacency comes from).
+func A1ImplicitVsExplicit(cfg Config) (*Table, error) {
+	t := &Table{
+		ID:      "A1",
+		Title:   "ablation: implicit vs explicit conflict graph",
+		Claim:   "first-fit over the implicit G_k equals first-fit over the materialised G_k",
+		Columns: []string{"m", "k", "phases impl", "phases expl", "colours impl", "colours expl", "ok"},
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed + 30))
+	grid := [][2]int{{10, 2}, {18, 3}}
+	if !cfg.Quick {
+		grid = append(grid, [2]int{26, 3})
+	}
+	var firstErr error
+	for _, gm := range grid {
+		m, k := gm[0], gm[1]
+		h, _, err := hypergraph.PlantedCF(3*m, m, k, 3, 5, rng)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: A1 generator: %w", err)
+		}
+		impl, err := core.Reduce(h, core.Options{K: k, Mode: core.ModeImplicitFirstFit})
+		if err != nil {
+			return nil, fmt.Errorf("experiments: A1 implicit: %w", err)
+		}
+		expl, err := core.Reduce(h, core.Options{K: k, Mode: core.ModeOracle, Oracle: maxis.FirstFitOracle{}})
+		if err != nil {
+			return nil, fmt.Errorf("experiments: A1 explicit: %w", err)
+		}
+		ok := len(impl.Phases) == len(expl.Phases) && impl.TotalColors == expl.TotalColors
+		for i := range impl.Phases {
+			if ok && (impl.Phases[i].ISSize != expl.Phases[i].ISSize ||
+				impl.Phases[i].HappyRemoved != expl.Phases[i].HappyRemoved) {
+				ok = false
+			}
+		}
+		if !ok && firstErr == nil {
+			firstErr = fmt.Errorf("experiments: A1 divergence at m=%d k=%d", m, k)
+		}
+		t.AddRow(itoa(m), itoa(k), itoa(len(impl.Phases)), itoa(len(expl.Phases)),
+			itoa(impl.TotalColors), itoa(expl.TotalColors), btoa(ok))
+	}
+	return t, firstErr
+}
+
+// A2CliqueBound checks that the per-edge clique hint never changes the
+// exact optimum (it only prunes the search).
+func A2CliqueBound(cfg Config) (*Table, error) {
+	t := &Table{
+		ID:      "A2",
+		Title:   "ablation: exact solver clique-partition bound",
+		Claim:   "the E_edge clique hint changes running time, never α",
+		Columns: []string{"m", "k", "α hinted", "α plain", "ok"},
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed + 31))
+	grid := [][2]int{{8, 2}, {12, 3}}
+	if !cfg.Quick {
+		grid = append(grid, [2]int{16, 3})
+	}
+	var firstErr error
+	for _, gm := range grid {
+		m, k := gm[0], gm[1]
+		h, _, err := hypergraph.PlantedCF(3*m, m, k, 3, 5, rng)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: A2 generator: %w", err)
+		}
+		ix, err := core.NewIndex(h, k)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: A2 index: %w", err)
+		}
+		g, err := core.Build(ix)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: A2 build: %w", err)
+		}
+		hinted, err := maxis.ExactOpts(g, maxis.ExactOptions{CliqueHint: ix.EdgeCliqueHint()})
+		if err != nil {
+			return nil, fmt.Errorf("experiments: A2 hinted: %w", err)
+		}
+		plain, err := maxis.Exact(g)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: A2 plain: %w", err)
+		}
+		ok := len(hinted) == len(plain)
+		if !ok && firstErr == nil {
+			firstErr = fmt.Errorf("experiments: A2 α differs: %d vs %d", len(hinted), len(plain))
+		}
+		t.AddRow(itoa(m), itoa(k), itoa(len(hinted)), itoa(len(plain)), btoa(ok))
+	}
+	return t, firstErr
+}
+
+// A3OrderSensitivity measures how the processing order changes the phase
+// count of the first-fit reduction (the SLOCAL model allows an arbitrary,
+// even adversarial, order).
+func A3OrderSensitivity(cfg Config) (*Table, error) {
+	t := &Table{
+		ID:      "A3",
+		Title:   "ablation: reduction sensitivity to oracle randomisation",
+		Claim:   "phase counts vary across random greedy orders but all outputs are conflict-free",
+		Columns: []string{"trial", "phases", "colours", "CF"},
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed + 32))
+	m := 20
+	if cfg.Quick {
+		m = 10
+	}
+	h, _, err := hypergraph.PlantedCF(3*m, m, 3, 3, 5, rng)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: A3 generator: %w", err)
+	}
+	trials := 4
+	if cfg.Quick {
+		trials = 2
+	}
+	var firstErr error
+	for trial := 0; trial < trials; trial++ {
+		res, err := core.Reduce(h, core.Options{
+			K:    3,
+			Mode: core.ModeOracle, Oracle: &maxis.RandomOrderOracle{Seed: cfg.Seed + int64(trial)},
+		})
+		if err != nil {
+			return nil, fmt.Errorf("experiments: A3 trial %d: %w", trial, err)
+		}
+		cf := res.Multicoloring.NumDistinctColors() <= res.TotalColors
+		if !cf && firstErr == nil {
+			firstErr = fmt.Errorf("experiments: A3 trial %d inconsistent", trial)
+		}
+		t.AddRow(itoa(trial), itoa(len(res.Phases)), itoa(res.TotalColors), btoa(cf))
+	}
+	return t, firstErr
+}
+
+// AllAblations runs A1..A3 in order.
+func AllAblations(cfg Config) ([]*Table, error) {
+	funcs := []func(Config) (*Table, error){A1ImplicitVsExplicit, A2CliqueBound, A3OrderSensitivity}
+	tables := make([]*Table, 0, len(funcs))
+	for _, f := range funcs {
+		tab, err := f(cfg)
+		if err != nil {
+			return tables, err
+		}
+		tables = append(tables, tab)
+	}
+	return tables, nil
+}

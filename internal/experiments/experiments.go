@@ -1,0 +1,557 @@
+package experiments
+
+// experiments.go implements E1–E10 of DESIGN.md Section 4. Each function
+// returns its table and a nil error only when the paper's claim held on
+// every instance of the grid.
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"pslocal/internal/cfcolor"
+	"pslocal/internal/core"
+	"pslocal/internal/graph"
+	"pslocal/internal/hypergraph"
+	"pslocal/internal/local"
+	"pslocal/internal/maxis"
+	"pslocal/internal/slocal"
+	"pslocal/internal/verify"
+)
+
+// plantedGrid returns the (n, m, k) grid used by the conflict-graph
+// experiments.
+func plantedGrid(cfg Config) [][3]int {
+	if cfg.Quick {
+		return [][3]int{{20, 8, 2}, {30, 12, 3}}
+	}
+	return [][3]int{
+		{20, 8, 2},
+		{30, 12, 3},
+		{40, 16, 3},
+		{50, 20, 4},
+		{60, 24, 4},
+	}
+}
+
+// E1ConflictGraphSize checks |V(G_k)| = k·Σ_e |e| and reports the edge
+// volume of the materialised G_k (Section 2 definitions).
+func E1ConflictGraphSize(cfg Config) (*Table, error) {
+	t := &Table{
+		ID:      "E1",
+		Title:   "conflict graph size",
+		Claim:   "|V(G_k)| = k·Σ_e |e| for the Section 2 construction",
+		Columns: []string{"n", "m", "k", "Σ|e|", "V=kΣ|e|", "V built", "E built", "ok"},
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	var firstErr error
+	for _, g := range plantedGrid(cfg) {
+		n, m, k := g[0], g[1], g[2]
+		h, _, err := hypergraph.PlantedCF(n, m, k, 3, 5, rng)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: E1 generator: %w", err)
+		}
+		ix, err := core.NewIndex(h, k)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: E1 index: %w", err)
+		}
+		built, err := core.Build(ix)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: E1 build: %w", err)
+		}
+		want := k * h.TotalEdgeSize()
+		ok := built.N() == want && ix.NumNodes() == want
+		if !ok && firstErr == nil {
+			firstErr = fmt.Errorf("experiments: E1 size mismatch: built %d, want %d", built.N(), want)
+		}
+		t.AddRow(itoa(n), itoa(m), itoa(k), itoa(h.TotalEdgeSize()),
+			itoa(want), itoa(built.N()), itoa(built.M()), btoa(ok))
+	}
+	return t, firstErr
+}
+
+// E2Lemma21a checks Lemma 2.1(a): a planted conflict-free k-colouring
+// induces an independent set of size m and α(G_k) = m exactly.
+func E2Lemma21a(cfg Config) (*Table, error) {
+	t := &Table{
+		ID:      "E2",
+		Title:   "Lemma 2.1(a): colourings induce maximum independent sets",
+		Claim:   "|I_f| = m and α(G_k) = m on CF-k-colourable instances",
+		Columns: []string{"n", "m", "k", "|I_f|", "independent", "α(G_k)", "ok"},
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed + 1))
+	var firstErr error
+	for _, g := range plantedGrid(cfg) {
+		n, m, k := g[0], g[1], g[2]
+		h, planted, err := hypergraph.PlantedCF(n, m, k, 3, 5, rng)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: E2 generator: %w", err)
+		}
+		ix, err := core.NewIndex(h, k)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: E2 index: %w", err)
+		}
+		isSet, err := core.ColoringToIS(ix, cfcolor.Coloring(planted))
+		if err != nil {
+			return nil, fmt.Errorf("experiments: E2 mapping: %w", err)
+		}
+		indep := verify.IndependentTriples(ix, isSet) == nil
+		built, err := core.Build(ix)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: E2 build: %w", err)
+		}
+		opt, err := maxis.ExactOpts(built, maxis.ExactOptions{CliqueHint: ix.EdgeCliqueHint()})
+		if err != nil {
+			return nil, fmt.Errorf("experiments: E2 exact: %w", err)
+		}
+		ok := len(isSet) == m && indep && len(opt) == m
+		if !ok && firstErr == nil {
+			firstErr = fmt.Errorf("experiments: E2 failed at n=%d m=%d k=%d", n, m, k)
+		}
+		t.AddRow(itoa(n), itoa(m), itoa(k), itoa(len(isSet)), btoa(indep), itoa(len(opt)), btoa(ok))
+	}
+	return t, firstErr
+}
+
+// E3Lemma21b checks Lemma 2.1(b): every oracle-produced independent set
+// induces a well-defined colouring with at least |I| happy edges.
+func E3Lemma21b(cfg Config) (*Table, error) {
+	t := &Table{
+		ID:      "E3",
+		Title:   "Lemma 2.1(b): independent sets induce partial colourings",
+		Claim:   "f_I well defined and happy(f_I) >= |I| for every independent I",
+		Columns: []string{"n", "m", "k", "oracle", "|I|", "happy", "ok"},
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed + 2))
+	oracles := []maxis.Oracle{
+		maxis.FirstFitOracle{},
+		maxis.MinDegreeOracle{},
+		&maxis.RandomOrderOracle{Seed: cfg.Seed + 77},
+	}
+	var firstErr error
+	for _, g := range plantedGrid(cfg) {
+		n, m, k := g[0], g[1], g[2]
+		h, _, err := hypergraph.PlantedCF(n, m, k, 3, 5, rng)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: E3 generator: %w", err)
+		}
+		ix, err := core.NewIndex(h, k)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: E3 index: %w", err)
+		}
+		built, err := core.Build(ix)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: E3 build: %w", err)
+		}
+		for _, o := range oracles {
+			ids, err := o.Solve(built)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: E3 oracle %s: %w", o.Name(), err)
+			}
+			triples, err := core.IDsToTriples(ix, ids)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: E3 ids: %w", err)
+			}
+			f, err := core.ISToColoring(ix, triples)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: E3 f_I: %w", err)
+			}
+			happy := len(cfcolor.HappyEdges(h, f))
+			ok := happy >= len(triples)
+			if !ok && firstErr == nil {
+				firstErr = fmt.Errorf("experiments: E3: %d happy < |I| = %d", happy, len(triples))
+			}
+			t.AddRow(itoa(n), itoa(m), itoa(k), o.Name(), itoa(len(triples)), itoa(happy), btoa(ok))
+		}
+	}
+	return t, firstErr
+}
+
+// reductionModes is the oracle grid shared by E4/E5.
+func reductionModes(seed int64) []struct {
+	name string
+	opts core.Options
+} {
+	return []struct {
+		name string
+		opts core.Options
+	}{
+		{"exact(λ=1)", core.Options{Mode: core.ModeExactHinted}},
+		{"first-fit", core.Options{Mode: core.ModeImplicitFirstFit}},
+		{"greedy-mindeg", core.Options{Mode: core.ModeOracle, Oracle: maxis.MinDegreeOracle{}}},
+		{"greedy-random", core.Options{Mode: core.ModeOracle, Oracle: &maxis.RandomOrderOracle{Seed: seed}}},
+	}
+}
+
+// E4PhaseDecay runs the Theorem 1.1 loop and checks the per-phase decay
+// |E_{i+1}| <= |E_i| − |I_i| plus single-phase termination for the exact
+// oracle.
+func E4PhaseDecay(cfg Config) (*Table, error) {
+	t := &Table{
+		ID:      "E4",
+		Title:   "Theorem 1.1 phase decay",
+		Claim:   "|E_{i+1}| <= |E_i| − |I_i| every phase; exact oracle needs 1 phase",
+		Columns: []string{"m", "k", "oracle", "phases", "max λ_i", "decay ok"},
+		Notes: []string{
+			"λ_i = |E_i|/|I_i| is the genuine per-phase ratio because α(G_k(H_i)) = |E_i| on planted instances (Lemma 2.1a)",
+		},
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed + 3))
+	m := 60
+	if cfg.Quick {
+		m = 24
+	}
+	k := 2
+	// Crowded planted instance: 15 vertices force heavy edge overlap, so
+	// heuristic oracles land below α = m and need several phases, while
+	// the exact oracle still finishes in one.
+	h, _, err := hypergraph.PlantedCF(15, m, k, 4, 6, rng)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: E4 generator: %w", err)
+	}
+	var firstErr error
+	for _, mode := range reductionModes(cfg.Seed + 13) {
+		opts := mode.opts
+		opts.K = k
+		res, err := core.Reduce(h, opts)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: E4 %s: %w", mode.name, err)
+		}
+		if err := verify.ReductionResult(h, res); err != nil {
+			return nil, fmt.Errorf("experiments: E4 %s verification: %w", mode.name, err)
+		}
+		maxLambda := 1.0
+		decayOK := true
+		for _, ph := range res.Phases {
+			if ph.HappyRemoved < ph.ISSize {
+				decayOK = false
+			}
+			if l := float64(ph.EdgesBefore) / float64(ph.ISSize); l > maxLambda {
+				maxLambda = l
+			}
+		}
+		if mode.name == "exact(λ=1)" && len(res.Phases) != 1 {
+			decayOK = false
+		}
+		if !decayOK && firstErr == nil {
+			firstErr = fmt.Errorf("experiments: E4 decay violated for %s", mode.name)
+		}
+		t.AddRow(itoa(m), itoa(k), mode.name, itoa(len(res.Phases)), ftoa(maxLambda), btoa(decayOK))
+	}
+	return t, firstErr
+}
+
+// E5ColorBudget checks the colour budget: total colours = k·phases and
+// phases <= ρ = λ̂·ln(m) + 1 with λ̂ the worst per-phase ratio.
+func E5ColorBudget(cfg Config) (*Table, error) {
+	t := &Table{
+		ID:      "E5",
+		Title:   "Theorem 1.1 colour budget",
+		Claim:   "total colours = k·phases and phases <= λ̂·ln(m)+1",
+		Columns: []string{"m", "k", "oracle", "phases", "ρ bound", "colours", "CF", "ok"},
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed + 4))
+	m := 60
+	if cfg.Quick {
+		m = 24
+	}
+	k := 2
+	h, _, err := hypergraph.PlantedCF(15, m, k, 4, 6, rng)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: E5 generator: %w", err)
+	}
+	var firstErr error
+	for _, mode := range reductionModes(cfg.Seed + 14) {
+		opts := mode.opts
+		opts.K = k
+		res, err := core.Reduce(h, opts)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: E5 %s: %w", mode.name, err)
+		}
+		maxLambda := 1.0
+		for _, ph := range res.Phases {
+			if l := float64(ph.EdgesBefore) / float64(ph.ISSize); l > maxLambda {
+				maxLambda = l
+			}
+		}
+		bound := core.PhaseBound(maxLambda, h.M())
+		cf := verify.ConflictFreeMulti(h, res.Multicoloring) == nil
+		ok := res.TotalColors == k*len(res.Phases) && len(res.Phases) <= bound && cf
+		if !ok && firstErr == nil {
+			firstErr = fmt.Errorf("experiments: E5 budget violated for %s", mode.name)
+		}
+		t.AddRow(itoa(m), itoa(k), mode.name, itoa(len(res.Phases)), itoa(bound),
+			itoa(res.TotalColors), btoa(cf), btoa(ok))
+	}
+	return t, firstErr
+}
+
+// E6Containment checks the SLOCAL containment direction: ball carving is a
+// (1+δ)-approximation with locality <= ceil(log_{1+δ} n)+1.
+func E6Containment(cfg Config) (*Table, error) {
+	t := &Table{
+		ID:      "E6",
+		Title:   "containment: SLOCAL ball-carving MaxIS",
+		Claim:   "(1+δ)·|IS| >= α and locality <= ceil(log_{1+δ} n)+1",
+		Columns: []string{"graph", "n", "δ", "α", "|IS|", "(1+δ)|IS|>=α", "locality", "bound", "ok"},
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed + 5))
+	type inst struct {
+		name string
+		g    *graph.Graph
+	}
+	insts := []inst{
+		{"grid", graph.Grid(5, 6)},
+		{"cycle", graph.Cycle(24)},
+		{"gnp", graph.GnP(50, 0.08, rng)},
+	}
+	if !cfg.Quick {
+		insts = append(insts,
+			inst{"tree", graph.RandomTree(40, rng)},
+			inst{"star", graph.Star(20)},
+			inst{"gnp-dense", graph.GnP(40, 0.2, rng)},
+		)
+	}
+	deltas := []float64{1.0, 0.5}
+	if !cfg.Quick {
+		deltas = append(deltas, 0.25)
+	}
+	var firstErr error
+	for _, in := range insts {
+		opt, err := maxis.Exact(in.g)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: E6 exact on %s: %w", in.name, err)
+		}
+		for _, d := range deltas {
+			res, err := slocal.BallCarvingMaxIS(in.g, slocal.CarvingOptions{Delta: d})
+			if err != nil {
+				return nil, fmt.Errorf("experiments: E6 carving on %s: %w", in.name, err)
+			}
+			approx := float64(len(res.Set))*(1+d) >= float64(len(opt))-1e-9
+			localityOK := res.Locality <= res.RadiusBound
+			indep := verify.IndependentSet(in.g, res.Set) == nil
+			ok := approx && localityOK && indep
+			if !ok && firstErr == nil {
+				firstErr = fmt.Errorf("experiments: E6 failed on %s δ=%v", in.name, d)
+			}
+			t.AddRow(in.name, itoa(in.g.N()), ftoa(d), itoa(len(opt)), itoa(len(res.Set)),
+				btoa(approx), itoa(res.Locality), itoa(res.RadiusBound), btoa(ok))
+		}
+	}
+	return t, firstErr
+}
+
+// E7OracleQuality measures the empirical λ of every oracle on conflict
+// graphs and random graphs (figure F3 uses the same machinery).
+func E7OracleQuality(cfg Config) (*Table, error) {
+	t := &Table{
+		ID:      "E7",
+		Title:   "oracle quality (empirical λ)",
+		Claim:   "λ = α/|IS| >= 1 for all oracles and λ = 1 for exact",
+		Columns: []string{"instance", "oracle", "α", "|IS|", "λ", "ok"},
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed + 6))
+	h, _, err := hypergraph.PlantedCF(30, 12, 3, 3, 5, rng)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: E7 generator: %w", err)
+	}
+	ix, err := core.NewIndex(h, 3)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: E7 index: %w", err)
+	}
+	conflict, err := core.Build(ix)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: E7 build: %w", err)
+	}
+	type inst struct {
+		name string
+		g    *graph.Graph
+		hint []int32
+	}
+	insts := []inst{
+		{"conflict(m=12,k=3)", conflict, ix.EdgeCliqueHint()},
+		{"gnp(60,0.1)", graph.GnP(60, 0.1, rng), nil},
+	}
+	if !cfg.Quick {
+		insts = append(insts, inst{"grid(6x6)", graph.Grid(6, 6), nil})
+	}
+	oracles := []maxis.Oracle{
+		maxis.MinDegreeOracle{},
+		maxis.FirstFitOracle{},
+		&maxis.RandomOrderOracle{Seed: cfg.Seed + 99},
+		maxis.CliqueRemovalOracle{},
+	}
+	var firstErr error
+	for _, in := range insts {
+		opt, err := maxis.ExactOpts(in.g, maxis.ExactOptions{CliqueHint: in.hint})
+		if err != nil {
+			return nil, fmt.Errorf("experiments: E7 exact on %s: %w", in.name, err)
+		}
+		t.AddRow(in.name, "exact", itoa(len(opt)), itoa(len(opt)), ftoa(1), btoa(true))
+		for _, o := range oracles {
+			set, err := o.Solve(in.g)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: E7 %s on %s: %w", o.Name(), in.name, err)
+			}
+			lambda, err := maxis.Ratio(len(opt), len(set))
+			if err != nil {
+				return nil, fmt.Errorf("experiments: E7 ratio: %w", err)
+			}
+			ok := lambda >= 1-1e-9 && verify.IndependentSet(in.g, set) == nil
+			if !ok && firstErr == nil {
+				firstErr = fmt.Errorf("experiments: E7 oracle %s invalid on %s", o.Name(), in.name)
+			}
+			t.AddRow(in.name, o.Name(), itoa(len(opt)), itoa(len(set)), ftoa(lambda), btoa(ok))
+		}
+	}
+	return t, firstErr
+}
+
+// E8ModelBaselines reproduces the Section 1 narrative: Luby's randomized
+// MIS runs in O(log n) LOCAL rounds while the greedy SLOCAL MIS has
+// locality 1.
+func E8ModelBaselines(cfg Config) (*Table, error) {
+	t := &Table{
+		ID:      "E8",
+		Title:   "model baselines (Section 1)",
+		Claim:   "Luby rounds = O(log n); greedy SLOCAL MIS locality = 1",
+		Columns: []string{"graph", "n", "algorithm", "rounds/locality", "|MIS|", "bound", "ok"},
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed + 7))
+	sizes := []int{64, 256}
+	if !cfg.Quick {
+		sizes = append(sizes, 1024)
+	}
+	var firstErr error
+	for _, n := range sizes {
+		g := graph.GnP(n, 4/float64(n), rng)
+		mis, res, err := local.LubyMIS(g, cfg.Seed+8, local.Options{})
+		if err != nil {
+			return nil, fmt.Errorf("experiments: E8 luby n=%d: %w", n, err)
+		}
+		bound := int(40*math.Log2(float64(n))) + 10
+		ok := res.Rounds <= bound && verify.MaximalIndependentSet(g, mis) == nil
+		if !ok && firstErr == nil {
+			firstErr = fmt.Errorf("experiments: E8 luby failed at n=%d", n)
+		}
+		t.AddRow("gnp", itoa(n), "LOCAL Luby", itoa(res.Rounds), itoa(len(mis)), itoa(bound), btoa(ok))
+
+		order := slocal.IdentityOrder(g.N())
+		smis, sres, err := slocal.GreedyMIS(g, order)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: E8 greedy n=%d: %w", n, err)
+		}
+		ok = sres.Locality <= 1 && verify.MaximalIndependentSet(g, smis) == nil
+		if !ok && firstErr == nil {
+			firstErr = fmt.Errorf("experiments: E8 greedy failed at n=%d", n)
+		}
+		t.AddRow("gnp", itoa(n), "SLOCAL greedy", itoa(sres.Locality), itoa(len(smis)), itoa(1), btoa(ok))
+	}
+	return t, firstErr
+}
+
+// E9NetDecomp checks the network decomposition bounds: colours <=
+// ceil(log2 n)+1, radii <= log2 n, validity on every instance.
+func E9NetDecomp(cfg Config) (*Table, error) {
+	t := &Table{
+		ID:      "E9",
+		Title:   "network decomposition (P-SLOCAL substrate)",
+		Claim:   "colours <= ceil(log2 n)+1, cluster radius <= log2 n, same-colour clusters non-adjacent",
+		Columns: []string{"graph", "n", "colours", "colour bound", "max radius", "radius bound", "clusters", "ok"},
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed + 9))
+	type inst struct {
+		name string
+		g    *graph.Graph
+	}
+	insts := []inst{
+		{"gnp", graph.GnP(80, 0.05, rng)},
+		{"grid", graph.Grid(8, 8)},
+	}
+	if !cfg.Quick {
+		insts = append(insts,
+			inst{"tree", graph.RandomTree(100, rng)},
+			inst{"cycle", graph.Cycle(64)},
+			inst{"complete", graph.Complete(20)},
+		)
+	}
+	var firstErr error
+	for _, in := range insts {
+		d, err := slocal.NetworkDecomposition(in.g, nil)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: E9 %s: %w", in.name, err)
+		}
+		n := in.g.N()
+		colourBound := int(math.Ceil(math.Log2(float64(n)))) + 1
+		radiusBound := int(math.Log2(float64(n))) + 1
+		valid := d.Validate(in.g) == nil
+		ok := valid && d.NumColors <= colourBound && d.MaxRadius <= radiusBound
+		if !ok && firstErr == nil {
+			firstErr = fmt.Errorf("experiments: E9 failed on %s", in.name)
+		}
+		t.AddRow(in.name, itoa(n), itoa(d.NumColors), itoa(colourBound),
+			itoa(d.MaxRadius), itoa(radiusBound), itoa(d.NumClusters), btoa(ok))
+	}
+	return t, firstErr
+}
+
+// E10IntervalCF compares the [DN18]-domain dyadic colouring against the
+// paper's reduction on interval hypergraphs.
+func E10IntervalCF(cfg Config) (*Table, error) {
+	t := &Table{
+		ID:      "E10",
+		Title:   "interval hypergraphs: dyadic colouring vs reduction",
+		Claim:   "dyadic uses <= ceil(log2(n+1)) colours and both outputs are conflict-free",
+		Columns: []string{"n", "m", "dyadic colours", "log bound", "reduction colours", "both CF", "ok"},
+		Notes: []string{
+			"reduction runs in implicit first-fit mode with k=2 per phase",
+		},
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed + 10))
+	grid := [][2]int{{24, 15}, {48, 30}}
+	if !cfg.Quick {
+		grid = append(grid, [2]int{96, 50})
+	}
+	var firstErr error
+	for _, gm := range grid {
+		n, m := gm[0], gm[1]
+		h, err := hypergraph.Interval(n, m, 2, n/3+1, rng)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: E10 generator: %w", err)
+		}
+		dyadic := cfcolor.DyadicIntervalColoring(n)
+		dyadicOK := verify.ConflictFree(h, dyadic) == nil
+		logBound := int(math.Ceil(math.Log2(float64(n + 1))))
+
+		res, err := core.Reduce(h, core.Options{K: 2, Mode: core.ModeImplicitFirstFit})
+		if err != nil {
+			return nil, fmt.Errorf("experiments: E10 reduce: %w", err)
+		}
+		redOK := verify.ConflictFreeMulti(h, res.Multicoloring) == nil
+		ok := dyadicOK && redOK && int(dyadic.MaxColor()) <= logBound
+		if !ok && firstErr == nil {
+			firstErr = fmt.Errorf("experiments: E10 failed at n=%d", n)
+		}
+		t.AddRow(itoa(n), itoa(m), itoa(int(dyadic.MaxColor())), itoa(logBound),
+			itoa(res.TotalColors), btoa(dyadicOK && redOK), btoa(ok))
+	}
+	return t, firstErr
+}
+
+// AllTables runs E1..E12 in order.
+func AllTables(cfg Config) ([]*Table, error) {
+	funcs := []func(Config) (*Table, error){
+		E1ConflictGraphSize, E2Lemma21a, E3Lemma21b, E4PhaseDecay, E5ColorBudget,
+		E6Containment, E7OracleQuality, E8ModelBaselines, E9NetDecomp, E10IntervalCF,
+		E11DistributedPipeline, E12CompleteSiblings,
+	}
+	tables := make([]*Table, 0, len(funcs))
+	for _, f := range funcs {
+		tab, err := f(cfg)
+		if err != nil {
+			return tables, err
+		}
+		tables = append(tables, tab)
+	}
+	return tables, nil
+}

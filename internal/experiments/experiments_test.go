@@ -1,0 +1,98 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// quickCfg keeps the grids small; the full grids run in the benchmark
+// suite and via cmd/psctab.
+var quickCfg = Config{Seed: 42, Quick: true}
+
+func TestTableRender(t *testing.T) {
+	tab := &Table{
+		ID:      "T",
+		Title:   "demo",
+		Claim:   "demo claim",
+		Columns: []string{"a", "long-column"},
+		Notes:   []string{"a note"},
+	}
+	tab.AddRow("1", "2")
+	tab.AddRow("333", "4")
+	var sb strings.Builder
+	if err := tab.Render(&sb); err != nil {
+		t.Fatalf("Render error: %v", err)
+	}
+	out := sb.String()
+	for _, want := range []string{"T — demo", "claim: demo claim", "long-column", "333", "note: a note"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestAllExperimentsHoldOnQuickGrid(t *testing.T) {
+	tables, err := AllTables(quickCfg)
+	if err != nil {
+		t.Fatalf("a paper claim failed: %v", err)
+	}
+	if len(tables) != 12 {
+		t.Fatalf("got %d tables, want 12", len(tables))
+	}
+	ids := map[string]bool{}
+	for _, tab := range tables {
+		if tab.ID == "" || len(tab.Columns) == 0 || len(tab.Rows) == 0 {
+			t.Errorf("table %q is empty", tab.ID)
+		}
+		if ids[tab.ID] {
+			t.Errorf("duplicate table id %q", tab.ID)
+		}
+		ids[tab.ID] = true
+		for _, row := range tab.Rows {
+			if len(row) != len(tab.Columns) {
+				t.Errorf("table %s: row width %d != %d columns", tab.ID, len(row), len(tab.Columns))
+			}
+		}
+	}
+}
+
+func TestAllFiguresHoldOnQuickGrid(t *testing.T) {
+	figs, err := AllFigures(quickCfg)
+	if err != nil {
+		t.Fatalf("a figure claim failed: %v", err)
+	}
+	if len(figs) != 3 {
+		t.Fatalf("got %d figures, want 3", len(figs))
+	}
+}
+
+func TestAllAblationsHoldOnQuickGrid(t *testing.T) {
+	abl, err := AllAblations(quickCfg)
+	if err != nil {
+		t.Fatalf("an ablation claim failed: %v", err)
+	}
+	if len(abl) != 3 {
+		t.Fatalf("got %d ablations, want 3", len(abl))
+	}
+}
+
+func TestExperimentsAreDeterministicPerSeed(t *testing.T) {
+	a, err := E4PhaseDecay(quickCfg)
+	if err != nil {
+		t.Fatalf("first run: %v", err)
+	}
+	b, err := E4PhaseDecay(quickCfg)
+	if err != nil {
+		t.Fatalf("second run: %v", err)
+	}
+	if len(a.Rows) != len(b.Rows) {
+		t.Fatalf("row counts differ: %d vs %d", len(a.Rows), len(b.Rows))
+	}
+	for i := range a.Rows {
+		for j := range a.Rows[i] {
+			if a.Rows[i][j] != b.Rows[i][j] {
+				t.Errorf("row %d col %d differs: %q vs %q", i, j, a.Rows[i][j], b.Rows[i][j])
+			}
+		}
+	}
+}

@@ -1,0 +1,196 @@
+package graph
+
+// gen.go provides the deterministic-seeded instance generators used by the
+// experiment harness (DESIGN.md Section 4). Every random generator takes an
+// explicit *rand.Rand so experiments are reproducible.
+
+import (
+	"math/rand"
+)
+
+// Empty returns the edgeless graph on n nodes.
+func Empty(n int) *Graph { return NewBuilder(n).MustBuild() }
+
+// Complete returns K_n.
+func Complete(n int) *Graph {
+	b := NewBuilder(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			b.AddEdge(int32(u), int32(v))
+		}
+	}
+	return b.MustBuild()
+}
+
+// Path returns the path 0-1-...-(n-1).
+func Path(n int) *Graph {
+	b := NewBuilder(n)
+	for v := 1; v < n; v++ {
+		b.AddEdge(int32(v-1), int32(v))
+	}
+	return b.MustBuild()
+}
+
+// Cycle returns the cycle C_n for n >= 3; for n < 3 it returns a path.
+func Cycle(n int) *Graph {
+	if n < 3 {
+		return Path(n)
+	}
+	b := NewBuilder(n)
+	for v := 0; v < n; v++ {
+		b.AddEdge(int32(v), int32((v+1)%n))
+	}
+	return b.MustBuild()
+}
+
+// Star returns the star K_{1,n-1} with centre 0.
+func Star(n int) *Graph {
+	b := NewBuilder(n)
+	for v := 1; v < n; v++ {
+		b.AddEdge(0, int32(v))
+	}
+	return b.MustBuild()
+}
+
+// Grid returns the rows x cols grid graph; node (r,c) has id r*cols+c.
+func Grid(rows, cols int) *Graph {
+	b := NewBuilder(rows * cols)
+	id := func(r, c int) int32 { return int32(r*cols + c) }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols {
+				b.AddEdge(id(r, c), id(r, c+1))
+			}
+			if r+1 < rows {
+				b.AddEdge(id(r, c), id(r+1, c))
+			}
+		}
+	}
+	return b.MustBuild()
+}
+
+// CompleteBipartite returns K_{a,b}; the left side is 0..a-1.
+func CompleteBipartite(a, b int) *Graph {
+	bl := NewBuilder(a + b)
+	for u := 0; u < a; u++ {
+		for v := 0; v < b; v++ {
+			bl.AddEdge(int32(u), int32(a+v))
+		}
+	}
+	return bl.MustBuild()
+}
+
+// GnP returns an Erdős–Rényi random graph G(n, p).
+func GnP(n int, p float64, rng *rand.Rand) *Graph {
+	b := NewBuilder(n)
+	if p > 0 {
+		for u := 0; u < n; u++ {
+			for v := u + 1; v < n; v++ {
+				if rng.Float64() < p {
+					b.AddEdge(int32(u), int32(v))
+				}
+			}
+		}
+	}
+	return b.MustBuild()
+}
+
+// RandomTree returns a uniformly random labelled tree on n nodes via a
+// random Prüfer-like attachment: node v >= 1 attaches to a uniform earlier
+// node. (Uniform over recursive trees, which suffices for the experiments.)
+func RandomTree(n int, rng *rand.Rand) *Graph {
+	b := NewBuilder(n)
+	for v := 1; v < n; v++ {
+		b.AddEdge(int32(v), int32(rng.Intn(v)))
+	}
+	return b.MustBuild()
+}
+
+// PreferentialAttachment returns a Barabási–Albert-style graph: nodes arrive
+// one at a time and attach to k distinct earlier nodes chosen with
+// probability proportional to current degree (plus one, so isolated seeds
+// stay reachable).
+func PreferentialAttachment(n, k int, rng *rand.Rand) *Graph {
+	if k < 1 {
+		k = 1
+	}
+	b := NewBuilder(n)
+	// endpointPool holds one entry per half-edge plus one per node, giving
+	// the degree-plus-one distribution when sampled uniformly.
+	endpointPool := make([]int32, 0, 2*n*k+n)
+	endpointPool = append(endpointPool, 0)
+	for v := 1; v < n; v++ {
+		want := k
+		if v < k {
+			want = v
+		}
+		chosen := make(map[int32]bool, want)
+		for len(chosen) < want {
+			u := endpointPool[rng.Intn(len(endpointPool))]
+			if int32(v) != u {
+				chosen[u] = true
+			}
+		}
+		for u := range chosen {
+			b.AddEdge(int32(v), u)
+			endpointPool = append(endpointPool, u)
+		}
+		for i := 0; i < len(chosen); i++ {
+			endpointPool = append(endpointPool, int32(v))
+		}
+		endpointPool = append(endpointPool, int32(v))
+	}
+	return b.MustBuild()
+}
+
+// RandomBipartite returns a random bipartite graph with sides a and b and
+// edge probability p; the left side is 0..a-1.
+func RandomBipartite(a, b int, p float64, rng *rand.Rand) *Graph {
+	bl := NewBuilder(a + b)
+	for u := 0; u < a; u++ {
+		for v := 0; v < b; v++ {
+			if rng.Float64() < p {
+				bl.AddEdge(int32(u), int32(a+v))
+			}
+		}
+	}
+	return bl.MustBuild()
+}
+
+// CliquePartitionGraph returns a graph that is a disjoint union of cliques
+// of the given sizes plus, optionally, random "crossing" edges added with
+// probability pCross between distinct cliques. With pCross = 0 its
+// independence number is exactly the number of cliques, which makes it a
+// useful exact-solver fixture.
+func CliquePartitionGraph(sizes []int, pCross float64, rng *rand.Rand) *Graph {
+	total := 0
+	for _, s := range sizes {
+		total += s
+	}
+	b := NewBuilder(total)
+	starts := make([]int, len(sizes))
+	off := 0
+	for i, s := range sizes {
+		starts[i] = off
+		for u := 0; u < s; u++ {
+			for v := u + 1; v < s; v++ {
+				b.AddEdge(int32(off+u), int32(off+v))
+			}
+		}
+		off += s
+	}
+	if pCross > 0 && rng != nil {
+		for i := range sizes {
+			for j := i + 1; j < len(sizes); j++ {
+				for u := 0; u < sizes[i]; u++ {
+					for v := 0; v < sizes[j]; v++ {
+						if rng.Float64() < pCross {
+							b.AddEdge(int32(starts[i]+u), int32(starts[j]+v))
+						}
+					}
+				}
+			}
+		}
+	}
+	return b.MustBuild()
+}

@@ -1,0 +1,140 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestGeneratorShapes(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	tests := []struct {
+		name  string
+		g     *Graph
+		n, m  int
+		degOK func(h []int) bool
+	}{
+		{"empty", Empty(5), 5, 0, nil},
+		{"complete", Complete(6), 6, 15, nil},
+		{"path", Path(6), 6, 5, nil},
+		{"cycle", Cycle(6), 6, 6, func(h []int) bool { return h[2] == 6 }},
+		{"cycle small falls back to path", Cycle(2), 2, 1, nil},
+		{"star", Star(5), 5, 4, func(h []int) bool { return h[1] == 4 && h[4] == 1 }},
+		{"grid", Grid(3, 4), 12, 17, nil},
+		{"bipartite", CompleteBipartite(2, 3), 5, 6, nil},
+		{"tree", RandomTree(40, rng), 40, 39, nil},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if tt.g.N() != tt.n {
+				t.Errorf("N() = %d, want %d", tt.g.N(), tt.n)
+			}
+			if tt.g.M() != tt.m {
+				t.Errorf("M() = %d, want %d", tt.g.M(), tt.m)
+			}
+			if err := tt.g.Validate(); err != nil {
+				t.Errorf("Validate() = %v", err)
+			}
+			if tt.degOK != nil && !tt.degOK(tt.g.DegreeHistogram()) {
+				t.Errorf("degree histogram %v unexpected", tt.g.DegreeHistogram())
+			}
+		})
+	}
+}
+
+func TestGnPDeterministicForSeed(t *testing.T) {
+	a := GnP(30, 0.2, rand.New(rand.NewSource(42)))
+	b := GnP(30, 0.2, rand.New(rand.NewSource(42)))
+	if a.M() != b.M() {
+		t.Fatalf("same seed, different edge counts: %d vs %d", a.M(), b.M())
+	}
+	a.ForEachEdge(func(u, v int32) bool {
+		if !b.HasEdge(u, v) {
+			t.Errorf("edge (%d,%d) only in first graph", u, v)
+			return false
+		}
+		return true
+	})
+}
+
+func TestGnPExtremes(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	if g := GnP(20, 0, rng); g.M() != 0 {
+		t.Errorf("G(n,0) has %d edges, want 0", g.M())
+	}
+	if g := GnP(20, 1, rng); g.M() != 190 {
+		t.Errorf("G(n,1) has %d edges, want 190", g.M())
+	}
+}
+
+func TestGnPEdgeCountPlausible(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	n, p := 200, 0.1
+	g := GnP(n, p, rng)
+	mean := p * float64(n*(n-1)/2)
+	if got := float64(g.M()); got < mean*0.7 || got > mean*1.3 {
+		t.Errorf("G(%d,%.2f) has %v edges, implausibly far from mean %.0f", n, p, got, mean)
+	}
+}
+
+func TestRandomTreeIsConnectedAcyclic(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 10; trial++ {
+		n := 2 + rng.Intn(60)
+		g := RandomTree(n, rng)
+		if g.M() != n-1 {
+			t.Fatalf("tree on %d nodes has %d edges", n, g.M())
+		}
+		if _, count := Components(g); count != 1 {
+			t.Fatalf("tree on %d nodes has %d components", n, count)
+		}
+	}
+}
+
+func TestPreferentialAttachment(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	g := PreferentialAttachment(80, 3, rng)
+	if g.N() != 80 {
+		t.Fatalf("N() = %d, want 80", g.N())
+	}
+	if _, count := Components(g); count != 1 {
+		t.Errorf("preferential attachment graph disconnected: %d components", count)
+	}
+	if err := g.Validate(); err != nil {
+		t.Errorf("Validate() = %v", err)
+	}
+	// k=0 is clamped to 1, still a connected tree-like graph.
+	g0 := PreferentialAttachment(10, 0, rng)
+	if _, count := Components(g0); count != 1 {
+		t.Errorf("k=0 graph disconnected")
+	}
+}
+
+func TestRandomBipartiteHasNoIntraSideEdges(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	a, b := 12, 17
+	g := RandomBipartite(a, b, 0.4, rng)
+	g.ForEachEdge(func(u, v int32) bool {
+		if (int(u) < a) == (int(v) < a) {
+			t.Errorf("intra-side edge (%d,%d)", u, v)
+		}
+		return true
+	})
+}
+
+func TestCliquePartitionGraph(t *testing.T) {
+	g := CliquePartitionGraph([]int{3, 4, 2}, 0, nil)
+	if g.N() != 9 {
+		t.Fatalf("N() = %d, want 9", g.N())
+	}
+	if g.M() != 3+6+1 {
+		t.Fatalf("M() = %d, want 10", g.M())
+	}
+	if g.HasEdge(0, 3) {
+		t.Error("cliques must be disjoint with pCross=0")
+	}
+	rng := rand.New(rand.NewSource(17))
+	gc := CliquePartitionGraph([]int{3, 3}, 1.0, rng)
+	if gc.M() != 3+3+9 {
+		t.Errorf("pCross=1 M() = %d, want 15", gc.M())
+	}
+}

@@ -1,0 +1,272 @@
+package graph
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmptyGraphZeroValue(t *testing.T) {
+	var g Graph
+	if g.N() != 0 {
+		t.Errorf("zero-value N() = %d, want 0", g.N())
+	}
+	if g.M() != 0 {
+		t.Errorf("zero-value M() = %d, want 0", g.M())
+	}
+	if err := g.Validate(); err != nil {
+		t.Errorf("zero-value Validate() = %v, want nil", err)
+	}
+}
+
+func TestBuilderBasic(t *testing.T) {
+	b := NewBuilder(4)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	b.AddEdge(2, 3)
+	b.AddEdge(3, 0)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build() error: %v", err)
+	}
+	if g.N() != 4 || g.M() != 4 {
+		t.Fatalf("got n=%d m=%d, want n=4 m=4", g.N(), g.M())
+	}
+	for v := int32(0); v < 4; v++ {
+		if d := g.Degree(v); d != 2 {
+			t.Errorf("Degree(%d) = %d, want 2", v, d)
+		}
+	}
+	if err := g.Validate(); err != nil {
+		t.Errorf("Validate() = %v", err)
+	}
+}
+
+func TestBuilderDeduplicatesParallelEdges(t *testing.T) {
+	b := NewBuilder(3)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 0)
+	b.AddEdge(0, 1)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build() error: %v", err)
+	}
+	if g.M() != 1 {
+		t.Errorf("M() = %d, want 1 after dedup", g.M())
+	}
+	if g.Degree(0) != 1 || g.Degree(1) != 1 || g.Degree(2) != 0 {
+		t.Errorf("degrees = %d,%d,%d, want 1,1,0", g.Degree(0), g.Degree(1), g.Degree(2))
+	}
+}
+
+func TestBuilderErrors(t *testing.T) {
+	tests := []struct {
+		name    string
+		n       int
+		edges   [][2]int32
+		wantErr error
+	}{
+		{name: "self loop", n: 3, edges: [][2]int32{{1, 1}}, wantErr: ErrSelfLoop},
+		{name: "out of range high", n: 3, edges: [][2]int32{{0, 3}}, wantErr: ErrNodeRange},
+		{name: "out of range negative", n: 3, edges: [][2]int32{{-1, 0}}, wantErr: ErrNodeRange},
+		{name: "negative size", n: -1, edges: nil, wantErr: ErrNegativeSize},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := FromEdges(tt.n, tt.edges)
+			if !errors.Is(err, tt.wantErr) {
+				t.Errorf("FromEdges error = %v, want %v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestHasEdge(t *testing.T) {
+	g := MustFromEdges(t, 5, [][2]int32{{0, 1}, {1, 2}, {0, 4}})
+	tests := []struct {
+		u, v int32
+		want bool
+	}{
+		{0, 1, true}, {1, 0, true}, {1, 2, true}, {0, 4, true}, {4, 0, true},
+		{0, 2, false}, {3, 4, false}, {2, 2, false}, {0, 0, false},
+	}
+	for _, tt := range tests {
+		if got := g.HasEdge(tt.u, tt.v); got != tt.want {
+			t.Errorf("HasEdge(%d,%d) = %v, want %v", tt.u, tt.v, got, tt.want)
+		}
+	}
+}
+
+func TestNeighborsIsACopy(t *testing.T) {
+	g := MustFromEdges(t, 3, [][2]int32{{0, 1}, {0, 2}})
+	nbr := g.Neighbors(0)
+	nbr[0] = 99
+	if got := g.Neighbors(0); got[0] == 99 {
+		t.Error("mutating Neighbors result leaked into the graph")
+	}
+}
+
+func TestForEachNeighborEarlyStop(t *testing.T) {
+	g := Complete(6)
+	count := 0
+	g.ForEachNeighbor(0, func(u int32) bool {
+		count++
+		return count < 2
+	})
+	if count != 2 {
+		t.Errorf("early stop visited %d neighbours, want 2", count)
+	}
+}
+
+func TestForEachEdgeOrderAndCount(t *testing.T) {
+	g := Cycle(5)
+	var prev [2]int32 = [2]int32{-1, -1}
+	count := 0
+	g.ForEachEdge(func(u, v int32) bool {
+		if u >= v {
+			t.Errorf("edge (%d,%d) not normalised u<v", u, v)
+		}
+		if u < prev[0] || (u == prev[0] && v <= prev[1]) {
+			t.Errorf("edges out of order: (%d,%d) after (%d,%d)", u, v, prev[0], prev[1])
+		}
+		prev = [2]int32{u, v}
+		count++
+		return true
+	})
+	if count != 5 {
+		t.Errorf("visited %d edges, want 5", count)
+	}
+}
+
+func TestAppendNeighbors(t *testing.T) {
+	g := Star(4)
+	buf := make([]int32, 0, 8)
+	buf = g.AppendNeighbors(buf, 0)
+	if len(buf) != 3 {
+		t.Fatalf("AppendNeighbors len = %d, want 3", len(buf))
+	}
+	buf = g.AppendNeighbors(buf, 1)
+	if len(buf) != 4 || buf[3] != 0 {
+		t.Errorf("AppendNeighbors second call = %v, want trailing 0", buf)
+	}
+}
+
+func TestComplement(t *testing.T) {
+	g := Path(4) // edges 01,12,23
+	c := Complement(g)
+	if c.M() != 3 { // complement of P4 has C(4,2)-3 = 3 edges
+		t.Fatalf("complement M() = %d, want 3", c.M())
+	}
+	wantEdges := [][2]int32{{0, 2}, {0, 3}, {1, 3}}
+	for _, e := range wantEdges {
+		if !c.HasEdge(e[0], e[1]) {
+			t.Errorf("complement missing edge %v", e)
+		}
+	}
+	if err := c.Validate(); err != nil {
+		t.Errorf("Validate() = %v", err)
+	}
+}
+
+func TestUnion(t *testing.T) {
+	g := Union(Complete(3), Path(3))
+	if g.N() != 6 {
+		t.Fatalf("union N() = %d, want 6", g.N())
+	}
+	if g.M() != 3+2 {
+		t.Fatalf("union M() = %d, want 5", g.M())
+	}
+	if g.HasEdge(2, 3) {
+		t.Error("union must not connect the two parts")
+	}
+	if !g.HasEdge(3, 4) || !g.HasEdge(4, 5) {
+		t.Error("union lost shifted path edges")
+	}
+}
+
+func TestDegreeHistogram(t *testing.T) {
+	g := Star(5)
+	h := g.DegreeHistogram()
+	if h[1] != 4 || h[4] != 1 {
+		t.Errorf("histogram = %v, want 4 leaves and 1 centre", h)
+	}
+}
+
+func TestMaxDegree(t *testing.T) {
+	tests := []struct {
+		name string
+		g    *Graph
+		want int
+	}{
+		{"empty", Empty(4), 0},
+		{"path", Path(5), 2},
+		{"star", Star(7), 6},
+		{"complete", Complete(5), 4},
+		{"zero nodes", Empty(0), 0},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.g.MaxDegree(); got != tt.want {
+				t.Errorf("MaxDegree() = %d, want %d", got, tt.want)
+			}
+		})
+	}
+}
+
+// TestBuilderPropertyRandom checks, for random edge multisets, that Build
+// produces a graph passing Validate and preserving exactly the distinct
+// non-loop edges.
+func TestBuilderPropertyRandom(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(30)
+		nEdges := rng.Intn(80)
+		type key struct{ u, v int32 }
+		want := map[key]bool{}
+		b := NewBuilder(n)
+		for i := 0; i < nEdges; i++ {
+			u := int32(rng.Intn(n))
+			v := int32(rng.Intn(n))
+			if u == v {
+				continue
+			}
+			b.AddEdge(u, v)
+			if u > v {
+				u, v = v, u
+			}
+			want[key{u, v}] = true
+		}
+		g, err := b.Build()
+		if err != nil {
+			return false
+		}
+		if g.Validate() != nil {
+			return false
+		}
+		if g.M() != len(want) {
+			return false
+		}
+		ok := true
+		g.ForEachEdge(func(u, v int32) bool {
+			if !want[key{u, v}] {
+				ok = false
+			}
+			return ok
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// MustFromEdges is a test helper that fails the test on construction error.
+func MustFromEdges(t *testing.T, n int, edges [][2]int32) *Graph {
+	t.Helper()
+	g, err := FromEdges(n, edges)
+	if err != nil {
+		t.Fatalf("FromEdges(%d, %v) error: %v", n, edges, err)
+	}
+	return g
+}

@@ -1,0 +1,162 @@
+package hypergraph
+
+// gen.go provides deterministic-seeded hypergraph generators, including the
+// planted conflict-free-colourable almost-uniform family that substitutes
+// for the (non-constructive) hardness instances of [GKM17] Theorem 1.2 —
+// see DESIGN.md "Substitutions".
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Uniform returns a hypergraph with m hyperedges, each a uniformly random
+// r-subset of the n vertices. Requires 1 <= r <= n.
+func Uniform(n, m, r int, rng *rand.Rand) (*Hypergraph, error) {
+	if r < 1 || r > n {
+		return nil, fmt.Errorf("hypergraph: Uniform needs 1 <= r <= n, got r=%d n=%d", r, n)
+	}
+	edges := make([][]int32, m)
+	for j := range edges {
+		edges[j] = randomSubset(n, r, rng)
+	}
+	return New(n, edges)
+}
+
+// AlmostUniform returns a hypergraph with m hyperedges whose sizes are
+// uniform in [k, floor((1+eps)k)], matching the paper's almost-uniform
+// definition. Requires 1 <= k and (1+eps)k <= n.
+func AlmostUniform(n, m, k int, eps float64, rng *rand.Rand) (*Hypergraph, error) {
+	hi := int(float64(k) * (1 + eps))
+	if k < 1 || hi > n {
+		return nil, fmt.Errorf("hypergraph: AlmostUniform needs 1 <= k and (1+eps)k <= n, got k=%d hi=%d n=%d", k, hi, n)
+	}
+	edges := make([][]int32, m)
+	for j := range edges {
+		size := k + rng.Intn(hi-k+1)
+		edges[j] = randomSubset(n, size, rng)
+	}
+	return New(n, edges)
+}
+
+// PlantedCF returns an almost-uniform hypergraph together with a hidden
+// conflict-free k-colouring (one colour per vertex, colours 1..k) under
+// which every edge is happy. Edge sizes are uniform in [sizeLo, sizeHi].
+//
+// Construction: vertices are coloured round-robin (so every colour class is
+// non-empty); each edge picks a designated vertex v and fills the rest of
+// the edge with vertices whose colour differs from f(v), making v uniquely
+// coloured inside the edge. This guarantees the property the reduction's
+// analysis needs: every sub-hypergraph admits a CF k-colouring, hence
+// α(G_k(H_i)) = |E_i| by Lemma 2.1(a).
+func PlantedCF(n, m, k, sizeLo, sizeHi int, rng *rand.Rand) (*Hypergraph, []int32, error) {
+	if k < 2 {
+		return nil, nil, fmt.Errorf("hypergraph: PlantedCF needs k >= 2, got %d", k)
+	}
+	if sizeLo < 1 || sizeLo > sizeHi {
+		return nil, nil, fmt.Errorf("hypergraph: PlantedCF needs 1 <= sizeLo <= sizeHi, got [%d,%d]", sizeLo, sizeHi)
+	}
+	if n < k {
+		return nil, nil, fmt.Errorf("hypergraph: PlantedCF needs n >= k, got n=%d k=%d", n, k)
+	}
+	colour := make([]int32, n)
+	perm := rng.Perm(n)
+	for i, v := range perm {
+		colour[v] = int32(i%k) + 1
+	}
+	// byOther[c] lists vertices whose colour is NOT c+1.
+	byOther := make([][]int32, k)
+	for c := 0; c < k; c++ {
+		for v := 0; v < n; v++ {
+			if colour[v] != int32(c)+1 {
+				byOther[c] = append(byOther[c], int32(v))
+			}
+		}
+	}
+	edges := make([][]int32, m)
+	for j := range edges {
+		v := int32(rng.Intn(n))
+		pool := byOther[colour[v]-1]
+		size := sizeLo + rng.Intn(sizeHi-sizeLo+1)
+		if size-1 > len(pool) {
+			size = len(pool) + 1
+		}
+		e := make([]int32, 0, size)
+		e = append(e, v)
+		for _, idx := range rng.Perm(len(pool))[:size-1] {
+			e = append(e, pool[idx])
+		}
+		edges[j] = e
+	}
+	h, err := New(n, edges)
+	if err != nil {
+		return nil, nil, err
+	}
+	return h, colour, nil
+}
+
+// Interval returns an interval hypergraph in the sense of [DN18]: vertices
+// 0..n-1 lie on a line and every hyperedge is a contiguous interval
+// [a, a+len-1] with len uniform in [lenLo, lenHi].
+func Interval(n, m, lenLo, lenHi int, rng *rand.Rand) (*Hypergraph, error) {
+	if lenLo < 1 || lenLo > lenHi || lenHi > n {
+		return nil, fmt.Errorf("hypergraph: Interval needs 1 <= lenLo <= lenHi <= n, got [%d,%d] n=%d", lenLo, lenHi, n)
+	}
+	edges := make([][]int32, m)
+	for j := range edges {
+		length := lenLo + rng.Intn(lenHi-lenLo+1)
+		start := rng.Intn(n - length + 1)
+		e := make([]int32, length)
+		for i := range e {
+			e[i] = int32(start + i)
+		}
+		edges[j] = e
+	}
+	return New(n, edges)
+}
+
+// Star returns a hypergraph in which every edge contains the centre vertex 0
+// plus r-1 other random vertices. Stars stress the E_vertex/E_color parts of
+// the conflict graph because all edges intersect.
+func Star(n, m, r int, rng *rand.Rand) (*Hypergraph, error) {
+	if r < 1 || r > n {
+		return nil, fmt.Errorf("hypergraph: Star needs 1 <= r <= n, got r=%d n=%d", r, n)
+	}
+	edges := make([][]int32, m)
+	for j := range edges {
+		e := randomSubsetFrom(1, n-1, r-1, rng)
+		edges[j] = append(e, 0)
+	}
+	return New(n, edges)
+}
+
+// FromGraphEdges returns the 2-uniform hypergraph whose hyperedges are the
+// given graph edges. Conflict-free colouring of a 2-uniform hypergraph is
+// exactly proper "partial unique" colouring of the graph, a useful sanity
+// domain.
+func FromGraphEdges(n int, graphEdges [][2]int32) (*Hypergraph, error) {
+	edges := make([][]int32, len(graphEdges))
+	for j, e := range graphEdges {
+		edges[j] = []int32{e[0], e[1]}
+	}
+	return New(n, edges)
+}
+
+// randomSubset returns a uniformly random r-subset of {0..n-1}.
+func randomSubset(n, r int, rng *rand.Rand) []int32 {
+	return randomSubsetFrom(0, n, r, rng)
+}
+
+// randomSubsetFrom returns a uniformly random r-subset of
+// {base..base+n-1} using a partial Fisher-Yates shuffle.
+func randomSubsetFrom(base, n, r int, rng *rand.Rand) []int32 {
+	pool := make([]int32, n)
+	for i := range pool {
+		pool[i] = int32(base + i)
+	}
+	for i := 0; i < r; i++ {
+		j := i + rng.Intn(n-i)
+		pool[i], pool[j] = pool[j], pool[i]
+	}
+	return pool[:r]
+}

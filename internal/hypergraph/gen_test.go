@@ -1,0 +1,197 @@
+package hypergraph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestUniform(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	h, err := Uniform(20, 15, 4, rng)
+	if err != nil {
+		t.Fatalf("Uniform error: %v", err)
+	}
+	if h.M() != 15 {
+		t.Fatalf("M() = %d, want 15", h.M())
+	}
+	for j := 0; j < h.M(); j++ {
+		if h.EdgeSize(j) != 4 {
+			t.Errorf("edge %d size %d, want 4", j, h.EdgeSize(j))
+		}
+	}
+	if err := h.Validate(); err != nil {
+		t.Errorf("Validate() = %v", err)
+	}
+	if _, err := Uniform(3, 1, 4, rng); err == nil {
+		t.Error("Uniform with r > n should error")
+	}
+	if _, err := Uniform(3, 1, 0, rng); err == nil {
+		t.Error("Uniform with r < 1 should error")
+	}
+}
+
+func TestAlmostUniformSizesInBand(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	k, eps := 4, 0.5
+	h, err := AlmostUniform(30, 40, k, eps, rng)
+	if err != nil {
+		t.Fatalf("AlmostUniform error: %v", err)
+	}
+	gotK, ok := h.IsAlmostUniform(eps)
+	if !ok {
+		t.Fatalf("generated hypergraph not almost-uniform: sizes [%d,%d]", h.MinEdgeSize(), h.MaxEdgeSize())
+	}
+	if gotK < k || gotK > int(float64(k)*(1+eps)) {
+		t.Errorf("witness k = %d outside [%d, %d]", gotK, k, int(float64(k)*(1+eps)))
+	}
+	if _, err := AlmostUniform(5, 1, 4, 1.0, rng); err == nil {
+		t.Error("AlmostUniform with (1+eps)k > n should error")
+	}
+}
+
+// edgeHappy reports whether edge j of h has a vertex whose colour (1-based,
+// 0 = uncoloured) is unique within the edge — the paper's happiness
+// condition, re-implemented locally to keep this package dependency-free.
+func edgeHappy(h *Hypergraph, j int, colour []int32) bool {
+	counts := map[int32]int{}
+	h.ForEachEdgeVertex(j, func(v int32) bool {
+		if colour[v] != 0 {
+			counts[colour[v]]++
+		}
+		return true
+	})
+	for _, c := range counts {
+		if c == 1 {
+			return true
+		}
+	}
+	return false
+}
+
+func TestPlantedCFAllEdgesHappy(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 20; trial++ {
+		n := 10 + rng.Intn(40)
+		m := 5 + rng.Intn(40)
+		k := 2 + rng.Intn(4)
+		h, colour, err := PlantedCF(n, m, k, 3, 6, rng)
+		if err != nil {
+			t.Fatalf("PlantedCF error: %v", err)
+		}
+		if len(colour) != n {
+			t.Fatalf("colour length %d, want %d", len(colour), n)
+		}
+		for v := 0; v < n; v++ {
+			if colour[v] < 1 || colour[v] > int32(k) {
+				t.Fatalf("vertex %d colour %d outside 1..%d", v, colour[v], k)
+			}
+		}
+		for j := 0; j < h.M(); j++ {
+			if !edgeHappy(h, j, colour) {
+				t.Errorf("trial %d: edge %d (%v) not happy under planted colouring", trial, j, h.Edge(j))
+			}
+		}
+	}
+}
+
+func TestPlantedCFErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	if _, _, err := PlantedCF(10, 5, 1, 2, 3, rng); err == nil {
+		t.Error("k=1 should error")
+	}
+	if _, _, err := PlantedCF(10, 5, 3, 0, 3, rng); err == nil {
+		t.Error("sizeLo=0 should error")
+	}
+	if _, _, err := PlantedCF(10, 5, 3, 4, 3, rng); err == nil {
+		t.Error("sizeLo > sizeHi should error")
+	}
+	if _, _, err := PlantedCF(2, 5, 3, 1, 2, rng); err == nil {
+		t.Error("n < k should error")
+	}
+}
+
+func TestPlantedCFClampsOversizeEdges(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	// n=4, k=2: each colour class has 2 vertices, so the "other colour" pool
+	// has exactly 2 entries and edges clamp to size <= 3.
+	h, _, err := PlantedCF(4, 10, 2, 3, 8, rng)
+	if err != nil {
+		t.Fatalf("PlantedCF error: %v", err)
+	}
+	if h.MaxEdgeSize() > 3 {
+		t.Errorf("max edge size %d, want <= 3 after clamping", h.MaxEdgeSize())
+	}
+}
+
+func TestIntervalEdgesAreIntervals(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	h, err := Interval(50, 30, 2, 7, rng)
+	if err != nil {
+		t.Fatalf("Interval error: %v", err)
+	}
+	for j := 0; j < h.M(); j++ {
+		e := h.Edge(j)
+		for i := 1; i < len(e); i++ {
+			if e[i] != e[i-1]+1 {
+				t.Fatalf("edge %d = %v is not contiguous", j, e)
+			}
+		}
+		if len(e) < 2 || len(e) > 7 {
+			t.Errorf("edge %d length %d outside [2,7]", j, len(e))
+		}
+	}
+	if _, err := Interval(5, 1, 3, 9, rng); err == nil {
+		t.Error("lenHi > n should error")
+	}
+}
+
+func TestStarEdgesContainCentre(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	h, err := Star(20, 12, 4, rng)
+	if err != nil {
+		t.Fatalf("Star error: %v", err)
+	}
+	for j := 0; j < h.M(); j++ {
+		if !h.EdgeContains(j, 0) {
+			t.Errorf("edge %d misses the centre", j)
+		}
+		if h.EdgeSize(j) != 4 {
+			t.Errorf("edge %d size %d, want 4", j, h.EdgeSize(j))
+		}
+	}
+	if h.Degree(0) != 12 {
+		t.Errorf("centre degree %d, want 12", h.Degree(0))
+	}
+}
+
+func TestFromGraphEdges(t *testing.T) {
+	h, err := FromGraphEdges(4, [][2]int32{{0, 1}, {2, 3}})
+	if err != nil {
+		t.Fatalf("FromGraphEdges error: %v", err)
+	}
+	if h.M() != 2 || h.MinEdgeSize() != 2 || h.MaxEdgeSize() != 2 {
+		t.Errorf("not 2-uniform: %v", h)
+	}
+}
+
+func TestRandomSubsetIsASubsetWithoutRepeats(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(30)
+		r := 1 + rng.Intn(n)
+		s := randomSubset(n, r, rng)
+		if len(s) != r {
+			t.Fatalf("len = %d, want %d", len(s), r)
+		}
+		seen := map[int32]bool{}
+		for _, v := range s {
+			if v < 0 || int(v) >= n {
+				t.Fatalf("element %d out of range", v)
+			}
+			if seen[v] {
+				t.Fatalf("repeated element %d", v)
+			}
+			seen[v] = true
+		}
+	}
+}

@@ -1,0 +1,219 @@
+package hypergraph
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewBasic(t *testing.T) {
+	h, err := New(5, [][]int32{{0, 1, 2}, {2, 3}, {4}})
+	if err != nil {
+		t.Fatalf("New error: %v", err)
+	}
+	if h.N() != 5 || h.M() != 3 {
+		t.Fatalf("n=%d m=%d, want 5,3", h.N(), h.M())
+	}
+	if h.EdgeSize(0) != 3 || h.EdgeSize(2) != 1 {
+		t.Errorf("edge sizes %d,%d want 3,1", h.EdgeSize(0), h.EdgeSize(2))
+	}
+	if err := h.Validate(); err != nil {
+		t.Errorf("Validate() = %v", err)
+	}
+}
+
+func TestNewSortsAndDedups(t *testing.T) {
+	h, err := New(4, [][]int32{{3, 1, 3, 0, 1}})
+	if err != nil {
+		t.Fatalf("New error: %v", err)
+	}
+	got := h.Edge(0)
+	want := []int32{0, 1, 3}
+	if len(got) != len(want) {
+		t.Fatalf("Edge(0) = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Edge(0) = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestNewErrors(t *testing.T) {
+	tests := []struct {
+		name    string
+		n       int
+		edges   [][]int32
+		wantErr error
+	}{
+		{"empty edge", 3, [][]int32{{}}, ErrEmptyEdge},
+		{"vertex too high", 3, [][]int32{{0, 3}}, ErrVertexRange},
+		{"vertex negative", 3, [][]int32{{-1}}, ErrVertexRange},
+		{"negative n", -2, nil, ErrNegativeSize},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := New(tt.n, tt.edges); !errors.Is(err, tt.wantErr) {
+				t.Errorf("error = %v, want %v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestEdgeIsACopy(t *testing.T) {
+	h := MustNew(3, [][]int32{{0, 1}})
+	e := h.Edge(0)
+	e[0] = 2
+	if h.Edge(0)[0] != 0 {
+		t.Error("mutating Edge result leaked into the hypergraph")
+	}
+}
+
+func TestIncidence(t *testing.T) {
+	h := MustNew(4, [][]int32{{0, 1}, {1, 2}, {1, 3}, {0, 3}})
+	if h.Degree(1) != 3 {
+		t.Errorf("Degree(1) = %d, want 3", h.Degree(1))
+	}
+	inc := h.IncidentEdges(1)
+	want := []int32{0, 1, 2}
+	for i := range want {
+		if inc[i] != want[i] {
+			t.Fatalf("IncidentEdges(1) = %v, want %v", inc, want)
+		}
+	}
+	if h.Degree(2) != 1 {
+		t.Errorf("Degree(2) = %d, want 1", h.Degree(2))
+	}
+}
+
+func TestEdgeContains(t *testing.T) {
+	h := MustNew(6, [][]int32{{0, 2, 4}})
+	for _, tt := range []struct {
+		v    int32
+		want bool
+	}{{0, true}, {2, true}, {4, true}, {1, false}, {3, false}, {5, false}} {
+		if got := h.EdgeContains(0, tt.v); got != tt.want {
+			t.Errorf("EdgeContains(0, %d) = %v, want %v", tt.v, got, tt.want)
+		}
+	}
+}
+
+func TestSizeStats(t *testing.T) {
+	h := MustNew(6, [][]int32{{0, 1}, {1, 2, 3}, {0, 1, 2, 3, 4}})
+	if h.MinEdgeSize() != 2 || h.MaxEdgeSize() != 5 || h.TotalEdgeSize() != 10 {
+		t.Errorf("min=%d max=%d total=%d, want 2,5,10", h.MinEdgeSize(), h.MaxEdgeSize(), h.TotalEdgeSize())
+	}
+	empty := MustNew(3, nil)
+	if empty.MinEdgeSize() != 0 || empty.MaxEdgeSize() != 0 {
+		t.Error("edge-size stats of empty hypergraph should be 0")
+	}
+}
+
+func TestIsAlmostUniform(t *testing.T) {
+	tests := []struct {
+		name   string
+		edges  [][]int32
+		eps    float64
+		wantK  int
+		wantOK bool
+	}{
+		{"uniform", [][]int32{{0, 1}, {2, 3}}, 0.5, 2, true},
+		{"within eps", [][]int32{{0, 1}, {2, 3, 4}}, 0.5, 2, true},
+		{"outside eps", [][]int32{{0, 1}, {1, 2, 3, 4}}, 0.5, 0, false},
+		{"eps=1 doubles", [][]int32{{0, 1}, {1, 2, 3, 4}}, 1.0, 2, true},
+		{"bad eps", [][]int32{{0, 1}}, 0, 0, false},
+		{"no edges", nil, 0.5, 0, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			h := MustNew(5, tt.edges)
+			k, ok := h.IsAlmostUniform(tt.eps)
+			if k != tt.wantK || ok != tt.wantOK {
+				t.Errorf("IsAlmostUniform = (%d,%v), want (%d,%v)", k, ok, tt.wantK, tt.wantOK)
+			}
+		})
+	}
+}
+
+func TestKeepEdges(t *testing.T) {
+	h := MustNew(5, [][]int32{{0, 1}, {1, 2}, {2, 3}, {3, 4}})
+	sub, err := h.KeepEdges([]int32{0, 2})
+	if err != nil {
+		t.Fatalf("KeepEdges error: %v", err)
+	}
+	if sub.N() != 5 || sub.M() != 2 {
+		t.Fatalf("sub n=%d m=%d, want 5,2", sub.N(), sub.M())
+	}
+	if sub.Edge(1)[0] != 2 || sub.Edge(1)[1] != 3 {
+		t.Errorf("sub.Edge(1) = %v, want [2 3]", sub.Edge(1))
+	}
+	if _, err := h.KeepEdges([]int32{9}); err == nil {
+		t.Error("KeepEdges with bad index should error")
+	}
+	if _, err := h.KeepEdges([]int32{-1}); err == nil {
+		t.Error("KeepEdges with negative index should error")
+	}
+}
+
+func TestKeepEdgesEmptyGivesEdgelessHypergraph(t *testing.T) {
+	h := MustNew(3, [][]int32{{0, 1}})
+	sub, err := h.KeepEdges(nil)
+	if err != nil {
+		t.Fatalf("KeepEdges(nil) error: %v", err)
+	}
+	if sub.M() != 0 || sub.N() != 3 {
+		t.Errorf("sub n=%d m=%d, want 3,0", sub.N(), sub.M())
+	}
+}
+
+func TestForEachEarlyStop(t *testing.T) {
+	h := MustNew(5, [][]int32{{0, 1, 2, 3, 4}, {0, 1}, {0, 2}})
+	count := 0
+	h.ForEachEdgeVertex(0, func(v int32) bool { count++; return count < 3 })
+	if count != 3 {
+		t.Errorf("edge-vertex early stop visited %d, want 3", count)
+	}
+	count = 0
+	h.ForEachIncidentEdge(0, func(j int32) bool { count++; return false })
+	if count != 1 {
+		t.Errorf("incident-edge early stop visited %d, want 1", count)
+	}
+}
+
+// TestIncidencePropertyRandom cross-checks incidence lists against edge
+// membership on random hypergraphs.
+func TestIncidencePropertyRandom(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(20)
+		m := rng.Intn(15)
+		edges := make([][]int32, m)
+		for j := range edges {
+			size := 1 + rng.Intn(n)
+			edges[j] = randomSubset(n, size, rng)
+		}
+		h, err := New(n, edges)
+		if err != nil {
+			return false
+		}
+		if h.Validate() != nil {
+			return false
+		}
+		for v := int32(0); int(v) < n; v++ {
+			count := 0
+			for j := 0; j < m; j++ {
+				if h.EdgeContains(j, v) {
+					count++
+				}
+			}
+			if count != h.Degree(v) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

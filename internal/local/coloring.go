@@ -1,0 +1,102 @@
+package local
+
+// coloring.go implements the classic randomized (deg+1)-list vertex
+// colouring algorithm in the LOCAL model: each phase, every uncoloured node
+// proposes a random colour from its palette minus the colours its
+// neighbours have already fixed; a proposal is kept when no neighbour
+// proposed or fixed the same colour. This terminates in O(log n) rounds
+// with high probability and is the randomized counterpart of the
+// deterministic colouring problems discussed in the paper's introduction.
+
+import (
+	"math/rand"
+
+	"pslocal/internal/graph"
+)
+
+// colourMsg carries a node's current proposal or final colour (1-based).
+type colourMsg struct {
+	colour int32
+	final  bool
+}
+
+type colourProgram struct {
+	view    NodeView
+	rng     *rand.Rand
+	palette int32 // colours 1..palette with palette = deg+1
+	taken   map[int32]bool
+	trial   int32
+}
+
+// ColouringFactory returns a Factory for randomized (deg+1)-colouring with
+// per-node random streams derived deterministically from seed. Node
+// outputs are int32 colours in 1..deg(v)+1.
+func ColouringFactory(seed int64) Factory {
+	return func(v int32, view NodeView) Program {
+		return &colourProgram{
+			view:    view,
+			rng:     rand.New(rand.NewSource(seed ^ (int64(v)+1)*0x2545F4914F6CDD1D)),
+			palette: int32(view.Degree) + 1,
+			taken:   make(map[int32]bool),
+		}
+	}
+}
+
+// pickTrial draws a uniform colour from the palette minus taken colours.
+// The palette size deg+1 guarantees a free colour exists.
+func (p *colourProgram) pickTrial() int32 {
+	free := make([]int32, 0, p.palette)
+	for c := int32(1); c <= p.palette; c++ {
+		if !p.taken[c] {
+			free = append(free, c)
+		}
+	}
+	return free[p.rng.Intn(len(free))]
+}
+
+// Round implements Program.
+func (p *colourProgram) Round(round int, inbox []Received, out *Outbox) bool {
+	conflict := false
+	for _, msg := range inbox {
+		cm, ok := msg.Payload.(colourMsg)
+		if !ok {
+			continue
+		}
+		if cm.final {
+			p.taken[cm.colour] = true
+			if cm.colour == p.trial {
+				conflict = true
+			}
+		} else if cm.colour == p.trial {
+			conflict = true
+		}
+	}
+	if round > 1 && !conflict && !p.taken[p.trial] {
+		out.Broadcast(colourMsg{colour: p.trial, final: true})
+		return true
+	}
+	p.trial = p.pickTrial()
+	out.Broadcast(colourMsg{colour: p.trial, final: false})
+	return false
+}
+
+// Output implements Program.
+func (p *colourProgram) Output() any { return p.trial }
+
+// Colouring runs the randomized colouring on g and returns the per-node
+// colours (1-based) together with run statistics.
+func Colouring(g *graph.Graph, seed int64, opts Options) ([]int32, *Result, error) {
+	res, err := Run(g, ColouringFactory(seed), opts)
+	if err != nil {
+		return nil, res, err
+	}
+	colours := make([]int32, g.N())
+	for v, out := range res.Outputs {
+		c, ok := out.(int32)
+		if !ok {
+			continue
+		}
+		colours[v] = c
+	}
+	return colours, res, nil
+}

@@ -1,0 +1,171 @@
+// Package local simulates the LOCAL model of distributed computing
+// (Linial 1992), as recalled in Section 1 of the paper: an n-node network
+// computes in synchronous rounds, and per round each node sends one
+// unbounded-size message to each neighbour. The simulator measures exactly
+// the quantities the model's theory speaks about — round complexity and
+// message count — and hosts the randomized baselines the paper contrasts
+// with deterministic SLOCAL algorithms: Luby's MIS [Lub86] and randomized
+// (deg+1)-list colouring.
+package local
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"pslocal/internal/graph"
+)
+
+// ErrMaxRounds reports that the algorithm did not terminate within the
+// configured round budget.
+var ErrMaxRounds = errors.New("local: round budget exhausted before all nodes halted")
+
+// NodeView is the static information a node knows at start-up: its id, the
+// network size n (standard LOCAL assumption), and its immediate topology.
+type NodeView struct {
+	// ID is the node's identifier, 0..n-1.
+	ID int32
+	// NumNodes is n, known to all nodes.
+	NumNodes int
+	// Degree is the node's degree.
+	Degree int
+	// Neighbors is a private copy of the node's neighbour ids.
+	Neighbors []int32
+}
+
+// Received is one inbound message.
+type Received struct {
+	// From is the sending neighbour.
+	From int32
+	// Payload is the message content; the LOCAL model places no bound on
+	// its size.
+	Payload any
+}
+
+// Outbox collects a node's sends for the current round. A directed send to
+// a neighbour overrides the broadcast payload for that neighbour.
+type Outbox struct {
+	broadcast    any
+	hasBroadcast bool
+	directed     map[int32]any
+}
+
+// Broadcast queues payload for delivery to every neighbour next round.
+func (o *Outbox) Broadcast(payload any) {
+	o.broadcast = payload
+	o.hasBroadcast = true
+}
+
+// Send queues payload for delivery to the single neighbour `to` next round.
+func (o *Outbox) Send(to int32, payload any) {
+	if o.directed == nil {
+		o.directed = make(map[int32]any)
+	}
+	o.directed[to] = payload
+}
+
+// payloadFor resolves what, if anything, this outbox delivers to neighbour
+// u.
+func (o *Outbox) payloadFor(u int32) (any, bool) {
+	if p, ok := o.directed[u]; ok {
+		return p, true
+	}
+	if o.hasBroadcast {
+		return o.broadcast, true
+	}
+	return nil, false
+}
+
+// Program is the per-node state machine of a LOCAL algorithm.
+type Program interface {
+	// Round executes synchronous round `round` (1-based). inbox holds the
+	// messages sent to this node in the previous round, sorted by sender.
+	// The node queues its own sends on out. Returning done=true halts the
+	// node after this round's sends are delivered.
+	Round(round int, inbox []Received, out *Outbox) (done bool)
+	// Output returns the node's final output; it is read after the node
+	// halts.
+	Output() any
+}
+
+// Factory instantiates the program for node v.
+type Factory func(v int32, view NodeView) Program
+
+// Options configures a run.
+type Options struct {
+	// MaxRounds bounds the simulation; 0 means the default of 4·(n + 16).
+	MaxRounds int
+}
+
+// Result reports a completed run.
+type Result struct {
+	// Rounds is the number of synchronous rounds executed until the last
+	// node halted.
+	Rounds int
+	// Messages counts delivered messages over the whole run.
+	Messages int64
+	// Outputs holds each node's final output, indexed by node id.
+	Outputs []any
+}
+
+// Run executes a LOCAL algorithm on g until every node halts.
+func Run(g *graph.Graph, factory Factory, opts Options) (*Result, error) {
+	n := g.N()
+	maxRounds := opts.MaxRounds
+	if maxRounds <= 0 {
+		maxRounds = 4 * (n + 16)
+	}
+	programs := make([]Program, n)
+	for v := 0; v < n; v++ {
+		programs[v] = factory(int32(v), NodeView{
+			ID:        int32(v),
+			NumNodes:  n,
+			Degree:    g.Degree(int32(v)),
+			Neighbors: g.Neighbors(int32(v)),
+		})
+	}
+	halted := make([]bool, n)
+	inboxes := make([][]Received, n)
+	res := &Result{Outputs: make([]any, n)}
+	remaining := n
+	if remaining == 0 {
+		return res, nil
+	}
+	for round := 1; round <= maxRounds; round++ {
+		res.Rounds = round
+		outboxes := make([]*Outbox, n)
+		for v := 0; v < n; v++ {
+			if halted[v] {
+				continue
+			}
+			inbox := inboxes[v]
+			sort.Slice(inbox, func(i, j int) bool { return inbox[i].From < inbox[j].From })
+			out := &Outbox{}
+			outboxes[v] = out
+			if programs[v].Round(round, inbox, out) {
+				halted[v] = true
+				res.Outputs[v] = programs[v].Output()
+				remaining--
+			}
+		}
+		// Deliver.
+		inboxes = make([][]Received, n)
+		for v := 0; v < n; v++ {
+			out := outboxes[v]
+			if out == nil {
+				continue
+			}
+			g.ForEachNeighbor(int32(v), func(u int32) bool {
+				if p, ok := out.payloadFor(u); ok && !halted[u] {
+					inboxes[u] = append(inboxes[u], Received{From: int32(v), Payload: p})
+					res.Messages++
+				}
+				return true
+			})
+		}
+		if remaining == 0 {
+			return res, nil
+		}
+	}
+	return res, fmt.Errorf("%w: %d rounds, %d nodes still running", ErrMaxRounds, maxRounds, remaining)
+}

@@ -1,0 +1,252 @@
+package local
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"pslocal/internal/graph"
+	"pslocal/internal/maxis"
+)
+
+// echoProgram broadcasts its id once and records what it hears, halting
+// after two rounds. It exercises the runner's delivery and accounting.
+type echoProgram struct {
+	view  NodeView
+	heard []int32
+}
+
+func (p *echoProgram) Round(round int, inbox []Received, out *Outbox) bool {
+	switch round {
+	case 1:
+		out.Broadcast(p.view.ID)
+		return false
+	default:
+		for _, m := range inbox {
+			p.heard = append(p.heard, m.Payload.(int32))
+		}
+		return true
+	}
+}
+
+func (p *echoProgram) Output() any { return p.heard }
+
+func TestRunnerDeliversBroadcasts(t *testing.T) {
+	g := graph.Cycle(5)
+	res, err := Run(g, func(v int32, view NodeView) Program {
+		return &echoProgram{view: view}
+	}, Options{})
+	if err != nil {
+		t.Fatalf("Run error: %v", err)
+	}
+	if res.Rounds != 2 {
+		t.Errorf("Rounds = %d, want 2", res.Rounds)
+	}
+	if res.Messages != 10 { // 5 nodes x 2 neighbours, round 1 only
+		t.Errorf("Messages = %d, want 10", res.Messages)
+	}
+	for v := 0; v < 5; v++ {
+		heard := res.Outputs[v].([]int32)
+		if len(heard) != 2 {
+			t.Fatalf("node %d heard %v, want both neighbours", v, heard)
+		}
+		// Inbox is sorted by sender.
+		if heard[0] >= heard[1] {
+			t.Errorf("node %d inbox unsorted: %v", v, heard)
+		}
+	}
+}
+
+// directedProgram sends its id only to its smallest neighbour.
+type directedProgram struct {
+	view  NodeView
+	heard int
+}
+
+func (p *directedProgram) Round(round int, inbox []Received, out *Outbox) bool {
+	if round == 1 {
+		if len(p.view.Neighbors) > 0 {
+			out.Send(p.view.Neighbors[0], p.view.ID)
+		}
+		return false
+	}
+	p.heard = len(inbox)
+	return true
+}
+
+func (p *directedProgram) Output() any { return p.heard }
+
+func TestRunnerDirectedSends(t *testing.T) {
+	g := graph.Path(3) // 0-1-2; node 1's smallest neighbour is 0
+	res, err := Run(g, func(v int32, view NodeView) Program {
+		return &directedProgram{view: view}
+	}, Options{})
+	if err != nil {
+		t.Fatalf("Run error: %v", err)
+	}
+	if res.Messages != 3 {
+		t.Errorf("Messages = %d, want 3 (one per node)", res.Messages)
+	}
+	// Sends: 0→1, 1→0, 2→1, so node 0 hears one message and node 1 two.
+	if res.Outputs[0].(int) != 1 {
+		t.Errorf("node 0 heard %d, want 1", res.Outputs[0].(int))
+	}
+	if res.Outputs[1].(int) != 2 {
+		t.Errorf("node 1 heard %d, want 2", res.Outputs[1].(int))
+	}
+	if res.Outputs[2].(int) != 0 {
+		t.Errorf("node 2 heard %d, want 0", res.Outputs[2].(int))
+	}
+}
+
+// stubbornProgram never halts.
+type stubbornProgram struct{}
+
+func (stubbornProgram) Round(int, []Received, *Outbox) bool { return false }
+func (stubbornProgram) Output() any                         { return nil }
+
+func TestRunnerMaxRounds(t *testing.T) {
+	g := graph.Path(2)
+	_, err := Run(g, func(int32, NodeView) Program { return stubbornProgram{} }, Options{MaxRounds: 7})
+	if !errors.Is(err, ErrMaxRounds) {
+		t.Errorf("error = %v, want ErrMaxRounds", err)
+	}
+}
+
+func TestRunnerEmptyGraph(t *testing.T) {
+	res, err := Run(graph.Empty(0), func(int32, NodeView) Program { return stubbornProgram{} }, Options{})
+	if err != nil {
+		t.Fatalf("Run error: %v", err)
+	}
+	if res.Rounds != 0 {
+		t.Errorf("Rounds = %d, want 0", res.Rounds)
+	}
+}
+
+func TestLubyMISCorrectness(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	gs := map[string]*graph.Graph{
+		"cycle":    graph.Cycle(12),
+		"complete": graph.Complete(9),
+		"star":     graph.Star(10),
+		"gnp":      graph.GnP(80, 0.1, rng),
+		"grid":     graph.Grid(6, 7),
+		"edgeless": graph.Empty(5),
+	}
+	for name, g := range gs {
+		t.Run(name, func(t *testing.T) {
+			mis, res, err := LubyMIS(g, 42, Options{})
+			if err != nil {
+				t.Fatalf("LubyMIS error: %v", err)
+			}
+			if !maxis.IsMaximalIndependentSet(g, mis) {
+				t.Errorf("result %v is not a maximal independent set", mis)
+			}
+			if res.Rounds <= 0 && g.N() > 0 {
+				t.Errorf("suspicious round count %d", res.Rounds)
+			}
+		})
+	}
+}
+
+func TestLubyMISDeterministicPerSeed(t *testing.T) {
+	g := graph.GnP(50, 0.15, rand.New(rand.NewSource(2)))
+	a, _, err := LubyMIS(g, 7, Options{})
+	if err != nil {
+		t.Fatalf("LubyMIS error: %v", err)
+	}
+	b, _, err := LubyMIS(g, 7, Options{})
+	if err != nil {
+		t.Fatalf("LubyMIS error: %v", err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("same seed gave different MIS sizes %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed gave different MIS at %d", i)
+		}
+	}
+}
+
+func TestLubyMISRoundsLogarithmic(t *testing.T) {
+	// O(log n) w.h.p.; allow a generous constant. This is experiment E8's
+	// assertion in test form.
+	rng := rand.New(rand.NewSource(3))
+	for _, n := range []int{50, 150, 400} {
+		g := graph.GnP(n, 4.0/float64(n), rng)
+		_, res, err := LubyMIS(g, 11, Options{})
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		bound := int(40*math.Log2(float64(n))) + 10
+		if res.Rounds > bound {
+			t.Errorf("n=%d: rounds %d exceed generous O(log n) bound %d", n, res.Rounds, bound)
+		}
+	}
+}
+
+func TestColouringProper(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	gs := map[string]*graph.Graph{
+		"cycle":    graph.Cycle(11),
+		"complete": graph.Complete(8),
+		"gnp":      graph.GnP(70, 0.12, rng),
+		"star":     graph.Star(9),
+	}
+	for name, g := range gs {
+		t.Run(name, func(t *testing.T) {
+			colours, _, err := Colouring(g, 13, Options{})
+			if err != nil {
+				t.Fatalf("Colouring error: %v", err)
+			}
+			bad := false
+			g.ForEachEdge(func(u, v int32) bool {
+				if colours[u] == colours[v] {
+					t.Errorf("edge (%d,%d) monochromatic colour %d", u, v, colours[u])
+					bad = true
+				}
+				return !bad
+			})
+			for v := int32(0); int(v) < g.N(); v++ {
+				if colours[v] < 1 || int(colours[v]) > g.Degree(v)+1 {
+					t.Errorf("node %d colour %d outside 1..deg+1=%d", v, colours[v], g.Degree(v)+1)
+				}
+			}
+		})
+	}
+}
+
+func TestColouringIsolatedNodesFinishFast(t *testing.T) {
+	colours, res, err := Colouring(graph.Empty(6), 1, Options{})
+	if err != nil {
+		t.Fatalf("Colouring error: %v", err)
+	}
+	if res.Rounds != 2 {
+		t.Errorf("Rounds = %d, want 2", res.Rounds)
+	}
+	for v, c := range colours {
+		if c != 1 {
+			t.Errorf("isolated node %d colour %d, want 1", v, c)
+		}
+	}
+}
+
+func TestOutboxPayloadResolution(t *testing.T) {
+	var o Outbox
+	if _, ok := o.payloadFor(3); ok {
+		t.Error("empty outbox should deliver nothing")
+	}
+	o.Broadcast("b")
+	if p, ok := o.payloadFor(3); !ok || p != "b" {
+		t.Error("broadcast not delivered")
+	}
+	o.Send(3, "d")
+	if p, _ := o.payloadFor(3); p != "d" {
+		t.Error("directed send should override broadcast")
+	}
+	if p, _ := o.payloadFor(4); p != "b" {
+		t.Error("other neighbours still get the broadcast")
+	}
+}

@@ -1,0 +1,108 @@
+package local
+
+// luby.go implements Luby's randomized maximal independent set algorithm
+// [Lub86], the classic O(log n)-round LOCAL algorithm the paper contrasts
+// with the exponentially slower deterministic state of the art. Each phase
+// takes two rounds: active nodes exchange random priorities, local minima
+// join the MIS and announce it, and announced neighbours retire.
+
+import (
+	"math/rand"
+
+	"pslocal/internal/graph"
+)
+
+// lubyBid is the phase-A message: a random priority with the node id as a
+// deterministic tie-break.
+type lubyBid struct {
+	value uint64
+	id    int32
+}
+
+// less orders bids lexicographically by (value, id).
+func (b lubyBid) less(o lubyBid) bool {
+	if b.value != o.value {
+		return b.value < o.value
+	}
+	return b.id < o.id
+}
+
+// lubyJoin is the phase-B message announcing MIS membership.
+type lubyJoin struct{}
+
+type lubyProgram struct {
+	view  NodeView
+	rng   *rand.Rand
+	inMIS bool
+	// lastBid remembers the bid sent in the previous (odd) round.
+	lastBid lubyBid
+	bidding bool
+}
+
+// LubyFactory returns a Factory running Luby's MIS with per-node random
+// streams derived deterministically from seed. Node outputs are bool MIS
+// membership.
+func LubyFactory(seed int64) Factory {
+	return func(v int32, view NodeView) Program {
+		return &lubyProgram{
+			view: view,
+			rng:  rand.New(rand.NewSource(seed ^ (int64(v)+1)*0x5851F42D4C957F2D)),
+		}
+	}
+}
+
+// Round implements Program.
+func (p *lubyProgram) Round(round int, inbox []Received, out *Outbox) bool {
+	// A join announcement from any neighbour retires this node immediately,
+	// whatever the phase.
+	for _, msg := range inbox {
+		if _, ok := msg.Payload.(lubyJoin); ok {
+			p.inMIS = false
+			return true
+		}
+	}
+	if round%2 == 1 {
+		// Phase A: bid.
+		p.lastBid = lubyBid{value: p.rng.Uint64(), id: p.view.ID}
+		p.bidding = true
+		out.Broadcast(p.lastBid)
+		return false
+	}
+	// Phase B: compare own bid with neighbour bids from phase A.
+	if !p.bidding {
+		return false
+	}
+	p.bidding = false
+	win := true
+	for _, msg := range inbox {
+		if bid, ok := msg.Payload.(lubyBid); ok && bid.less(p.lastBid) {
+			win = false
+			break
+		}
+	}
+	if win {
+		p.inMIS = true
+		out.Broadcast(lubyJoin{})
+		return true
+	}
+	return false
+}
+
+// Output implements Program.
+func (p *lubyProgram) Output() any { return p.inMIS }
+
+// LubyMIS runs Luby's algorithm on g and returns the resulting maximal
+// independent set together with the run statistics.
+func LubyMIS(g *graph.Graph, seed int64, opts Options) ([]int32, *Result, error) {
+	res, err := Run(g, LubyFactory(seed), opts)
+	if err != nil {
+		return nil, res, err
+	}
+	var mis []int32
+	for v, out := range res.Outputs {
+		if in, ok := out.(bool); ok && in {
+			mis = append(mis, int32(v))
+		}
+	}
+	return mis, res, nil
+}

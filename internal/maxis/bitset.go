@@ -1,0 +1,95 @@
+package maxis
+
+// bitset.go provides a minimal fixed-size bitset used by the exact solver
+// and the Ramsey clique-removal algorithm. Unexported: the public API of
+// this package speaks []int32 node lists.
+
+import "math/bits"
+
+type bitset []uint64
+
+func newBitset(n int) bitset { return make(bitset, (n+63)/64) }
+
+func (b bitset) set(i int32)      { b[i>>6] |= 1 << (uint(i) & 63) }
+func (b bitset) clear(i int32)    { b[i>>6] &^= 1 << (uint(i) & 63) }
+func (b bitset) has(i int32) bool { return b[i>>6]&(1<<(uint(i)&63)) != 0 }
+
+func (b bitset) clone() bitset {
+	out := make(bitset, len(b))
+	copy(out, b)
+	return out
+}
+
+func (b bitset) count() int {
+	total := 0
+	for _, w := range b {
+		total += bits.OnesCount64(w)
+	}
+	return total
+}
+
+func (b bitset) any() bool {
+	for _, w := range b {
+		if w != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// andNotInPlace removes all bits of x from b.
+func (b bitset) andNotInPlace(x bitset) {
+	for i := range b {
+		b[i] &^= x[i]
+	}
+}
+
+// countAnd returns |b ∩ x| without allocating.
+func countAnd(b, x bitset) int {
+	total := 0
+	for i := range b {
+		total += bits.OnesCount64(b[i] & x[i])
+	}
+	return total
+}
+
+// andInto writes a ∩ b into dst.
+func andInto(dst, a, b bitset) {
+	for i := range dst {
+		dst[i] = a[i] & b[i]
+	}
+}
+
+// first returns the smallest set bit, or -1 if empty.
+func (b bitset) first() int32 {
+	for i, w := range b {
+		if w != 0 {
+			return int32(i*64 + bits.TrailingZeros64(w))
+		}
+	}
+	return -1
+}
+
+// forEach calls fn for each set bit in ascending order; stops early when fn
+// returns false.
+func (b bitset) forEach(fn func(i int32) bool) {
+	for wi, w := range b {
+		for w != 0 {
+			i := int32(wi*64 + bits.TrailingZeros64(w))
+			if !fn(i) {
+				return
+			}
+			w &= w - 1
+		}
+	}
+}
+
+// firstAnd returns the smallest bit set in both b and x, or -1.
+func firstAnd(b, x bitset) int32 {
+	for i := range b {
+		if w := b[i] & x[i]; w != 0 {
+			return int32(i*64 + bits.TrailingZeros64(w))
+		}
+	}
+	return -1
+}

@@ -1,0 +1,363 @@
+package maxis
+
+// exact.go implements the exact branch-and-bound maximum independent set
+// solver (the λ = 1 oracle of Theorem 1.1). It combines
+//
+//   - degree-0/1 reduction rules (always-safe inclusions),
+//   - a direct solver for the degree-2 residue (disjoint cycles),
+//   - a matching-based upper bound α ≤ |V| − |M| for any matching M, and
+//   - an optional clique-partition bound: conflict graphs G_k come with the
+//     per-edge cliques of E_edge (Section 2 of the paper), which bound α by
+//     the number of remaining cliques and make the solver fast exactly on
+//     the graphs the reduction produces.
+
+import (
+	"fmt"
+
+	"pslocal/internal/graph"
+)
+
+// ExactOptions tunes the exact solver.
+type ExactOptions struct {
+	// CliqueHint optionally assigns every node to a clique id (any dense or
+	// sparse int32 ids). When set, the solver verifies the partition and
+	// uses "number of distinct active cliques" as an additional upper
+	// bound. The per-edge cliques of a conflict graph are the intended use.
+	CliqueHint []int32
+	// MaxBranchNodes bounds the search-tree size; 0 means unlimited. When
+	// exceeded, Solve returns the best set found so far together with
+	// ErrBudgetExceeded.
+	MaxBranchNodes int64
+}
+
+// Exact returns a maximum independent set of g using default options.
+func Exact(g *graph.Graph) ([]int32, error) {
+	return ExactOpts(g, ExactOptions{})
+}
+
+// Alpha returns the independence number α(g).
+func Alpha(g *graph.Graph) (int, error) {
+	set, err := Exact(g)
+	if err != nil {
+		return 0, err
+	}
+	return len(set), nil
+}
+
+// ExactOpts returns a maximum independent set of g under the given options.
+// With a budget, the returned set is the best found when the budget runs
+// out and the error is ErrBudgetExceeded.
+func ExactOpts(g *graph.Graph, opts ExactOptions) ([]int32, error) {
+	n := g.N()
+	if n == 0 {
+		return nil, nil
+	}
+	s := &exactState{
+		n:      n,
+		adj:    make([]bitset, n),
+		budget: opts.MaxBranchNodes,
+	}
+	for v := 0; v < n; v++ {
+		row := newBitset(n)
+		g.ForEachNeighbor(int32(v), func(u int32) bool {
+			row.set(u)
+			return true
+		})
+		s.adj[v] = row
+	}
+	if opts.CliqueHint != nil {
+		if len(opts.CliqueHint) != n {
+			return nil, fmt.Errorf("%w: hint length %d, graph has %d nodes", ErrBadHint, len(opts.CliqueHint), n)
+		}
+		if err := validateCliqueHint(g, opts.CliqueHint); err != nil {
+			return nil, err
+		}
+		s.hint, s.hintStamp = compressHint(opts.CliqueHint)
+	}
+	active := newBitset(n)
+	for v := 0; v < n; v++ {
+		active.set(int32(v))
+	}
+	s.scratch = newBitset(n)
+	s.solve(active)
+	sortNodes(s.best)
+	if s.exceeded {
+		return s.best, ErrBudgetExceeded
+	}
+	return s.best, nil
+}
+
+// validateCliqueHint checks that nodes sharing a hint id are pairwise
+// adjacent.
+func validateCliqueHint(g *graph.Graph, hint []int32) error {
+	byID := map[int32][]int32{}
+	for v, id := range hint {
+		byID[id] = append(byID[id], int32(v))
+	}
+	for id, members := range byID {
+		for i := 0; i < len(members); i++ {
+			for j := i + 1; j < len(members); j++ {
+				if !g.HasEdge(members[i], members[j]) {
+					return fmt.Errorf("%w: nodes %d and %d share id %d but are not adjacent",
+						ErrBadHint, members[i], members[j], id)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// compressHint renumbers arbitrary clique ids to 0..k-1 and allocates the
+// generation-stamp array used for O(1)-amortised distinct counting.
+func compressHint(hint []int32) (compressed []int32, stamp []int64) {
+	next := int32(0)
+	remap := map[int32]int32{}
+	compressed = make([]int32, len(hint))
+	for v, id := range hint {
+		c, ok := remap[id]
+		if !ok {
+			c = next
+			remap[id] = c
+			next++
+		}
+		compressed[v] = c
+	}
+	return compressed, make([]int64, next)
+}
+
+type exactState struct {
+	n         int
+	adj       []bitset
+	best      []int32
+	cur       []int32
+	budget    int64 // remaining branch nodes; <= 0 with budgeted=true means stop
+	exceeded  bool
+	hint      []int32
+	hintStamp []int64
+	hintGen   int64
+	scratch   bitset
+	scratch2  bitset
+}
+
+// solve explores the branch rooted at the given active set. It owns
+// `active` (callers pass clones) and restores s.cur before returning.
+func (s *exactState) solve(active bitset) {
+	if s.exceeded {
+		return
+	}
+	if s.budget != 0 {
+		s.budget--
+		if s.budget == 0 {
+			s.exceeded = true
+			return
+		}
+	}
+	curMark := len(s.cur)
+	defer func() { s.cur = s.cur[:curMark] }()
+
+	s.reduce(active)
+
+	if !active.any() {
+		s.maybeRecord()
+		return
+	}
+
+	// After reduction every active node has active-degree >= 2. If the max
+	// active degree is 2 the residue is a disjoint union of cycles; solve
+	// it directly.
+	maxV, maxDeg := s.maxDegree(active)
+	if maxDeg <= 2 {
+		s.solveCycles(active)
+		s.maybeRecord()
+		return
+	}
+
+	// Bound: α(active) is at most the size of any clique cover of the
+	// active subgraph, and at most |active| − |matching| for any matching.
+	// The greedy clique cover discovers the per-edge cliques of conflict
+	// graphs (Section 2, E_edge) because their blocks are contiguous in id
+	// order; the matching bound is stronger on sparse residues.
+	ub := s.greedyCliqueCoverSize(active)
+	if mb := active.count() - s.greedyMatchingSize(active); mb < ub {
+		ub = mb
+	}
+	if s.hint != nil {
+		if hb := s.distinctActiveCliques(active); hb < ub {
+			ub = hb
+		}
+	}
+	if len(s.cur)+ub <= len(s.best) {
+		return
+	}
+
+	// Branch on the max-degree vertex; include first for earlier strong
+	// incumbents.
+	include := active.clone()
+	include.andNotInPlace(s.adj[maxV])
+	include.clear(maxV)
+	s.cur = append(s.cur, maxV)
+	s.solve(include)
+	s.cur = s.cur[:len(s.cur)-1]
+
+	exclude := active // safe: we own it and no longer need the original
+	exclude.clear(maxV)
+	s.solve(exclude)
+}
+
+// reduce applies the degree-0 and degree-1 rules until none fires,
+// extending s.cur with the forced inclusions and shrinking active in place.
+func (s *exactState) reduce(active bitset) {
+	for changed := true; changed; {
+		changed = false
+		active.forEach(func(v int32) bool {
+			if !active.has(v) {
+				// forEach snapshots one word at a time; v may have been
+				// cleared by an earlier rule firing in the same word.
+				return true
+			}
+			d := countAnd(s.adj[v], active)
+			switch d {
+			case 0:
+				s.cur = append(s.cur, v)
+				active.clear(v)
+				changed = true
+			case 1:
+				s.cur = append(s.cur, v)
+				active.clear(v)
+				u := firstAnd(s.adj[v], active)
+				active.clear(u)
+				changed = true
+			}
+			return true
+		})
+	}
+}
+
+// maxDegree returns the active vertex with the largest active degree.
+func (s *exactState) maxDegree(active bitset) (v int32, deg int) {
+	v, deg = -1, -1
+	active.forEach(func(u int32) bool {
+		if d := countAnd(s.adj[u], active); d > deg {
+			deg = d
+			v = u
+		}
+		return true
+	})
+	return v, deg
+}
+
+// solveCycles optimally solves the all-degrees-2 residue (disjoint cycles):
+// a cycle of length L contributes floor(L/2) alternate vertices.
+func (s *exactState) solveCycles(active bitset) {
+	remaining := active.clone()
+	for {
+		start := remaining.first()
+		if start < 0 {
+			return
+		}
+		// Walk the cycle from start, picking every other vertex but never
+		// the last one if the length is odd (positions 0,2,...,2⌊L/2⌋−2).
+		var cycle []int32
+		prev := int32(-1)
+		v := start
+		for {
+			cycle = append(cycle, v)
+			remaining.clear(v)
+			next := int32(-1)
+			andInto(s.scratch, s.adj[v], active)
+			s.scratch.forEach(func(u int32) bool {
+				if u != prev && remaining.has(u) {
+					next = u
+					return false
+				}
+				return true
+			})
+			if next < 0 {
+				break
+			}
+			prev = v
+			v = next
+		}
+		take := len(cycle) / 2
+		for i := 0; i < take; i++ {
+			s.cur = append(s.cur, cycle[2*i])
+		}
+	}
+}
+
+// greedyMatchingSize returns the size of a maximal matching of the active
+// subgraph; α ≤ |active| − matching size.
+func (s *exactState) greedyMatchingSize(active bitset) int {
+	unmatched := active.clone()
+	size := 0
+	for {
+		v := unmatched.first()
+		if v < 0 {
+			return size
+		}
+		unmatched.clear(v)
+		u := firstAnd(s.adj[v], unmatched)
+		if u >= 0 {
+			unmatched.clear(u)
+			size++
+		}
+	}
+}
+
+// greedyCliqueCoverSize covers the active nodes with greedily grown
+// cliques and returns their count, an upper bound on α(active): an
+// independent set takes at most one node per clique. Each node is
+// processed exactly once, so the cost is O(n) bitset operations.
+func (s *exactState) greedyCliqueCoverSize(active bitset) int {
+	remaining := active.clone()
+	cand := s.scratch2
+	if cand == nil {
+		cand = newBitset(s.n)
+		s.scratch2 = cand
+	}
+	cover := 0
+	for {
+		v := remaining.first()
+		if v < 0 {
+			return cover
+		}
+		cover++
+		remaining.clear(v)
+		// cand = remaining nodes adjacent to every clique member so far.
+		andInto(cand, remaining, s.adj[v])
+		for {
+			u := cand.first()
+			if u < 0 {
+				break
+			}
+			remaining.clear(u)
+			cand.clear(u)
+			for i := range cand {
+				cand[i] &= s.adj[u][i]
+			}
+		}
+	}
+}
+
+// distinctActiveCliques counts distinct clique-hint ids among active nodes
+// using a generation stamp to avoid clearing.
+func (s *exactState) distinctActiveCliques(active bitset) int {
+	s.hintGen++
+	count := 0
+	active.forEach(func(v int32) bool {
+		id := s.hint[v]
+		if s.hintStamp[id] != s.hintGen {
+			s.hintStamp[id] = s.hintGen
+			count++
+		}
+		return true
+	})
+	return count
+}
+
+// maybeRecord promotes the current selection to the incumbent if larger.
+func (s *exactState) maybeRecord() {
+	if len(s.cur) > len(s.best) {
+		s.best = append(s.best[:0], s.cur...)
+	}
+}

@@ -1,0 +1,252 @@
+package maxis
+
+import (
+	"errors"
+	"math/bits"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"pslocal/internal/graph"
+)
+
+// bruteForceAlpha enumerates all subsets; usable for n <= ~20.
+func bruteForceAlpha(g *graph.Graph) int {
+	n := g.N()
+	adjMask := make([]uint32, n)
+	for v := 0; v < n; v++ {
+		g.ForEachNeighbor(int32(v), func(u int32) bool {
+			adjMask[v] |= 1 << uint(u)
+			return true
+		})
+	}
+	best := 0
+	for mask := uint32(0); mask < 1<<uint(n); mask++ {
+		if bits.OnesCount32(mask) <= best {
+			continue
+		}
+		ok := true
+		for v := 0; v < n && ok; v++ {
+			if mask&(1<<uint(v)) != 0 && adjMask[v]&mask != 0 {
+				ok = false
+			}
+		}
+		if ok {
+			best = bits.OnesCount32(mask)
+		}
+	}
+	return best
+}
+
+func petersen() *graph.Graph {
+	b := graph.NewBuilder(10)
+	for i := int32(0); i < 5; i++ {
+		b.AddEdge(i, (i+1)%5)     // outer cycle
+		b.AddEdge(i, i+5)         // spokes
+		b.AddEdge(5+i, 5+(i+2)%5) // inner pentagram
+	}
+	return b.MustBuild()
+}
+
+func TestExactKnownGraphs(t *testing.T) {
+	tests := []struct {
+		name string
+		g    *graph.Graph
+		want int
+	}{
+		{"empty graph", graph.Empty(0), 0},
+		{"edgeless", graph.Empty(7), 7},
+		{"single node", graph.Empty(1), 1},
+		{"path4", graph.Path(4), 2},
+		{"path5", graph.Path(5), 3},
+		{"cycle5", graph.Cycle(5), 2},
+		{"cycle6", graph.Cycle(6), 3},
+		{"cycle7", graph.Cycle(7), 3},
+		{"complete6", graph.Complete(6), 1},
+		{"star8", graph.Star(8), 7},
+		{"bipartite", graph.CompleteBipartite(3, 5), 5},
+		{"grid3x3", graph.Grid(3, 3), 5},
+		{"grid4x4", graph.Grid(4, 4), 8},
+		{"petersen", petersen(), 4},
+		{"two cliques", graph.Union(graph.Complete(4), graph.Complete(3)), 2},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			set, err := Exact(tt.g)
+			if err != nil {
+				t.Fatalf("Exact error: %v", err)
+			}
+			if len(set) != tt.want {
+				t.Errorf("α = %d, want %d (set %v)", len(set), tt.want, set)
+			}
+			if !IsIndependentSet(tt.g, set) {
+				t.Errorf("returned set %v is not independent", set)
+			}
+		})
+	}
+}
+
+func TestExactMatchesBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(14)
+		g := graph.GnP(n, 0.1+0.6*rng.Float64(), rng)
+		set, err := Exact(g)
+		if err != nil {
+			return false
+		}
+		return IsIndependentSet(g, set) && len(set) == bruteForceAlpha(g)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestExactOnLargerSparseGraph(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	g := graph.GnP(90, 0.05, rng)
+	set, err := Exact(g)
+	if err != nil {
+		t.Fatalf("Exact error: %v", err)
+	}
+	if !IsIndependentSet(g, set) {
+		t.Fatal("not independent")
+	}
+	greedy := GreedyMinDegree(g)
+	if len(set) < len(greedy) {
+		t.Errorf("exact %d smaller than greedy %d", len(set), len(greedy))
+	}
+}
+
+func TestExactCliqueHint(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	sizes := []int{4, 3, 5, 2, 4}
+	g := graph.CliquePartitionGraph(sizes, 0.2, rng)
+	hint := make([]int32, g.N())
+	idx := 0
+	for cliqueID, s := range sizes {
+		for i := 0; i < s; i++ {
+			hint[idx] = int32(cliqueID)
+			idx++
+		}
+	}
+	plain, err := Exact(g)
+	if err != nil {
+		t.Fatalf("Exact error: %v", err)
+	}
+	hinted, err := ExactOpts(g, ExactOptions{CliqueHint: hint})
+	if err != nil {
+		t.Fatalf("ExactOpts error: %v", err)
+	}
+	if len(plain) != len(hinted) {
+		t.Errorf("hint changed α: %d vs %d", len(plain), len(hinted))
+	}
+	if !IsIndependentSet(g, hinted) {
+		t.Error("hinted result not independent")
+	}
+}
+
+func TestExactCliqueHintErrors(t *testing.T) {
+	g := graph.Path(4)
+	if _, err := ExactOpts(g, ExactOptions{CliqueHint: []int32{0, 0}}); !errors.Is(err, ErrBadHint) {
+		t.Errorf("short hint error = %v, want ErrBadHint", err)
+	}
+	// Nodes 0 and 2 are not adjacent in P4, so they cannot share a clique.
+	if _, err := ExactOpts(g, ExactOptions{CliqueHint: []int32{1, 2, 1, 3}}); !errors.Is(err, ErrBadHint) {
+		t.Errorf("non-clique hint error = %v, want ErrBadHint", err)
+	}
+	// A valid partition: {0,1} and {2,3} are edges of P4.
+	if _, err := ExactOpts(g, ExactOptions{CliqueHint: []int32{5, 5, 9, 9}}); err != nil {
+		t.Errorf("valid hint rejected: %v", err)
+	}
+}
+
+func TestExactBudget(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	g := graph.GnP(120, 0.3, rng)
+	set, err := ExactOpts(g, ExactOptions{MaxBranchNodes: 10})
+	if !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("error = %v, want ErrBudgetExceeded", err)
+	}
+	if !IsIndependentSet(g, set) {
+		t.Error("anytime result not independent")
+	}
+}
+
+func TestExactResultIsSorted(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	g := graph.GnP(30, 0.2, rng)
+	set, err := Exact(g)
+	if err != nil {
+		t.Fatalf("Exact error: %v", err)
+	}
+	for i := 1; i < len(set); i++ {
+		if set[i-1] >= set[i] {
+			t.Fatalf("result %v not strictly ascending", set)
+		}
+	}
+}
+
+func TestAlpha(t *testing.T) {
+	a, err := Alpha(graph.Cycle(9))
+	if err != nil {
+		t.Fatalf("Alpha error: %v", err)
+	}
+	if a != 4 {
+		t.Errorf("Alpha(C9) = %d, want 4", a)
+	}
+}
+
+func TestExactPureCyclesResidue(t *testing.T) {
+	// A graph that reduces immediately to the degree-2 residue: disjoint
+	// cycles exercise solveCycles directly.
+	g := graph.Union(graph.Cycle(5), graph.Union(graph.Cycle(4), graph.Cycle(7)))
+	set, err := Exact(g)
+	if err != nil {
+		t.Fatalf("Exact error: %v", err)
+	}
+	want := 2 + 2 + 3
+	if len(set) != want {
+		t.Errorf("α = %d, want %d", len(set), want)
+	}
+	if !IsIndependentSet(g, set) {
+		t.Error("not independent")
+	}
+}
+
+func TestBitsetOps(t *testing.T) {
+	b := newBitset(130)
+	for _, i := range []int32{0, 63, 64, 129} {
+		b.set(i)
+	}
+	if b.count() != 4 {
+		t.Fatalf("count = %d, want 4", b.count())
+	}
+	if !b.has(63) || b.has(62) {
+		t.Error("has() wrong")
+	}
+	b.clear(63)
+	if b.has(63) || b.count() != 3 {
+		t.Error("clear() wrong")
+	}
+	if b.first() != 0 {
+		t.Errorf("first = %d, want 0", b.first())
+	}
+	var got []int32
+	b.forEach(func(i int32) bool { got = append(got, i); return true })
+	if len(got) != 3 || got[0] != 0 || got[1] != 64 || got[2] != 129 {
+		t.Errorf("forEach = %v", got)
+	}
+	other := newBitset(130)
+	other.set(64)
+	if countAnd(b, other) != 1 {
+		t.Error("countAnd wrong")
+	}
+	if firstAnd(b, other) != 64 {
+		t.Error("firstAnd wrong")
+	}
+	empty := newBitset(130)
+	if empty.any() || empty.first() != -1 || firstAnd(empty, b) != -1 {
+		t.Error("empty bitset behaviour wrong")
+	}
+}

@@ -1,0 +1,115 @@
+package maxis
+
+// ramsey.go implements the Ramsey-based CliqueRemoval algorithm of Boppana
+// and Halldórsson ("Approximating maximum independent sets by excluding
+// subgraphs", 1992): repeatedly run the Ramsey procedure, which returns a
+// clique and an independent set, keep the best independent set seen, and
+// remove the clique. It guarantees an O(n / log² n) approximation — the
+// strongest general-graph guarantee among the heuristic oracles in this
+// package — and serves as the intermediate-quality oracle between greedy
+// and exact in experiment E7.
+
+import (
+	"pslocal/internal/graph"
+)
+
+// Ramsey returns a clique and an independent set of the subgraph induced by
+// the active set, following the classic recursion: for a pivot v, the
+// clique side recurses into N(v) and the independent side into the
+// non-neighbours.
+func Ramsey(g *graph.Graph, active []int32) (clique, independent []int32) {
+	n := g.N()
+	adj := adjacencyBitsets(g)
+	act := newBitset(n)
+	for _, v := range active {
+		act.set(v)
+	}
+	c, i := ramseyRec(adj, act)
+	var cs, is []int32
+	c.forEach(func(v int32) bool { cs = append(cs, v); return true })
+	i.forEach(func(v int32) bool { is = append(is, v); return true })
+	return cs, is
+}
+
+func ramseyRec(adj []bitset, active bitset) (clique, independent bitset) {
+	v := active.first()
+	if v < 0 {
+		return newBitset(len(active) * 64), newBitset(len(active) * 64)
+	}
+	nbrs := active.clone()
+	for i := range nbrs {
+		nbrs[i] &= adj[v][i]
+	}
+	nonNbrs := active.clone()
+	nonNbrs.andNotInPlace(adj[v])
+	nonNbrs.clear(v)
+
+	c1, i1 := ramseyRec(adj, nbrs)
+	c2, i2 := ramseyRec(adj, nonNbrs)
+
+	c1.set(v) // v extends the clique found among its neighbours
+	i2.set(v) // v extends the independent set found among its non-neighbours
+
+	clique = c1
+	if c2.count() > c1.count() {
+		clique = c2
+	}
+	independent = i1
+	if i2.count() > i1.count() {
+		independent = i2
+	}
+	return clique, independent
+}
+
+// CliqueRemoval runs the Boppana–Halldórsson outer loop and returns the
+// largest independent set any Ramsey call produced.
+func CliqueRemoval(g *graph.Graph) []int32 {
+	n := g.N()
+	adj := adjacencyBitsets(g)
+	active := newBitset(n)
+	for v := 0; v < n; v++ {
+		active.set(int32(v))
+	}
+	var best bitset
+	for active.any() {
+		c, i := ramseyRec(adj, active)
+		if best == nil || i.count() > best.count() {
+			best = i
+		}
+		if !c.any() {
+			break // defensive: Ramsey on a non-empty set always returns a non-empty clique
+		}
+		active.andNotInPlace(c)
+	}
+	var out []int32
+	if best != nil {
+		best.forEach(func(v int32) bool { out = append(out, v); return true })
+	}
+	return out
+}
+
+// CliqueRemovalOracle adapts CliqueRemoval to the Oracle interface.
+type CliqueRemovalOracle struct{}
+
+// Name implements Oracle.
+func (CliqueRemovalOracle) Name() string { return "clique-removal" }
+
+// Solve implements Oracle.
+func (CliqueRemovalOracle) Solve(g *graph.Graph) ([]int32, error) {
+	return CliqueRemoval(g), nil
+}
+
+// adjacencyBitsets converts g's adjacency to bitset rows.
+func adjacencyBitsets(g *graph.Graph) []bitset {
+	n := g.N()
+	adj := make([]bitset, n)
+	for v := 0; v < n; v++ {
+		row := newBitset(n)
+		g.ForEachNeighbor(int32(v), func(u int32) bool {
+			row.set(u)
+			return true
+		})
+		adj[v] = row
+	}
+	return adj
+}

@@ -1,0 +1,108 @@
+package maxis
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"pslocal/internal/graph"
+)
+
+// isClique reports whether nodes are pairwise adjacent in g.
+func isClique(g *graph.Graph, nodes []int32) bool {
+	for i := 0; i < len(nodes); i++ {
+		for j := i + 1; j < len(nodes); j++ {
+			if !g.HasEdge(nodes[i], nodes[j]) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func allNodes(g *graph.Graph) []int32 {
+	out := make([]int32, g.N())
+	for i := range out {
+		out[i] = int32(i)
+	}
+	return out
+}
+
+func TestRamseyReturnsCliqueAndIndependentSet(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := graph.GnP(1+rng.Intn(40), rng.Float64(), rng)
+		c, i := Ramsey(g, allNodes(g))
+		if len(c) == 0 || len(i) == 0 {
+			return false // non-empty input always yields both
+		}
+		return isClique(g, c) && IsIndependentSet(g, i)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRamseyExtremes(t *testing.T) {
+	g := graph.Complete(6)
+	c, i := Ramsey(g, allNodes(g))
+	if len(c) != 6 {
+		t.Errorf("clique in K6 = %d nodes, want 6", len(c))
+	}
+	if len(i) != 1 {
+		t.Errorf("independent set in K6 = %d nodes, want 1", len(i))
+	}
+	g = graph.Empty(5)
+	c, i = Ramsey(g, allNodes(g))
+	if len(c) != 1 || len(i) != 5 {
+		t.Errorf("edgeless: clique %d, is %d, want 1, 5", len(c), len(i))
+	}
+}
+
+func TestRamseySubsetRespectsActive(t *testing.T) {
+	g := graph.Complete(8)
+	active := []int32{1, 3, 5}
+	c, i := Ramsey(g, active)
+	inActive := map[int32]bool{1: true, 3: true, 5: true}
+	for _, v := range append(append([]int32{}, c...), i...) {
+		if !inActive[v] {
+			t.Errorf("node %d outside active set", v)
+		}
+	}
+	if len(c) != 3 || len(i) != 1 {
+		t.Errorf("clique %d, is %d, want 3, 1", len(c), len(i))
+	}
+}
+
+func TestCliqueRemovalProperties(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := graph.GnP(1+rng.Intn(50), rng.Float64()*0.7, rng)
+		set := CliqueRemoval(g)
+		return IsIndependentSet(g, set) && (g.N() == 0 || len(set) > 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCliqueRemovalBeatsTrivialOnCliquePartition(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	// 10 disjoint triangles: α = 10; clique removal should find it exactly
+	// because each Ramsey run peels a triangle.
+	sizes := make([]int, 10)
+	for i := range sizes {
+		sizes[i] = 3
+	}
+	g := graph.CliquePartitionGraph(sizes, 0, rng)
+	set := CliqueRemoval(g)
+	if len(set) != 10 {
+		t.Errorf("clique removal on 10 triangles = %d, want 10", len(set))
+	}
+}
+
+func TestCliqueRemovalEmptyGraph(t *testing.T) {
+	if set := CliqueRemoval(graph.Empty(0)); len(set) != 0 {
+		t.Errorf("empty graph result = %v", set)
+	}
+}

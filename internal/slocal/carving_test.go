@@ -1,0 +1,151 @@
+package slocal
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"pslocal/internal/graph"
+	"pslocal/internal/maxis"
+)
+
+func TestBallCarvingGuarantee(t *testing.T) {
+	// On small graphs the result must be a (1+δ)-approximation of the true
+	// optimum — the containment direction of Theorem 1.1 in test form.
+	rng := rand.New(rand.NewSource(1))
+	deltas := []float64{1.0, 0.5, 0.25}
+	graphs := map[string]*graph.Graph{
+		"path":     graph.Path(20),
+		"cycle":    graph.Cycle(21),
+		"star":     graph.Star(15),
+		"grid":     graph.Grid(5, 6),
+		"gnp":      graph.GnP(60, 0.08, rng),
+		"complete": graph.Complete(12),
+		"edgeless": graph.Empty(9),
+		"disjoint": graph.Union(graph.Cycle(7), graph.GnP(25, 0.15, rng)),
+	}
+	for name, g := range graphs {
+		opt, err := maxis.Exact(g)
+		if err != nil {
+			t.Fatalf("%s: exact error: %v", name, err)
+		}
+		for _, delta := range deltas {
+			res, err := BallCarvingMaxIS(g, CarvingOptions{Delta: delta})
+			if err != nil {
+				t.Fatalf("%s δ=%v: %v", name, delta, err)
+			}
+			if !maxis.IsIndependentSet(g, res.Set) {
+				t.Errorf("%s δ=%v: result not independent", name, delta)
+			}
+			if float64(len(res.Set))*(1+delta) < float64(len(opt))-1e-9 {
+				t.Errorf("%s δ=%v: |IS|=%d below α/(1+δ) with α=%d", name, delta, len(res.Set), len(opt))
+			}
+			if res.Locality > res.RadiusBound {
+				t.Errorf("%s δ=%v: locality %d exceeds bound %d", name, delta, res.Locality, res.RadiusBound)
+			}
+		}
+	}
+}
+
+func TestBallCarvingLocalityBoundFormula(t *testing.T) {
+	// ceil(log_{1+δ} n) + 1 sanity.
+	if got := logBound(1, 1.0); got != 1 {
+		t.Errorf("logBound(1) = %d, want 1", got)
+	}
+	if got := logBound(8, 1.0); got != 4 {
+		t.Errorf("logBound(8, δ=1) = %d, want 4", got)
+	}
+	n := 100
+	want := int(math.Ceil(math.Log(float64(n))/math.Log(1.5))) + 1
+	if got := logBound(n, 0.5); got < want-1 || got > want+1 {
+		t.Errorf("logBound(%d, 0.5) = %d, want about %d", n, got, want)
+	}
+}
+
+func TestBallCarvingRegionsPartition(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	g := graph.GnP(70, 0.06, rng)
+	res, err := BallCarvingMaxIS(g, CarvingOptions{Delta: 1.0, Order: randomOrder(g.N(), rng)})
+	if err != nil {
+		t.Fatalf("BallCarvingMaxIS error: %v", err)
+	}
+	totalClaimed := 0
+	for _, region := range res.Regions {
+		totalClaimed += region.ClaimedSize
+		if region.Chosen < 1 {
+			t.Errorf("region at %d chose %d nodes, want >= 1", region.Center, region.Chosen)
+		}
+	}
+	if totalClaimed != g.N() {
+		t.Errorf("regions claim %d nodes, want all %d", totalClaimed, g.N())
+	}
+}
+
+func TestBallCarvingGreedyInner(t *testing.T) {
+	// With a heuristic inner solver the guarantee is void but the result
+	// must still be independent.
+	rng := rand.New(rand.NewSource(3))
+	g := graph.GnP(150, 0.05, rng)
+	res, err := BallCarvingMaxIS(g, CarvingOptions{
+		Delta: 1.0,
+		Inner: func(sub *graph.Graph) ([]int32, error) { return maxis.GreedyMinDegree(sub), nil },
+	})
+	if err != nil {
+		t.Fatalf("BallCarvingMaxIS error: %v", err)
+	}
+	if !maxis.IsIndependentSet(g, res.Set) {
+		t.Error("result not independent with greedy inner solver")
+	}
+	if len(res.Set) == 0 {
+		t.Error("empty result on non-empty graph")
+	}
+}
+
+func TestBallCarvingErrors(t *testing.T) {
+	g := graph.Path(4)
+	if _, err := BallCarvingMaxIS(g, CarvingOptions{Delta: -1}); !errors.Is(err, ErrBadDelta) {
+		t.Errorf("negative delta error = %v, want ErrBadDelta", err)
+	}
+	if _, err := BallCarvingMaxIS(g, CarvingOptions{Order: []int32{0}}); !errors.Is(err, ErrBadOrder) {
+		t.Errorf("bad order error = %v, want ErrBadOrder", err)
+	}
+	innerErr := errors.New("inner boom")
+	if _, err := BallCarvingMaxIS(g, CarvingOptions{
+		Inner: func(*graph.Graph) ([]int32, error) { return nil, innerErr },
+	}); !errors.Is(err, innerErr) {
+		t.Errorf("inner error = %v, want wrapped %v", err, innerErr)
+	}
+}
+
+func TestBallCarvingEmptyGraph(t *testing.T) {
+	res, err := BallCarvingMaxIS(graph.Empty(0), CarvingOptions{})
+	if err != nil {
+		t.Fatalf("BallCarvingMaxIS error: %v", err)
+	}
+	if len(res.Set) != 0 || len(res.Regions) != 0 {
+		t.Errorf("empty graph produced %v", res)
+	}
+}
+
+func TestBallCarvingDeterministicForOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	g := graph.GnP(50, 0.1, rng)
+	order := randomOrder(g.N(), rng)
+	a, err := BallCarvingMaxIS(g, CarvingOptions{Order: order})
+	if err != nil {
+		t.Fatalf("first run: %v", err)
+	}
+	b, err := BallCarvingMaxIS(g, CarvingOptions{Order: order})
+	if err != nil {
+		t.Fatalf("second run: %v", err)
+	}
+	if len(a.Set) != len(b.Set) {
+		t.Fatalf("same order, different sizes %d vs %d", len(a.Set), len(b.Set))
+	}
+	for i := range a.Set {
+		if a.Set[i] != b.Set[i] {
+			t.Fatal("same order, different sets")
+		}
+	}
+}

@@ -1,0 +1,90 @@
+package slocal
+
+import (
+	"math/rand"
+	"testing"
+
+	"pslocal/internal/graph"
+)
+
+func TestDecompositionColouringProper(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	graphs := map[string]*graph.Graph{
+		"gnp":      graph.GnP(70, 0.08, rng),
+		"grid":     graph.Grid(7, 7),
+		"cycle":    graph.Cycle(30),
+		"tree":     graph.RandomTree(50, rng),
+		"complete": graph.Complete(12),
+		"star":     graph.Star(15),
+		"edgeless": graph.Empty(8),
+	}
+	for name, g := range graphs {
+		t.Run(name, func(t *testing.T) {
+			d, err := NetworkDecomposition(g, nil)
+			if err != nil {
+				t.Fatalf("decomposition: %v", err)
+			}
+			colours, err := DecompositionColouring(g, d)
+			if err != nil {
+				t.Fatalf("colouring: %v", err)
+			}
+			g.ForEachEdge(func(u, v int32) bool {
+				if colours[u] == colours[v] {
+					t.Errorf("edge {%d,%d} monochromatic (%d)", u, v, colours[u])
+				}
+				return true
+			})
+			for v := int32(0); int(v) < g.N(); v++ {
+				if colours[v] < 1 || int(colours[v]) > g.Degree(v)+1 {
+					t.Errorf("node %d colour %d outside 1..deg+1=%d", v, colours[v], g.Degree(v)+1)
+				}
+			}
+		})
+	}
+}
+
+func TestDecompositionColouringRandomOrders(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	g := graph.GnP(60, 0.1, rng)
+	for trial := 0; trial < 5; trial++ {
+		d, err := NetworkDecomposition(g, randomOrder(g.N(), rng))
+		if err != nil {
+			t.Fatalf("trial %d decomposition: %v", trial, err)
+		}
+		colours, err := DecompositionColouring(g, d)
+		if err != nil {
+			t.Fatalf("trial %d colouring: %v", trial, err)
+		}
+		bad := false
+		g.ForEachEdge(func(u, v int32) bool {
+			if colours[u] == colours[v] {
+				bad = true
+				return false
+			}
+			return true
+		})
+		if bad {
+			t.Fatalf("trial %d: improper colouring", trial)
+		}
+	}
+}
+
+func TestDecompositionColouringRejectsMismatchedInput(t *testing.T) {
+	g := graph.Path(5)
+	d, err := NetworkDecomposition(graph.Path(3), nil)
+	if err != nil {
+		t.Fatalf("decomposition: %v", err)
+	}
+	if _, err := DecompositionColouring(g, d); err == nil {
+		t.Error("mismatched decomposition accepted")
+	}
+	// Corrupted cluster ids must surface, not panic.
+	d5, err := NetworkDecomposition(g, nil)
+	if err != nil {
+		t.Fatalf("decomposition: %v", err)
+	}
+	d5.Cluster[0] = 99
+	if _, err := DecompositionColouring(g, d5); err == nil {
+		t.Error("corrupt cluster id accepted")
+	}
+}

@@ -1,0 +1,88 @@
+package slocal
+
+// greedy.go implements the two locality-1 SLOCAL algorithms from the
+// paper's introduction: greedy MIS ("iterating through the nodes in an
+// arbitrary order and joining the independent set if none of the already
+// processed neighbours is already contained in the set") and the analogous
+// greedy (Δ+1)-colouring.
+
+import (
+	"pslocal/internal/graph"
+)
+
+// misState is the state a node stores after being processed by GreedyMIS.
+type misState struct {
+	inMIS bool
+}
+
+// GreedyMIS runs the locality-1 SLOCAL maximal independent set algorithm
+// in the given processing order and returns the MIS with run statistics.
+// The measured Locality of the result is always <= 1.
+func GreedyMIS(g *graph.Graph, order []int32) ([]int32, *Result, error) {
+	res, err := Run(g, order, func(v int32, view *View) any {
+		blocked := false
+		for _, u := range view.BallNodes(1) {
+			if u == v {
+				continue
+			}
+			if st, ok := view.State(u); ok {
+				if ms, isMIS := st.(misState); isMIS && ms.inMIS {
+					blocked = true
+					break
+				}
+			}
+		}
+		return misState{inMIS: !blocked}
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	var mis []int32
+	for v, out := range res.Outputs {
+		if ms, ok := out.(misState); ok && ms.inMIS {
+			mis = append(mis, int32(v))
+		}
+	}
+	return mis, res, nil
+}
+
+// colourState is the state a node stores after being processed by
+// GreedyColouring.
+type colourState struct {
+	colour int32
+}
+
+// GreedyColouring runs the locality-1 SLOCAL greedy colouring: each node
+// takes the smallest colour (1-based) unused by its already-processed
+// neighbours, which needs at most Δ+1 colours. It returns per-node colours
+// with run statistics.
+func GreedyColouring(g *graph.Graph, order []int32) ([]int32, *Result, error) {
+	res, err := Run(g, order, func(v int32, view *View) any {
+		used := make(map[int32]bool)
+		for _, u := range view.BallNodes(1) {
+			if u == v {
+				continue
+			}
+			if st, ok := view.State(u); ok {
+				if cs, isCol := st.(colourState); isCol {
+					used[cs.colour] = true
+				}
+			}
+		}
+		c := int32(1)
+		for used[c] {
+			c++
+		}
+		return colourState{colour: c}
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	colours := make([]int32, g.N())
+	for v, out := range res.Outputs {
+		if cs, ok := out.(colourState); ok {
+			colours[v] = cs.colour
+		}
+	}
+	return colours, res, nil
+}

@@ -1,0 +1,139 @@
+package slocal
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"pslocal/internal/graph"
+	"pslocal/internal/maxis"
+)
+
+func TestNetworkDecompositionValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	graphs := map[string]*graph.Graph{
+		"path":     graph.Path(30),
+		"cycle":    graph.Cycle(25),
+		"grid":     graph.Grid(7, 8),
+		"tree":     graph.RandomTree(60, rng),
+		"gnp":      graph.GnP(80, 0.05, rng),
+		"complete": graph.Complete(15),
+		"edgeless": graph.Empty(10),
+		"star":     graph.Star(20),
+	}
+	for name, g := range graphs {
+		t.Run(name, func(t *testing.T) {
+			d, err := NetworkDecomposition(g, nil)
+			if err != nil {
+				t.Fatalf("NetworkDecomposition error: %v", err)
+			}
+			if err := d.Validate(g); err != nil {
+				t.Fatalf("Validate: %v", err)
+			}
+			if n := g.N(); n > 0 {
+				colourBound := int(math.Ceil(math.Log2(float64(n)))) + 1
+				if d.NumColors > colourBound {
+					t.Errorf("colours %d exceed ceil(log2 n)+1 = %d", d.NumColors, colourBound)
+				}
+				radiusBound := int(math.Log2(float64(n))) + 1
+				if d.MaxRadius > radiusBound {
+					t.Errorf("max radius %d exceeds log2 n bound %d", d.MaxRadius, radiusBound)
+				}
+			}
+		})
+	}
+}
+
+func TestNetworkDecompositionEmptyGraph(t *testing.T) {
+	d, err := NetworkDecomposition(graph.Empty(0), nil)
+	if err != nil {
+		t.Fatalf("error: %v", err)
+	}
+	if d.NumColors != 0 || d.NumClusters != 0 {
+		t.Errorf("empty graph decomposition: %+v", d)
+	}
+	if err := d.Validate(graph.Empty(0)); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+}
+
+func TestNetworkDecompositionBadOrder(t *testing.T) {
+	if _, err := NetworkDecomposition(graph.Path(3), []int32{0}); !errors.Is(err, ErrBadOrder) {
+		t.Errorf("error = %v, want ErrBadOrder", err)
+	}
+}
+
+func TestNetworkDecompositionRandomOrders(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	g := graph.GnP(70, 0.08, rng)
+	for trial := 0; trial < 5; trial++ {
+		d, err := NetworkDecomposition(g, randomOrder(g.N(), rng))
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if err := d.Validate(g); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+	}
+}
+
+func TestNetworkDecompositionCliqueIsOneClusterPerPhase(t *testing.T) {
+	g := graph.Complete(9)
+	d, err := NetworkDecomposition(g, nil)
+	if err != nil {
+		t.Fatalf("error: %v", err)
+	}
+	// B(v,0) = {v}, B(v,1) = everything: 1 <= 2·... wait |B(1)| = 9 > 2
+	// so r grows; |B(2)| = |B(1)| = 9 <= 18 fires at r=1: the whole clique
+	// is one cluster of radius 1.
+	if d.NumClusters != 1 {
+		t.Errorf("K9 decomposed into %d clusters, want 1", d.NumClusters)
+	}
+	if d.NumColors != 1 {
+		t.Errorf("K9 used %d colours, want 1", d.NumColors)
+	}
+}
+
+func TestDecompositionMaxIS(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 8; trial++ {
+		g := graph.GnP(40+rng.Intn(30), 0.05+rng.Float64()*0.1, rng)
+		d, err := NetworkDecomposition(g, nil)
+		if err != nil {
+			t.Fatalf("trial %d decomposition: %v", trial, err)
+		}
+		set, err := DecompositionMaxIS(g, d)
+		if err != nil {
+			t.Fatalf("trial %d solve: %v", trial, err)
+		}
+		if !maxis.IsIndependentSet(g, set) {
+			t.Fatalf("trial %d: not independent", trial)
+		}
+		if g.N() > 0 && len(set) == 0 {
+			t.Fatalf("trial %d: empty result", trial)
+		}
+	}
+}
+
+func TestDecompositionValidateCatchesCorruption(t *testing.T) {
+	g := graph.Path(6)
+	d, err := NetworkDecomposition(g, nil)
+	if err != nil {
+		t.Fatalf("error: %v", err)
+	}
+	// Corrupt: give two adjacent nodes in different clusters the same
+	// colour, or break the cluster id range.
+	bad := *d
+	bad.Cluster = append([]int32(nil), d.Cluster...)
+	bad.Cluster[0] = 99
+	if err := bad.Validate(g); err == nil {
+		t.Error("out-of-range cluster id not caught")
+	}
+	bad2 := *d
+	bad2.Color = append([]int32(nil), d.Color...)
+	bad2.Color[0] = 0
+	if err := bad2.Validate(g); err == nil {
+		t.Error("zero colour not caught")
+	}
+}

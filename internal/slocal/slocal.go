@@ -1,0 +1,198 @@
+// Package slocal simulates the SLOCAL model of Ghaffari, Kuhn and Maus
+// [GKM17], the model in which the paper's completeness result lives. An
+// SLOCAL algorithm with locality r processes the nodes in an arbitrary
+// order; when node v is processed it sees the graph topology and the
+// previously written states inside its r-hop ball B(v, r) and writes its
+// own output/state, which later nodes may read.
+//
+// The simulator measures locality instead of assuming it: a node's view
+// starts empty and grows only as the algorithm requests larger balls, and
+// the runner reports the maximum effective radius any node used.
+//
+// The package hosts the SLOCAL algorithms the paper discusses: the
+// locality-1 greedy MIS of the introduction, greedy (Δ+1)-colouring, the
+// ball-carving (1+δ)-approximate MaxIS that realises the containment
+// direction of Theorem 1.1, and the network decomposition underlying the
+// class P-SLOCAL.
+package slocal
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"pslocal/internal/graph"
+)
+
+// ErrBadOrder reports a processing order that is not a permutation of the
+// node set.
+var ErrBadOrder = errors.New("slocal: order is not a permutation of the nodes")
+
+// View is what a node observes while being processed. All information
+// access goes through the view so the runner can account for the locality
+// actually used.
+type View struct {
+	g        *graph.Graph
+	center   int32
+	states   []any
+	dist     map[int32]int32
+	frontier []int32
+	explored int  // levels fully explored so far
+	finished bool // BFS exhausted the component
+	maxUsed  int  // effective locality consumed
+}
+
+func newView(g *graph.Graph, center int32, states []any) *View {
+	return &View{
+		g:        g,
+		center:   center,
+		states:   states,
+		dist:     map[int32]int32{center: 0},
+		frontier: []int32{center},
+	}
+}
+
+// Center returns the node being processed.
+func (w *View) Center() int32 { return w.center }
+
+// extend grows the explored ball to radius r (or until the component is
+// exhausted) and charges the effective radius to the locality account.
+func (w *View) extend(r int) {
+	for w.explored < r && !w.finished {
+		var next []int32
+		d := int32(w.explored + 1)
+		for _, v := range w.frontier {
+			w.g.ForEachNeighbor(v, func(u int32) bool {
+				if _, ok := w.dist[u]; !ok {
+					w.dist[u] = d
+					next = append(next, u)
+				}
+				return true
+			})
+		}
+		w.frontier = next
+		if len(next) == 0 {
+			w.finished = true
+			break
+		}
+		w.explored++
+	}
+	if w.explored > w.maxUsed {
+		w.maxUsed = w.explored
+	}
+}
+
+// BallNodes returns the nodes of B(center, r) in ascending order,
+// extending the explored region as needed. Requesting a radius beyond the
+// component's extent charges only the effective (exhausted) radius.
+func (w *View) BallNodes(r int) []int32 {
+	if r < 0 {
+		return nil
+	}
+	w.extend(r)
+	limit := int32(r)
+	var nodes []int32
+	for u, d := range w.dist {
+		if d <= limit {
+			nodes = append(nodes, u)
+		}
+	}
+	sortInt32(nodes)
+	return nodes
+}
+
+// BallGraph returns the subgraph induced by B(center, r) together with the
+// mapping orig[newID] = oldID.
+func (w *View) BallGraph(r int) (*graph.Graph, []int32, error) {
+	nodes := w.BallNodes(r)
+	return graph.Induced(w.g, nodes)
+}
+
+// State returns the state previously written by node u. ok is false when u
+// lies outside the explored ball (the algorithm must request a larger ball
+// first) or when u has not been processed yet.
+func (w *View) State(u int32) (state any, ok bool) {
+	if _, seen := w.dist[u]; !seen {
+		return nil, false
+	}
+	if w.states[u] == nil {
+		return nil, false
+	}
+	return w.states[u], true
+}
+
+// Dist returns the distance from the centre to u when u is inside the
+// explored ball.
+func (w *View) Dist(u int32) (int, bool) {
+	d, ok := w.dist[u]
+	return int(d), ok
+}
+
+// Radius returns the effective locality consumed so far.
+func (w *View) Radius() int { return w.maxUsed }
+
+// Process computes node v's output/state from its view. The returned value
+// is stored as v's state, readable by later-processed nodes. A nil return
+// stores nothing (indistinguishable from "unprocessed" to later readers).
+type Process func(v int32, view *View) any
+
+// Result reports a completed SLOCAL run.
+type Result struct {
+	// Outputs holds each node's stored state, indexed by node id.
+	Outputs []any
+	// PerNodeLocality is the effective radius each node consumed.
+	PerNodeLocality []int
+	// Locality is the maximum entry of PerNodeLocality — the algorithm's
+	// measured SLOCAL locality on this input.
+	Locality int
+}
+
+// Run processes the nodes of g in the given order.
+func Run(g *graph.Graph, order []int32, proc Process) (*Result, error) {
+	if err := checkPermutation(g.N(), order); err != nil {
+		return nil, err
+	}
+	states := make([]any, g.N())
+	res := &Result{
+		Outputs:         states,
+		PerNodeLocality: make([]int, g.N()),
+	}
+	for _, v := range order {
+		view := newView(g, v, states)
+		states[v] = proc(v, view)
+		res.PerNodeLocality[v] = view.Radius()
+		if view.Radius() > res.Locality {
+			res.Locality = view.Radius()
+		}
+	}
+	return res, nil
+}
+
+// IdentityOrder returns the order 0,1,...,n-1.
+func IdentityOrder(n int) []int32 {
+	order := make([]int32, n)
+	for i := range order {
+		order[i] = int32(i)
+	}
+	return order
+}
+
+// checkPermutation validates that order is a permutation of 0..n-1.
+func checkPermutation(n int, order []int32) error {
+	if len(order) != n {
+		return fmt.Errorf("%w: length %d, want %d", ErrBadOrder, len(order), n)
+	}
+	seen := make([]bool, n)
+	for _, v := range order {
+		if v < 0 || int(v) >= n || seen[v] {
+			return fmt.Errorf("%w: offending entry %d", ErrBadOrder, v)
+		}
+		seen[v] = true
+	}
+	return nil
+}
+
+// sortInt32 ascending-sorts a slice of node ids.
+func sortInt32(s []int32) {
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+}

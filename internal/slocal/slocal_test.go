@@ -1,0 +1,220 @@
+package slocal
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"pslocal/internal/graph"
+	"pslocal/internal/maxis"
+)
+
+func randomOrder(n int, rng *rand.Rand) []int32 {
+	order := make([]int32, n)
+	for i, p := range rng.Perm(n) {
+		order[i] = int32(p)
+	}
+	return order
+}
+
+func TestRunOrderValidation(t *testing.T) {
+	g := graph.Path(3)
+	cases := [][]int32{
+		{0, 1},          // short
+		{0, 1, 1},       // repeat
+		{0, 1, 5},       // out of range
+		{0, 1, -1},      // negative
+		{0, 1, 2, 2, 2}, // long
+	}
+	for _, order := range cases {
+		if _, err := Run(g, order, func(int32, *View) any { return nil }); !errors.Is(err, ErrBadOrder) {
+			t.Errorf("order %v: error = %v, want ErrBadOrder", order, err)
+		}
+	}
+}
+
+func TestViewBallGrowthAndLocality(t *testing.T) {
+	g := graph.Path(7) // 0-1-2-3-4-5-6
+	res, err := Run(g, IdentityOrder(7), func(v int32, view *View) any {
+		if v == 3 {
+			nodes := view.BallNodes(2)
+			if len(nodes) != 5 {
+				t.Errorf("B(3,2) has %d nodes, want 5", len(nodes))
+			}
+			return len(nodes)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Run error: %v", err)
+	}
+	if res.PerNodeLocality[3] != 2 {
+		t.Errorf("node 3 locality = %d, want 2", res.PerNodeLocality[3])
+	}
+	if res.PerNodeLocality[0] != 0 {
+		t.Errorf("node 0 locality = %d, want 0 (never looked)", res.PerNodeLocality[0])
+	}
+	if res.Locality != 2 {
+		t.Errorf("run locality = %d, want 2", res.Locality)
+	}
+}
+
+func TestViewExhaustedComponentChargesEffectiveRadius(t *testing.T) {
+	g := graph.Path(3) // eccentricity of node 0 is 2
+	res, err := Run(g, IdentityOrder(3), func(v int32, view *View) any {
+		if v == 0 {
+			nodes := view.BallNodes(50) // far beyond the component
+			return len(nodes)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Run error: %v", err)
+	}
+	if got := res.Outputs[0].(int); got != 3 {
+		t.Errorf("ball size = %d, want 3", got)
+	}
+	if res.PerNodeLocality[0] != 2 {
+		t.Errorf("locality = %d, want effective 2", res.PerNodeLocality[0])
+	}
+}
+
+func TestViewStateVisibility(t *testing.T) {
+	g := graph.Path(4)
+	_, err := Run(g, IdentityOrder(4), func(v int32, view *View) any {
+		switch v {
+		case 0:
+			return "zero"
+		case 1:
+			// Node 0 is in B(1,1) and processed: state visible.
+			view.BallNodes(1)
+			if st, ok := view.State(0); !ok || st != "zero" {
+				t.Errorf("node 1 cannot read node 0's state: %v %v", st, ok)
+			}
+			// Node 2 is in the ball but unprocessed: not visible.
+			if _, ok := view.State(2); ok {
+				t.Error("unprocessed node's state should be invisible")
+			}
+			return "one"
+		case 3:
+			// Node 0 is outside B(3,1): invisible until the ball grows.
+			view.BallNodes(1)
+			if _, ok := view.State(0); ok {
+				t.Error("state outside explored ball should be invisible")
+			}
+			view.BallNodes(3)
+			if st, ok := view.State(0); !ok || st != "zero" {
+				t.Error("state should become visible after growing the ball")
+			}
+			return nil
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Run error: %v", err)
+	}
+}
+
+func TestViewDistAndBallGraph(t *testing.T) {
+	g := graph.Cycle(6)
+	_, err := Run(g, IdentityOrder(6), func(v int32, view *View) any {
+		if v != 0 {
+			return nil
+		}
+		sub, orig, err := view.BallGraph(2)
+		if err != nil {
+			t.Fatalf("BallGraph error: %v", err)
+		}
+		if sub.N() != 5 { // C6 ball of radius 2 misses the antipode
+			t.Errorf("ball graph has %d nodes, want 5", sub.N())
+		}
+		if d, ok := view.Dist(2); !ok || d != 2 {
+			t.Errorf("Dist(2) = %d,%v want 2,true", d, ok)
+		}
+		if _, ok := view.Dist(3); ok {
+			t.Error("antipode should be undiscovered at radius 2")
+		}
+		if sub.M() != 4 {
+			t.Errorf("ball graph has %d edges, want 4 (path around the cycle)", sub.M())
+		}
+		_ = orig
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Run error: %v", err)
+	}
+}
+
+func TestViewNegativeRadius(t *testing.T) {
+	g := graph.Path(2)
+	_, err := Run(g, IdentityOrder(2), func(v int32, view *View) any {
+		if nodes := view.BallNodes(-1); nodes != nil {
+			t.Errorf("BallNodes(-1) = %v, want nil", nodes)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Run error: %v", err)
+	}
+}
+
+func TestGreedyMISLocalityOne(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 15; trial++ {
+		g := graph.GnP(1+rng.Intn(60), rng.Float64()*0.3, rng)
+		order := randomOrder(g.N(), rng)
+		mis, res, err := GreedyMIS(g, order)
+		if err != nil {
+			t.Fatalf("GreedyMIS error: %v", err)
+		}
+		if !maxis.IsMaximalIndependentSet(g, mis) {
+			t.Fatalf("trial %d: not a maximal independent set", trial)
+		}
+		if res.Locality > 1 {
+			t.Errorf("trial %d: locality %d, want <= 1 (paper Section 1)", trial, res.Locality)
+		}
+	}
+}
+
+func TestGreedyMISAdversarialOrder(t *testing.T) {
+	g := graph.Star(6)
+	mis, _, err := GreedyMIS(g, []int32{0, 1, 2, 3, 4, 5})
+	if err != nil {
+		t.Fatalf("GreedyMIS error: %v", err)
+	}
+	if len(mis) != 1 || mis[0] != 0 {
+		t.Errorf("centre-first MIS = %v, want [0]", mis)
+	}
+	mis, _, err = GreedyMIS(g, []int32{5, 4, 3, 2, 1, 0})
+	if err != nil {
+		t.Fatalf("GreedyMIS error: %v", err)
+	}
+	if len(mis) != 5 {
+		t.Errorf("leaves-first MIS size = %d, want 5", len(mis))
+	}
+}
+
+func TestGreedyColouringProperAndBounded(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 15; trial++ {
+		g := graph.GnP(1+rng.Intn(50), rng.Float64()*0.4, rng)
+		colours, res, err := GreedyColouring(g, randomOrder(g.N(), rng))
+		if err != nil {
+			t.Fatalf("GreedyColouring error: %v", err)
+		}
+		g.ForEachEdge(func(u, v int32) bool {
+			if colours[u] == colours[v] {
+				t.Errorf("trial %d: edge {%d,%d} monochromatic", trial, u, v)
+			}
+			return true
+		})
+		for v := int32(0); int(v) < g.N(); v++ {
+			if colours[v] < 1 || int(colours[v]) > g.MaxDegree()+1 {
+				t.Errorf("trial %d: node %d colour %d outside 1..Δ+1", trial, v, colours[v])
+			}
+		}
+		if res.Locality > 1 {
+			t.Errorf("trial %d: locality %d, want <= 1", trial, res.Locality)
+		}
+	}
+}

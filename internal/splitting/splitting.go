@@ -1,0 +1,205 @@
+// Package splitting implements (weak) hypergraph splitting — listed by
+// the paper, alongside network decompositions, among the first known
+// P-SLOCAL-complete problems [GKM17]. A (weak) splitting 2-colours the
+// vertices so that no hyperedge is monochromatic (each edge "sees" both
+// colours); for edges of size >= 2 with bounded edge-degree the
+// Lovász-local-lemma regime applies and the Moser–Tardos resampling
+// algorithm finds a splitting in expected linear time.
+package splitting
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"pslocal/internal/hypergraph"
+)
+
+// Side labels of a splitting. Colour values are 1 and 2 (0 is unused, per
+// the repository-wide "0 = unset" convention).
+const (
+	// Left is side 1.
+	Left int32 = 1
+	// Right is side 2.
+	Right int32 = 2
+)
+
+// Errors returned by the splitter and verifier.
+var (
+	// ErrSingleton reports an edge of size 1, which can never see two
+	// colours.
+	ErrSingleton = errors.New("splitting: singleton edge cannot be split")
+	// ErrMonochromatic reports an edge seeing only one colour.
+	ErrMonochromatic = errors.New("splitting: monochromatic edge")
+	// ErrBudget reports that resampling did not converge within the
+	// budget.
+	ErrBudget = errors.New("splitting: resampling budget exhausted")
+)
+
+// Verify checks that colours is a valid weak splitting of h: every vertex
+// carries side 1 or 2 and no edge is monochromatic.
+func Verify(h *hypergraph.Hypergraph, colours []int32) error {
+	if len(colours) != h.N() {
+		return fmt.Errorf("splitting: %d colours for %d vertices", len(colours), h.N())
+	}
+	for v, c := range colours {
+		if c != Left && c != Right {
+			return fmt.Errorf("splitting: vertex %d has side %d, want %d or %d", v, c, Left, Right)
+		}
+	}
+	for j := 0; j < h.M(); j++ {
+		if h.EdgeSize(j) < 2 {
+			return fmt.Errorf("%w: edge %d", ErrSingleton, j)
+		}
+		first := int32(0)
+		mono := true
+		h.ForEachEdgeVertex(j, func(v int32) bool {
+			if first == 0 {
+				first = colours[v]
+				return true
+			}
+			if colours[v] != first {
+				mono = false
+				return false
+			}
+			return true
+		})
+		if mono {
+			return fmt.Errorf("%w: edge %d (%v)", ErrMonochromatic, j, h.Edge(j))
+		}
+	}
+	return nil
+}
+
+// MoserTardos finds a weak splitting by resampling: start from a uniform
+// 2-colouring and, while some edge is monochromatic, re-randomise that
+// edge's vertices. In the local-lemma regime (e·2^{1-s}·(d+1) < 1 for
+// edge size s and edge-degree d) the expected number of resamplings is
+// linear; maxResamples guards the pathological regimes (0 selects
+// 64·(m+1) + 256).
+func MoserTardos(h *hypergraph.Hypergraph, rng *rand.Rand, maxResamples int) ([]int32, error) {
+	for j := 0; j < h.M(); j++ {
+		if h.EdgeSize(j) < 2 {
+			return nil, fmt.Errorf("%w: edge %d", ErrSingleton, j)
+		}
+	}
+	if maxResamples <= 0 {
+		maxResamples = 64*(h.M()+1) + 256
+	}
+	colours := make([]int32, h.N())
+	for v := range colours {
+		colours[v] = Left + int32(rng.Intn(2))
+	}
+	// Queue of possibly-monochromatic edges; start with all.
+	queue := make([]int32, h.M())
+	inQueue := make([]bool, h.M())
+	for j := range queue {
+		queue[j] = int32(j)
+		inQueue[j] = true
+	}
+	resamples := 0
+	for len(queue) > 0 {
+		j := queue[0]
+		queue = queue[1:]
+		inQueue[j] = false
+		if !monochromatic(h, int(j), colours) {
+			continue
+		}
+		if resamples++; resamples > maxResamples {
+			return nil, fmt.Errorf("%w: %d resamples", ErrBudget, maxResamples)
+		}
+		// Resample the edge and requeue every edge sharing a vertex.
+		h.ForEachEdgeVertex(int(j), func(v int32) bool {
+			colours[v] = Left + int32(rng.Intn(2))
+			h.ForEachIncidentEdge(v, func(g int32) bool {
+				if !inQueue[g] {
+					inQueue[g] = true
+					queue = append(queue, g)
+				}
+				return true
+			})
+			return true
+		})
+	}
+	return colours, nil
+}
+
+// Greedy finds a weak splitting deterministically when one is easy:
+// process edges by increasing size and fix the colours of the first two
+// undecided vertices of any edge whose decided vertices are
+// single-coloured. It can fail (returns ErrMonochromatic) where the
+// randomized splitter succeeds; it exists as the deterministic baseline.
+func Greedy(h *hypergraph.Hypergraph) ([]int32, error) {
+	for j := 0; j < h.M(); j++ {
+		if h.EdgeSize(j) < 2 {
+			return nil, fmt.Errorf("%w: edge %d", ErrSingleton, j)
+		}
+	}
+	colours := make([]int32, h.N())
+	// Edges in increasing size order: small edges are the tightest.
+	order := make([]int, h.M())
+	for j := range order {
+		order[j] = j
+	}
+	for i := 1; i < len(order); i++ {
+		for p := i; p > 0 && h.EdgeSize(order[p-1]) > h.EdgeSize(order[p]); p-- {
+			order[p-1], order[p] = order[p], order[p-1]
+		}
+	}
+	for _, j := range order {
+		var seen [3]bool // seen[Left], seen[Right]
+		var undecided []int32
+		h.ForEachEdgeVertex(j, func(v int32) bool {
+			if colours[v] == 0 {
+				undecided = append(undecided, v)
+			} else {
+				seen[colours[v]] = true
+			}
+			return true
+		})
+		switch {
+		case seen[Left] && seen[Right]:
+			// Already split.
+		case len(undecided) == 0:
+			return nil, fmt.Errorf("%w: edge %d", ErrMonochromatic, j)
+		case seen[Left]:
+			colours[undecided[0]] = Right
+		case seen[Right]:
+			colours[undecided[0]] = Left
+		default: // nothing decided yet: fix two vertices apart
+			colours[undecided[0]] = Left
+			if len(undecided) > 1 {
+				colours[undecided[1]] = Right
+			} else {
+				return nil, fmt.Errorf("%w: edge %d", ErrMonochromatic, j)
+			}
+		}
+	}
+	// Undecided vertices default to Left.
+	for v := range colours {
+		if colours[v] == 0 {
+			colours[v] = Left
+		}
+	}
+	if err := Verify(h, colours); err != nil {
+		return nil, err
+	}
+	return colours, nil
+}
+
+func monochromatic(h *hypergraph.Hypergraph, j int, colours []int32) bool {
+	first := int32(0)
+	mono := true
+	h.ForEachEdgeVertex(j, func(v int32) bool {
+		if first == 0 {
+			first = colours[v]
+			return true
+		}
+		if colours[v] != first {
+			mono = false
+			return false
+		}
+		return true
+	})
+	return mono
+}

@@ -1,0 +1,296 @@
+// Package pslocal is the public API of this repository, a full
+// reproduction of "P-SLOCAL-Completeness of Maximum Independent Set
+// Approximation" (Yannic Maus, PODC 2019). It re-exports the supported
+// surface of the internal packages:
+//
+//   - hypergraphs and conflict-free (multi)colourings, the source problem
+//     of the paper's reduction;
+//   - the conflict graph G_k of Section 2 with both directions of the
+//     Lemma 2.1 correspondence;
+//   - the Theorem 1.1 reduction (conflict-free multicolouring via an
+//     approximate MaxIS oracle);
+//   - the MaxIS oracle suite (exact, greedy family, Ramsey clique
+//     removal);
+//   - the LOCAL and SLOCAL model simulators with the paper's baseline
+//     algorithms, including the ball-carving (1+δ)-approximation that
+//     realises the containment direction.
+//
+// Quick start (see examples/quickstart for a runnable version):
+//
+//	h, planted, _ := pslocal.PlantedCF(60, 24, 3, 3, 5, rng)
+//	res, _ := pslocal.Reduce(h, pslocal.ReduceOptions{K: 3, Mode: pslocal.ModeImplicitFirstFit})
+//	err := pslocal.VerifyReduction(h, res) // nil: conflict-free multicolouring
+//	_ = planted
+package pslocal
+
+import (
+	"io"
+	"math/rand"
+
+	"pslocal/internal/cfcolor"
+	"pslocal/internal/core"
+	"pslocal/internal/domset"
+	"pslocal/internal/experiments"
+	"pslocal/internal/graph"
+	"pslocal/internal/hypergraph"
+	"pslocal/internal/local"
+	"pslocal/internal/maxis"
+	"pslocal/internal/slocal"
+	"pslocal/internal/splitting"
+	"pslocal/internal/verify"
+)
+
+// Graph types and generators (substrate S1).
+type (
+	// Graph is an immutable simple undirected graph.
+	Graph = graph.Graph
+	// GraphBuilder accumulates edges for a Graph.
+	GraphBuilder = graph.Builder
+)
+
+// NewGraphBuilder returns a builder for a graph on n nodes.
+func NewGraphBuilder(n int) *GraphBuilder { return graph.NewBuilder(n) }
+
+// GnP returns an Erdős–Rényi random graph.
+func GnP(n int, p float64, rng *rand.Rand) *Graph { return graph.GnP(n, p, rng) }
+
+// Grid returns the rows×cols grid graph.
+func Grid(rows, cols int) *Graph { return graph.Grid(rows, cols) }
+
+// Cycle returns the n-cycle.
+func Cycle(n int) *Graph { return graph.Cycle(n) }
+
+// Hypergraph types and generators (substrate S2).
+type (
+	// Hypergraph is an immutable hypergraph with indexed hyperedges.
+	Hypergraph = hypergraph.Hypergraph
+)
+
+// NewHypergraph builds a hypergraph on n vertices from hyperedges.
+func NewHypergraph(n int, edges [][]int32) (*Hypergraph, error) {
+	return hypergraph.New(n, edges)
+}
+
+// PlantedCF returns an almost-uniform hypergraph with a hidden
+// conflict-free k-colouring — the instance family the reduction's analysis
+// assumes (see DESIGN.md, Substitutions).
+func PlantedCF(n, m, k, sizeLo, sizeHi int, rng *rand.Rand) (*Hypergraph, []int32, error) {
+	return hypergraph.PlantedCF(n, m, k, sizeLo, sizeHi, rng)
+}
+
+// IntervalHypergraph returns a [DN18]-style interval hypergraph.
+func IntervalHypergraph(n, m, lenLo, lenHi int, rng *rand.Rand) (*Hypergraph, error) {
+	return hypergraph.Interval(n, m, lenLo, lenHi, rng)
+}
+
+// Colourings (substrate S11).
+type (
+	// Coloring is a partial vertex colouring (0 = uncoloured).
+	Coloring = cfcolor.Coloring
+	// Multicoloring assigns colour sets to vertices.
+	Multicoloring = cfcolor.Multicoloring
+)
+
+// IsConflictFree reports whether every edge of h is happy under c.
+func IsConflictFree(h *Hypergraph, c Coloring) bool { return cfcolor.IsConflictFree(h, c) }
+
+// IsConflictFreeMulti reports whether every edge of h is happy under mc.
+func IsConflictFreeMulti(h *Hypergraph, mc Multicoloring) bool {
+	return cfcolor.IsConflictFreeMulti(h, mc)
+}
+
+// DyadicIntervalColoring returns the log-colour conflict-free colouring
+// for all interval hypergraphs on n line vertices.
+func DyadicIntervalColoring(n int) Coloring { return cfcolor.DyadicIntervalColoring(n) }
+
+// The conflict graph and Lemma 2.1 (the paper's Section 2).
+type (
+	// Triple is a conflict-graph node (e, v, c).
+	Triple = core.Triple
+	// ConflictIndex numbers the triples of G_k densely.
+	ConflictIndex = core.Index
+)
+
+// NewConflictIndex builds the triple numbering of G_k.
+func NewConflictIndex(h *Hypergraph, k int) (*ConflictIndex, error) { return core.NewIndex(h, k) }
+
+// BuildConflictGraph materialises G_k.
+func BuildConflictGraph(ix *ConflictIndex) (*Graph, error) { return core.Build(ix) }
+
+// ConflictAdjacent answers adjacency in G_k straight from the definition.
+func ConflictAdjacent(ix *ConflictIndex, t1, t2 Triple) (bool, error) {
+	return core.Adjacent(ix, t1, t2)
+}
+
+// ColoringToIS implements Lemma 2.1(a).
+func ColoringToIS(ix *ConflictIndex, f Coloring) ([]Triple, error) {
+	return core.ColoringToIS(ix, f)
+}
+
+// ISToColoring implements Lemma 2.1(b).
+func ISToColoring(ix *ConflictIndex, is []Triple) (Coloring, error) {
+	return core.ISToColoring(ix, is)
+}
+
+// The Theorem 1.1 reduction.
+type (
+	// ReduceOptions configures the reduction.
+	ReduceOptions = core.Options
+	// ReduceResult is the reduction outcome with per-phase statistics.
+	ReduceResult = core.Result
+	// PhaseStat records one reduction phase.
+	PhaseStat = core.PhaseStat
+	// ReduceMode selects the per-phase MaxIS strategy.
+	ReduceMode = core.Mode
+)
+
+// Reduction modes.
+const (
+	// ModeOracle materialises G_k and runs ReduceOptions.Oracle on it.
+	ModeOracle = core.ModeOracle
+	// ModeExactHinted solves each phase exactly (λ = 1).
+	ModeExactHinted = core.ModeExactHinted
+	// ModeImplicitFirstFit greedily solves the implicit G_k (scalable).
+	ModeImplicitFirstFit = core.ModeImplicitFirstFit
+)
+
+// Reduce runs conflict-free multicolouring via iterated approximate MaxIS.
+func Reduce(h *Hypergraph, opts ReduceOptions) (*ReduceResult, error) { return core.Reduce(h, opts) }
+
+// PhaseBound returns the paper's ρ = λ·ln(m)+1 phase bound.
+func PhaseBound(lambda float64, m int) int { return core.PhaseBound(lambda, m) }
+
+// LocalReduceResult is the outcome of the distributed randomized
+// pipeline, with LOCAL-round accounting.
+type LocalReduceResult = core.LocalResult
+
+// ReduceLocalRandomized runs the fully distributed (LOCAL model,
+// randomized) reduction: Luby's MIS over the implicit conflict graph,
+// simulated on H's incidence structure, phase by phase.
+func ReduceLocalRandomized(h *Hypergraph, k int, seed int64) (*LocalReduceResult, error) {
+	return core.ReduceLocalRandomized(h, k, seed)
+}
+
+// MaxIS oracles (substrate S5).
+type (
+	// Oracle is a MaxIS approximation algorithm.
+	Oracle = maxis.Oracle
+	// ExactOptions tunes the exact solver.
+	ExactOptions = maxis.ExactOptions
+)
+
+// ExactMaxIS returns a maximum independent set.
+func ExactMaxIS(g *Graph) ([]int32, error) { return maxis.Exact(g) }
+
+// GreedyMaxIS returns the min-degree greedy independent set.
+func GreedyMaxIS(g *Graph) []int32 { return maxis.GreedyMinDegree(g) }
+
+// CliqueRemovalMaxIS returns the Boppana–Halldórsson independent set.
+func CliqueRemovalMaxIS(g *Graph) []int32 { return maxis.CliqueRemoval(g) }
+
+// Model simulators (substrates S3, S4, S6, S7).
+type (
+	// LocalOptions configures a LOCAL model run.
+	LocalOptions = local.Options
+	// LocalResult reports rounds, messages and outputs.
+	LocalResult = local.Result
+	// CarvingOptions configures the SLOCAL ball-carving MaxIS.
+	CarvingOptions = slocal.CarvingOptions
+	// CarvingResult reports the carved independent set and locality.
+	CarvingResult = slocal.CarvingResult
+	// Decomposition is a (C, D) network decomposition.
+	Decomposition = slocal.Decomposition
+)
+
+// LubyMIS runs Luby's randomized MIS in the LOCAL simulator.
+func LubyMIS(g *Graph, seed int64, opts LocalOptions) ([]int32, *LocalResult, error) {
+	return local.LubyMIS(g, seed, opts)
+}
+
+// SLOCALGreedyMIS runs the locality-1 greedy MIS of the paper's
+// introduction and reports the measured locality.
+func SLOCALGreedyMIS(g *Graph, order []int32) ([]int32, *slocal.Result, error) {
+	return slocal.GreedyMIS(g, order)
+}
+
+// BallCarvingMaxIS runs the SLOCAL (1+δ)-approximation (containment
+// direction of Theorem 1.1).
+func BallCarvingMaxIS(g *Graph, opts CarvingOptions) (*CarvingResult, error) {
+	return slocal.BallCarvingMaxIS(g, opts)
+}
+
+// NetworkDecomposition carves a (O(log n), O(log n)) decomposition.
+func NetworkDecomposition(g *Graph, order []int32) (*Decomposition, error) {
+	return slocal.NetworkDecomposition(g, order)
+}
+
+// IdentityOrder returns 0..n-1, the default SLOCAL processing order.
+func IdentityOrder(n int) []int32 { return slocal.IdentityOrder(n) }
+
+// DecompositionColouring derandomizes (Δ+1)-colouring through a network
+// decomposition (the Section 1 blueprint).
+func DecompositionColouring(g *Graph, d *Decomposition) ([]int32, error) {
+	return slocal.DecompositionColouring(g, d)
+}
+
+// Sibling P-SLOCAL-complete problems (paper Section 1 list).
+
+// GreedyDominatingSet returns a (ln(Δ+1)+1)-approximate dominating set.
+func GreedyDominatingSet(g *Graph) ([]int32, error) { return domset.GreedyDominatingSet(g) }
+
+// WeakSplitting 2-colours h so no hyperedge is monochromatic, via
+// Moser–Tardos resampling.
+func WeakSplitting(h *Hypergraph, rng *rand.Rand) ([]int32, error) {
+	return splitting.MoserTardos(h, rng, 0)
+}
+
+// Verification.
+
+// VerifyIndependentSet checks independence in g.
+func VerifyIndependentSet(g *Graph, nodes []int32) error { return verify.IndependentSet(g, nodes) }
+
+// VerifyReduction checks a reduction result end to end against its input.
+func VerifyReduction(h *Hypergraph, res *ReduceResult) error { return verify.ReductionResult(h, res) }
+
+// VerifyConflictFreeMulti checks a multicolouring.
+func VerifyConflictFreeMulti(h *Hypergraph, mc Multicoloring) error {
+	return verify.ConflictFreeMulti(h, mc)
+}
+
+// Experiments (the reproduction harness).
+type (
+	// ExperimentConfig seeds and sizes the experiment grids.
+	ExperimentConfig = experiments.Config
+	// ExperimentTable is a rendered experiment.
+	ExperimentTable = experiments.Table
+)
+
+// AllExperiments regenerates tables E1–E10.
+func AllExperiments(cfg ExperimentConfig) ([]*ExperimentTable, error) {
+	return experiments.AllTables(cfg)
+}
+
+// AllFigures regenerates the figure-equivalents F1–F3.
+func AllFigures(cfg ExperimentConfig) ([]*ExperimentTable, error) {
+	return experiments.AllFigures(cfg)
+}
+
+// AllAblations regenerates the ablation tables A1–A3.
+func AllAblations(cfg ExperimentConfig) ([]*ExperimentTable, error) {
+	return experiments.AllAblations(cfg)
+}
+
+// RenderTables renders tables sequentially with blank-line separators.
+func RenderTables(w io.Writer, tables []*ExperimentTable) error {
+	for i, t := range tables {
+		if i > 0 {
+			if _, err := io.WriteString(w, "\n"); err != nil {
+				return err
+			}
+		}
+		if err := t.Render(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
