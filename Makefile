@@ -1,0 +1,23 @@
+# Developer entry points; CI runs the same steps (.github/workflows/ci.yml).
+
+.PHONY: build test race vet fmt bench
+
+build:
+	go build ./...
+
+test:
+	go test ./...
+
+race:
+	go test -race ./...
+
+vet:
+	go vet ./...
+
+fmt:
+	gofmt -l .
+
+# bench runs the G_k construction and Reduce benchmarks and writes
+# BENCH_gk.json so successive PRs have a perf trajectory.
+bench:
+	./scripts/bench.sh

@@ -12,6 +12,7 @@ import (
 
 	"pslocal"
 	"pslocal/internal/core"
+	"pslocal/internal/engine"
 	"pslocal/internal/experiments"
 	"pslocal/internal/hypergraph"
 	"pslocal/internal/maxis"
@@ -84,6 +85,45 @@ func BenchmarkConflictGraphBuild(b *testing.B) {
 	}
 }
 
+// benchLargeIndex is the serial-vs-parallel construction instance of the
+// engine acceptance criteria: PlantedCF with n≈2000, m≈800, k=3.
+func benchLargeIndex(b *testing.B) *core.Index {
+	b.Helper()
+	rng := rand.New(rand.NewSource(21))
+	h, _, err := hypergraph.PlantedCF(2000, 800, 3, 3, 5, rng)
+	if err != nil {
+		b.Fatalf("generator: %v", err)
+	}
+	ix, err := core.NewIndex(h, 3)
+	if err != nil {
+		b.Fatalf("index: %v", err)
+	}
+	return ix
+}
+
+func benchBuildLarge(b *testing.B, opts engine.Options) {
+	ix := benchLargeIndex(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g, err := core.BuildOpts(ix, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if g.N() != ix.NumNodes() {
+			b.Fatalf("built %d nodes, want %d", g.N(), ix.NumNodes())
+		}
+	}
+}
+
+func BenchmarkConflictGraphBuildLargeSerial(b *testing.B) {
+	benchBuildLarge(b, engine.Options{Workers: 1})
+}
+
+func BenchmarkConflictGraphBuildLargeParallel(b *testing.B) {
+	benchBuildLarge(b, engine.Parallel())
+}
+
 func BenchmarkImplicitFirstFit(b *testing.B) {
 	_, ix := benchInstance(b, 20, 3)
 	b.ReportAllocs()
@@ -138,6 +178,18 @@ func BenchmarkExactPlain(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := maxis.Exact(g); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFirstFitScratchReuse(b *testing.B) {
+	_, ix := benchInstance(b, 20, 3)
+	var scratch core.FirstFitScratch
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if set := scratch.FirstFit(ix); len(set) == 0 {
+			b.Fatal("empty result")
 		}
 	}
 }

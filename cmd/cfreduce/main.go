@@ -6,16 +6,22 @@
 //
 //	cfreduce -gen planted -n 60 -m 24 -k 3 -mode exact
 //	cfreduce -gen interval -n 80 -m 40 -mode implicit -print-coloring
-//	cfreduce -in instance.hg -k 2 -mode greedy -seed 7
+//	cfreduce -in instance.hg -k 2 -mode greedy-mindeg -seed 7 -workers 0
+//
+// Besides the built-in modes `exact` and `implicit`, -mode accepts any
+// oracle name of the maxis registry (see -mode help); -workers sets the
+// conflict-graph construction pool (0 = GOMAXPROCS, 1 = serial).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"pslocal/internal/core"
 	"pslocal/internal/encode"
+	"pslocal/internal/engine"
 	"pslocal/internal/hypergraph"
 	"pslocal/internal/maxis"
 	"pslocal/internal/verify"
@@ -39,12 +45,24 @@ func run() error {
 		k        = flag.Int("k", 3, "palette size per phase")
 		sizeLo   = flag.Int("size-lo", 3, "minimum edge size (planted/uniform)")
 		sizeHi   = flag.Int("size-hi", 5, "maximum edge size (planted/interval)")
-		modeName = flag.String("mode", "implicit", "oracle: exact | implicit | greedy | random | cliquerem")
+		modeName = flag.String("mode", "implicit",
+			"solving mode: exact | implicit | a registry oracle name | help to list")
 		seed     = flag.Int64("seed", 1, "random seed")
+		workers  = flag.Int("workers", 1, "conflict-graph construction workers (0 = GOMAXPROCS)")
 		printCol = flag.Bool("print-coloring", false, "dump the multicolouring")
 	)
 	flag.Parse()
 
+	if *modeName == "help" {
+		modes := []string{"exact", "implicit"}
+		for _, name := range maxis.Names() {
+			if name != "exact" { // the built-in exact mode already covers it (with the clique hint)
+				modes = append(modes, name)
+			}
+		}
+		fmt.Printf("modes: %s\n", strings.Join(modes, ", "))
+		return nil
+	}
 	rng := rand.New(rand.NewSource(*seed))
 	h, err := makeInstance(*inFile, *genName, *n, *m, *k, *sizeLo, *sizeHi, rng)
 	if err != nil {
@@ -53,6 +71,10 @@ func run() error {
 	opts, err := makeOptions(*modeName, *k, *seed)
 	if err != nil {
 		return err
+	}
+	opts.Engine = engine.Options{Workers: *workers}
+	if *workers == 0 { // flag convention: 0 = as wide as the hardware
+		opts.Engine = engine.Parallel()
 	}
 	fmt.Printf("instance: %v\n", h)
 	res, err := core.Reduce(h, opts)
@@ -106,6 +128,13 @@ func makeInstance(inFile, gen string, n, m, k, sizeLo, sizeHi int, rng *rand.Ran
 	}
 }
 
+// legacyModes maps the pre-registry flag spellings to registry names.
+var legacyModes = map[string]string{
+	"greedy":    "greedy-mindeg",
+	"random":    "greedy-random",
+	"cliquerem": "clique-removal",
+}
+
 func makeOptions(mode string, k int, seed int64) (core.Options, error) {
 	opts := core.Options{K: k}
 	switch mode {
@@ -113,17 +142,16 @@ func makeOptions(mode string, k int, seed int64) (core.Options, error) {
 		opts.Mode = core.ModeExactHinted
 	case "implicit":
 		opts.Mode = core.ModeImplicitFirstFit
-	case "greedy":
-		opts.Mode = core.ModeOracle
-		opts.Oracle = maxis.MinDegreeOracle{}
-	case "random":
-		opts.Mode = core.ModeOracle
-		opts.Oracle = &maxis.RandomOrderOracle{Seed: seed}
-	case "cliquerem":
-		opts.Mode = core.ModeOracle
-		opts.Oracle = maxis.CliqueRemovalOracle{}
 	default:
-		return opts, fmt.Errorf("unknown mode %q", mode)
+		if name, ok := legacyModes[mode]; ok {
+			mode = name
+		}
+		oracle, err := maxis.Lookup(mode, seed)
+		if err != nil {
+			return opts, err
+		}
+		opts.Mode = core.ModeOracle
+		opts.Oracle = oracle
 	}
 	return opts, nil
 }

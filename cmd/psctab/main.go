@@ -16,6 +16,7 @@ import (
 	"os"
 	"strings"
 
+	"pslocal/internal/engine"
 	"pslocal/internal/experiments"
 )
 
@@ -28,12 +29,17 @@ func main() {
 
 func run() error {
 	var (
-		seed  = flag.Int64("seed", 42, "random seed for all grids")
-		quick = flag.Bool("quick", false, "use the reduced benchmark grids")
-		only  = flag.String("only", "", "comma-separated subset, e.g. E1,E4,F2,A1 (empty = all)")
+		seed    = flag.Int64("seed", 42, "random seed for all grids")
+		quick   = flag.Bool("quick", false, "use the reduced benchmark grids")
+		only    = flag.String("only", "", "comma-separated subset, e.g. E1,E4,F2,A1 (empty = all)")
+		workers = flag.Int("workers", 1, "conflict-graph construction workers (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
-	cfg := experiments.Config{Seed: *seed, Quick: *quick}
+	eng := engine.Options{Workers: *workers}
+	if *workers == 0 { // flag convention: 0 = as wide as the hardware
+		eng = engine.Parallel()
+	}
+	cfg := experiments.Config{Seed: *seed, Quick: *quick, Engine: eng}
 
 	type gen struct {
 		id string

@@ -1,0 +1,3 @@
+module pslocal
+
+go 1.24

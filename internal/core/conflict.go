@@ -18,38 +18,82 @@ package core
 // edges {v} would make the corresponding picks adjacent and Lemma 2.1(a)
 // false; the lemma's proof (case E_color) indeed derives its contradiction
 // from a vertex u distinct from v. DESIGN.md records this reading.
+//
+// Construction is sharded by hyperedge block (E_edge, E_color) and by
+// vertex block (E_vertex) across the worker pool of engine.Options, each
+// shard emitting into a private buffer of a graph.ShardedBuilder. Node ids
+// come from pure offset arithmetic over the Index tables — NewIndex
+// validated the structure once, so the emission loops have no error paths.
+// DESIGN.md, "Execution engine", records the design.
 
 import (
 	"fmt"
 
+	"pslocal/internal/engine"
 	"pslocal/internal/graph"
 )
 
-// Build materialises G_k for conflict-free k-colouring of h.
+// Build materialises G_k for conflict-free k-colouring of h on the serial
+// path; BuildOpts is the parallel variant.
 func Build(ix *Index) (*graph.Graph, error) {
-	h := ix.h
-	k := ix.k
-	b := graph.NewBuilder(ix.NumNodes())
-	addPair := func(t1, t2 Triple) error {
-		id1, err := ix.ID(t1)
-		if err != nil {
-			return err
-		}
-		id2, err := ix.ID(t2)
-		if err != nil {
-			return err
-		}
-		if id1 != id2 {
-			b.AddEdge(id1, id2)
-		}
-		return nil
-	}
+	return BuildOpts(ix, engine.Options{Workers: 1})
+}
 
-	for j := 0; j < h.M(); j++ {
-		// E_edge: clique over the |e|·k triples of edge j.
-		lo, hi := ix.edgeOffset[j], ix.edgeOffset[j+1]
-		for a := lo; a < hi; a++ {
-			for bb := a + 1; bb < hi; bb++ {
+// BuildOpts materialises G_k on opts' worker pool. The resulting CSR is
+// identical to the serial Build for every worker count (asserted by the
+// equivalence tests).
+func BuildOpts(ix *Index, opts engine.Options) (*graph.Graph, error) {
+	h := ix.h
+	sb := graph.NewShardedBuilder(ix.NumNodes(), opts.WorkerCount())
+	// Phase A: E_edge cliques and E_color pairs, sharded by hyperedge
+	// block. Phase B: E_vertex pairs, sharded by vertex block. The phases
+	// run sequentially, so a shard buffer is never touched by two
+	// goroutines at once.
+	err := opts.ForEachShard(h.M(), func(shard int, s engine.Shard) error {
+		emitEdgeShard(ix, sb.Shard(shard), s.Lo, s.Hi)
+		return opts.Err()
+	})
+	if err != nil {
+		return nil, err
+	}
+	err = opts.ForEachShard(h.N(), func(shard int, s engine.Shard) error {
+		emitVertexShard(ix, sb.Shard(shard), s.Lo, s.Hi)
+		return opts.Err()
+	})
+	if err != nil {
+		return nil, err
+	}
+	g, err := sb.ParallelBuild(opts)
+	if err != nil {
+		return nil, fmt.Errorf("core: conflict graph assembly: %w", err)
+	}
+	return g, nil
+}
+
+// emitEdgeShard emits the E_edge cliques and E_color pairs whose container
+// edge lies in [lo, hi). Every id is derived by offset arithmetic; the two
+// endpoints can never coincide (same container: positions differ, different
+// containers: disjoint id blocks), so no equality guard is needed.
+func emitEdgeShard(ix *Index, b *graph.Builder, lo, hi int) {
+	h, k := ix.h, ix.k
+	// Exact emission volume of the shard: Σ C(|e|k, 2) for the cliques
+	// plus Σ_j Σ_{u ∈ e_j} (|e_j|-1)·deg(u)·k for E_color.
+	hint := 0
+	var edgeBuf, incBuf []int32
+	for j := lo; j < hi; j++ {
+		s := int(ix.edgeOffset[j+1] - ix.edgeOffset[j])
+		hint += s * (s - 1) / 2
+		edgeBuf = h.AppendEdge(edgeBuf[:0], j)
+		for _, u := range edgeBuf {
+			hint += (len(edgeBuf) - 1) * h.Degree(u) * int(k)
+		}
+	}
+	b.EdgeCapacityHint(hint)
+	for j := lo; j < hi; j++ {
+		// E_edge: clique over the |e|·k contiguous triples of edge j.
+		blo, bhi := ix.edgeOffset[j], ix.edgeOffset[j+1]
+		for a := blo; a < bhi; a++ {
+			for bb := a + 1; bb < bhi; bb++ {
 				b.AddEdge(a, bb)
 			}
 		}
@@ -57,58 +101,57 @@ func Build(ix *Index) (*graph.Graph, error) {
 		// (v, u) of edge j and each edge g containing u, connect
 		// (j, v, c) — (g, u, c) for every colour c. (The g = j pairs are
 		// already in the E_edge clique; the builder deduplicates.)
-		edge := h.Edge(j)
-		for _, v := range edge {
-			for _, u := range edge {
-				if u == v {
+		edgeBuf = h.AppendEdge(edgeBuf[:0], j)
+		for pu, u := range edgeBuf {
+			incBuf = h.AppendIncidentEdges(incBuf[:0], u)
+			pos := ix.incPos[u]
+			for pv := range edgeBuf {
+				if pv == pu {
 					continue
 				}
-				var err error
-				h.ForEachIncidentEdge(u, func(g int32) bool {
-					for c := int32(1); c <= k; c++ {
-						if e := addPair(
-							Triple{Edge: int32(j), Vertex: v, Color: c},
-							Triple{Edge: g, Vertex: u, Color: c},
-						); e != nil {
-							err = e
-							return false
-						}
+				base1 := ix.idAt(int32(j), int32(pv), 1)
+				for i, g := range incBuf {
+					base2 := ix.idAt(g, pos[i], 1)
+					for c := int32(0); c < k; c++ {
+						b.AddEdge(base1+c, base2+c)
 					}
-					return true
-				})
-				if err != nil {
-					return nil, err
 				}
 			}
 		}
 	}
-	// E_vertex: for each vertex v and pair of incident edges, connect
-	// differing colours.
-	for v := int32(0); int(v) < h.N(); v++ {
-		inc := h.IncidentEdges(v)
-		for i, e := range inc {
-			for _, g := range inc[i:] {
-				for c := int32(1); c <= k; c++ {
-					for d := int32(1); d <= k; d++ {
+}
+
+// emitVertexShard emits the E_vertex pairs for vertices in [lo, hi): for
+// each pair of distinct incident edges, connect differing colours. Pairs
+// within a single incident edge are already inside its E_edge clique and
+// are skipped here.
+func emitVertexShard(ix *Index, b *graph.Builder, lo, hi int) {
+	h, k := ix.h, ix.k
+	hint := 0
+	for v := lo; v < hi; v++ {
+		d := h.Degree(int32(v))
+		hint += d * (d - 1) / 2 * int(k) * int(k-1)
+	}
+	b.EdgeCapacityHint(hint)
+	var incBuf []int32
+	for v := lo; v < hi; v++ {
+		incBuf = h.AppendIncidentEdges(incBuf[:0], int32(v))
+		pos := ix.incPos[v]
+		for i, e := range incBuf {
+			baseE := ix.idAt(e, pos[i], 1)
+			for i2 := i + 1; i2 < len(incBuf); i2++ {
+				baseG := ix.idAt(incBuf[i2], pos[i2], 1)
+				for c := int32(0); c < k; c++ {
+					for d := int32(0); d < k; d++ {
 						if c == d {
 							continue
 						}
-						if err := addPair(
-							Triple{Edge: e, Vertex: v, Color: c},
-							Triple{Edge: g, Vertex: v, Color: d},
-						); err != nil {
-							return nil, err
-						}
+						b.AddEdge(baseE+c, baseG+d)
 					}
 				}
 			}
 		}
 	}
-	g, err := b.Build()
-	if err != nil {
-		return nil, fmt.Errorf("core: conflict graph assembly: %w", err)
-	}
-	return g, nil
 }
 
 // Adjacent reports whether two triples are adjacent in G_k, directly from
@@ -145,28 +188,49 @@ func Adjacent(ix *Index, t1, t2 Triple) (bool, error) {
 // only H-local information, so the scan runs in O(Σ_e |e| · k · (|e| +
 // deg_H)) time without building G_k. The result equals first-fit greedy on
 // the explicit graph (asserted by tests) and powers the reduction's
-// large-instance mode.
+// large-instance mode. For repeated scans (one per reduction phase) use
+// FirstFitScratch, which reuses its buffers across calls.
 func FirstFitTriples(ix *Index) []Triple {
-	h := ix.h
-	// edgeChoice[e] = chosen triple on edge e, if any (E_edge allows at
-	// most one).
-	edgeChoice := make([]*Triple, h.M())
+	var s FirstFitScratch
+	return s.FirstFit(ix)
+}
+
+// FirstFitScratch is the batched variant of FirstFitTriples: it holds the
+// per-scan state (edge choices, vertex colours, output) and reuses it
+// across calls, so a multi-phase reduction allocates the buffers once
+// instead of once per phase. The zero value is ready to use.
+type FirstFitScratch struct {
+	// edgeChoice[e] = chosen triple on edge e when hasChoice[e] (E_edge
+	// allows at most one).
+	edgeChoice []Triple
+	hasChoice  []bool
 	// vertexColor[v] = colour of v's chosen triples (E_vertex forces
 	// uniqueness; 0 = none).
-	vertexColor := make([]int32, h.N())
-	var out []Triple
+	vertexColor []int32
+	out         []Triple
+}
+
+// FirstFit runs the first-fit scan on ix, reusing the scratch buffers. The
+// returned slice is owned by the scratch and valid until the next call;
+// callers that retain it across calls must copy it.
+func (s *FirstFitScratch) FirstFit(ix *Index) []Triple {
+	h := ix.h
+	s.edgeChoice = resize(s.edgeChoice, h.M())
+	s.hasChoice = resize(s.hasChoice, h.M())
+	s.vertexColor = resize(s.vertexColor, h.N())
+	s.out = s.out[:0]
 	ix.ForEachTriple(func(_ int32, t Triple) bool {
-		if edgeChoice[t.Edge] != nil {
+		if s.hasChoice[t.Edge] {
 			return true // E_edge block
 		}
-		if vc := vertexColor[t.Vertex]; vc != 0 && vc != t.Color {
+		if vc := s.vertexColor[t.Vertex]; vc != 0 && vc != t.Color {
 			return true // E_vertex block
 		}
 		// E_color, container e: some chosen triple with colour t.Color at
 		// another vertex of t.Edge.
 		blocked := false
 		h.ForEachEdgeVertex(int(t.Edge), func(u int32) bool {
-			if u != t.Vertex && vertexColor[u] == t.Color {
+			if u != t.Vertex && s.vertexColor[u] == t.Color {
 				blocked = true
 				return false
 			}
@@ -178,23 +242,35 @@ func FirstFitTriples(ix *Index) []Triple {
 		// E_color, container g: a chosen triple (g, u, t.Color) with u
 		// different from t.Vertex on an edge g containing t.Vertex.
 		h.ForEachIncidentEdge(t.Vertex, func(g int32) bool {
-			ch := edgeChoice[g]
-			if ch != nil && ch.Color == t.Color && ch.Vertex != t.Vertex {
-				blocked = true
-				return false
+			if s.hasChoice[g] {
+				if ch := s.edgeChoice[g]; ch.Color == t.Color && ch.Vertex != t.Vertex {
+					blocked = true
+					return false
+				}
 			}
 			return true
 		})
 		if blocked {
 			return true
 		}
-		chosen := t
-		edgeChoice[t.Edge] = &chosen
-		vertexColor[t.Vertex] = t.Color
-		out = append(out, t)
+		s.edgeChoice[t.Edge] = t
+		s.hasChoice[t.Edge] = true
+		s.vertexColor[t.Vertex] = t.Color
+		s.out = append(s.out, t)
 		return true
 	})
-	return out
+	return s.out
+}
+
+// resize returns buf with length n and every element zeroed, reallocating
+// only when the capacity is insufficient.
+func resize[T any](buf []T, n int) []T {
+	if cap(buf) < n {
+		return make([]T, n)
+	}
+	buf = buf[:n]
+	clear(buf)
+	return buf
 }
 
 // IsIndependentTriples reports whether the given triples are pairwise

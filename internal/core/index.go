@@ -47,9 +47,17 @@ type Index struct {
 	h          *hypergraph.Hypergraph
 	k          int32
 	edgeOffset []int32 // per edge, starting node id; len M()+1
+	// incPos[v][i] is the position of v within edge h.IncidentEdges(v)[i];
+	// aligned with the incidence lists. Precomputed once so the graph
+	// construction of conflict.go runs on pure offset arithmetic with no
+	// per-edge error paths (DESIGN.md, "Execution engine").
+	incPos [][]int32
 }
 
 // NewIndex builds the triple numbering for conflict-free k-colouring of h.
+// All structural validation happens here, once: every triple the
+// construction loops derive from the offsets below is valid by
+// construction, which is what lets them skip the checked ID path.
 func NewIndex(h *hypergraph.Hypergraph, k int) (*Index, error) {
 	if k < 1 {
 		return nil, fmt.Errorf("%w: %d", ErrBadK, k)
@@ -58,7 +66,28 @@ func NewIndex(h *hypergraph.Hypergraph, k int) (*Index, error) {
 	for j := 0; j < h.M(); j++ {
 		offsets[j+1] = offsets[j] + int32(h.EdgeSize(j)*k)
 	}
-	return &Index{h: h, k: int32(k), edgeOffset: offsets}, nil
+	// Incidence lists hold ascending edge indices, so walking the edges in
+	// ascending order appends each vertex's positions in incidence order.
+	incPos := make([][]int32, h.N())
+	for v := int32(0); int(v) < h.N(); v++ {
+		incPos[v] = make([]int32, 0, h.Degree(v))
+	}
+	for j := 0; j < h.M(); j++ {
+		pos := int32(0)
+		h.ForEachEdgeVertex(j, func(v int32) bool {
+			incPos[v] = append(incPos[v], pos)
+			pos++
+			return true
+		})
+	}
+	return &Index{h: h, k: int32(k), edgeOffset: offsets, incPos: incPos}, nil
+}
+
+// idAt returns the dense node id of the triple whose vertex sits at
+// position pos of edge e with colour c, by pure offset arithmetic. Callers
+// guarantee validity (NewIndex validated the structure once).
+func (ix *Index) idAt(e int32, pos int32, c int32) int32 {
+	return ix.edgeOffset[e] + pos*ix.k + (c - 1)
 }
 
 // Hypergraph returns the underlying hypergraph H.

@@ -16,6 +16,7 @@ import (
 	"math"
 
 	"pslocal/internal/cfcolor"
+	"pslocal/internal/engine"
 	"pslocal/internal/hypergraph"
 	"pslocal/internal/maxis"
 )
@@ -59,6 +60,9 @@ type Options struct {
 	Oracle maxis.Oracle
 	// MaxPhases bounds the loop defensively; 0 means 4·m + 16.
 	MaxPhases int
+	// Engine configures parallel G_k construction and cancellation of the
+	// phase loop; the zero value is the serial path.
+	Engine engine.Options
 }
 
 // PhaseStat records one phase of the reduction, the raw material of
@@ -120,9 +124,13 @@ func Reduce(h *hypergraph.Hypergraph, opts Options) (*Result, error) {
 		K:             opts.K,
 	}
 	cur := h
+	var ff FirstFitScratch // shared across phases (implicit mode)
 	for phase := 1; cur.M() > 0; phase++ {
 		if phase > maxPhases {
 			return nil, fmt.Errorf("%w: %d phases with %d edges left", ErrPhaseBudget, maxPhases, cur.M())
+		}
+		if err := opts.Engine.Err(); err != nil {
+			return nil, fmt.Errorf("core: phase %d: %w", phase, err)
 		}
 		ix, err := NewIndex(cur, opts.K)
 		if err != nil {
@@ -134,7 +142,7 @@ func Reduce(h *hypergraph.Hypergraph, opts Options) (*Result, error) {
 			ConflictNodes: ix.NumNodes(),
 			ConflictEdges: -1,
 		}
-		triples, conflictEdges, err := solvePhase(ix, opts)
+		triples, conflictEdges, err := solvePhase(ix, opts, &ff)
 		if err != nil {
 			return nil, fmt.Errorf("core: phase %d: %w", phase, err)
 		}
@@ -174,12 +182,13 @@ func Reduce(h *hypergraph.Hypergraph, opts Options) (*Result, error) {
 }
 
 // solvePhase produces the phase's independent set of triples and, when the
-// conflict graph was materialised, its edge count.
-func solvePhase(ix *Index, opts Options) ([]Triple, int, error) {
+// conflict graph was materialised, its edge count. The implicit mode reuses
+// ff's buffers across phases; its result is consumed within the phase.
+func solvePhase(ix *Index, opts Options, ff *FirstFitScratch) ([]Triple, int, error) {
 	if opts.Mode == ModeImplicitFirstFit {
-		return FirstFitTriples(ix), -1, nil
+		return ff.FirstFit(ix), -1, nil
 	}
-	g, err := Build(ix)
+	g, err := BuildOpts(ix, opts.Engine)
 	if err != nil {
 		return nil, 0, err
 	}

@@ -1,0 +1,125 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+	"testing"
+)
+
+func TestShardsPartition(t *testing.T) {
+	for n := 0; n <= 40; n++ {
+		for workers := -1; workers <= 12; workers++ {
+			shards := Shards(n, workers)
+			if n <= 0 {
+				if shards != nil {
+					t.Fatalf("Shards(%d,%d) = %v, want nil", n, workers, shards)
+				}
+				continue
+			}
+			covered := 0
+			minLen, maxLen := n, 0
+			for i, s := range shards {
+				if s.Lo >= s.Hi {
+					t.Fatalf("Shards(%d,%d)[%d] = %v empty", n, workers, i, s)
+				}
+				if i == 0 && s.Lo != 0 {
+					t.Fatalf("Shards(%d,%d) starts at %d", n, workers, s.Lo)
+				}
+				if i > 0 && s.Lo != shards[i-1].Hi {
+					t.Fatalf("Shards(%d,%d) gap before shard %d", n, workers, i)
+				}
+				covered += s.Len()
+				if s.Len() < minLen {
+					minLen = s.Len()
+				}
+				if s.Len() > maxLen {
+					maxLen = s.Len()
+				}
+			}
+			if covered != n || shards[len(shards)-1].Hi != n {
+				t.Fatalf("Shards(%d,%d) covers %d", n, workers, covered)
+			}
+			if maxLen-minLen > 1 {
+				t.Fatalf("Shards(%d,%d) imbalanced: min %d max %d", n, workers, minLen, maxLen)
+			}
+			if w := workers; w >= 1 && len(shards) > w {
+				t.Fatalf("Shards(%d,%d) produced %d shards", n, workers, len(shards))
+			}
+		}
+	}
+}
+
+func TestWorkerCountDefaults(t *testing.T) {
+	if got := (Options{}).WorkerCount(); got != 1 {
+		t.Errorf("zero Options WorkerCount = %d, want 1 (serial zero value)", got)
+	}
+	if !(Options{}).Serial() {
+		t.Error("zero Options should be serial")
+	}
+	if got := Parallel().WorkerCount(); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Parallel WorkerCount = %d, want GOMAXPROCS", got)
+	}
+	if got := (Options{Workers: -3}).WorkerCount(); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("negative Workers WorkerCount = %d, want GOMAXPROCS", got)
+	}
+	if got := (Options{Workers: 3}).WorkerCount(); got != 3 {
+		t.Errorf("WorkerCount = %d, want 3", got)
+	}
+	if !(Options{Workers: 1}).Serial() {
+		t.Error("Workers=1 should be serial")
+	}
+}
+
+func TestForEachShardVisitsEachIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 7} {
+		const n = 100
+		seen := make([]int, n)
+		var mu sync.Mutex
+		err := Options{Workers: workers}.ForEachShard(n, func(shard int, s Shard) error {
+			mu.Lock()
+			defer mu.Unlock()
+			for i := s.Lo; i < s.Hi; i++ {
+				seen[i]++
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, c := range seen {
+			if c != 1 {
+				t.Fatalf("workers=%d: index %d visited %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+func TestForEachShardFirstErrorWins(t *testing.T) {
+	boom := errors.New("boom")
+	for _, workers := range []int{1, 4} {
+		err := Options{Workers: workers}.ForEachShard(10, func(shard int, s Shard) error {
+			if s.Lo == 0 {
+				return boom
+			}
+			return nil
+		})
+		if !errors.Is(err, boom) {
+			t.Errorf("workers=%d: err = %v, want boom", workers, err)
+		}
+	}
+}
+
+func TestForEachShardCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	opts := Options{Workers: 4, Ctx: ctx}
+	if err := opts.Err(); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Err() = %v", err)
+	}
+	err := opts.ForEachShard(10, func(int, Shard) error { return nil })
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("ForEachShard on cancelled ctx = %v, want Canceled", err)
+	}
+}

@@ -36,11 +36,11 @@ func A1ImplicitVsExplicit(cfg Config) (*Table, error) {
 		if err != nil {
 			return nil, fmt.Errorf("experiments: A1 generator: %w", err)
 		}
-		impl, err := core.Reduce(h, core.Options{K: k, Mode: core.ModeImplicitFirstFit})
+		impl, err := core.Reduce(h, core.Options{K: k, Mode: core.ModeImplicitFirstFit, Engine: cfg.Engine})
 		if err != nil {
 			return nil, fmt.Errorf("experiments: A1 implicit: %w", err)
 		}
-		expl, err := core.Reduce(h, core.Options{K: k, Mode: core.ModeOracle, Oracle: maxis.FirstFitOracle{}})
+		expl, err := core.Reduce(h, core.Options{K: k, Mode: core.ModeOracle, Oracle: maxis.FirstFitOracle{}, Engine: cfg.Engine})
 		if err != nil {
 			return nil, fmt.Errorf("experiments: A1 explicit: %w", err)
 		}
@@ -85,7 +85,7 @@ func A2CliqueBound(cfg Config) (*Table, error) {
 		if err != nil {
 			return nil, fmt.Errorf("experiments: A2 index: %w", err)
 		}
-		g, err := core.Build(ix)
+		g, err := core.BuildOpts(ix, cfg.Engine)
 		if err != nil {
 			return nil, fmt.Errorf("experiments: A2 build: %w", err)
 		}
@@ -134,6 +134,7 @@ func A3OrderSensitivity(cfg Config) (*Table, error) {
 		res, err := core.Reduce(h, core.Options{
 			K:    3,
 			Mode: core.ModeOracle, Oracle: &maxis.RandomOrderOracle{Seed: cfg.Seed + int64(trial)},
+			Engine: cfg.Engine,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("experiments: A3 trial %d: %w", trial, err)

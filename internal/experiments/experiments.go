@@ -55,7 +55,7 @@ func E1ConflictGraphSize(cfg Config) (*Table, error) {
 		if err != nil {
 			return nil, fmt.Errorf("experiments: E1 index: %w", err)
 		}
-		built, err := core.Build(ix)
+		built, err := core.BuildOpts(ix, cfg.Engine)
 		if err != nil {
 			return nil, fmt.Errorf("experiments: E1 build: %w", err)
 		}
@@ -96,7 +96,7 @@ func E2Lemma21a(cfg Config) (*Table, error) {
 			return nil, fmt.Errorf("experiments: E2 mapping: %w", err)
 		}
 		indep := verify.IndependentTriples(ix, isSet) == nil
-		built, err := core.Build(ix)
+		built, err := core.BuildOpts(ix, cfg.Engine)
 		if err != nil {
 			return nil, fmt.Errorf("experiments: E2 build: %w", err)
 		}
@@ -123,10 +123,9 @@ func E3Lemma21b(cfg Config) (*Table, error) {
 		Columns: []string{"n", "m", "k", "oracle", "|I|", "happy", "ok"},
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed + 2))
-	oracles := []maxis.Oracle{
-		maxis.FirstFitOracle{},
-		maxis.MinDegreeOracle{},
-		&maxis.RandomOrderOracle{Seed: cfg.Seed + 77},
+	oracles, err := lookupOracles(cfg.Seed+77, "greedy-firstfit", "greedy-mindeg", "greedy-random")
+	if err != nil {
+		return nil, fmt.Errorf("experiments: E3: %w", err)
 	}
 	var firstErr error
 	for _, g := range plantedGrid(cfg) {
@@ -139,7 +138,7 @@ func E3Lemma21b(cfg Config) (*Table, error) {
 		if err != nil {
 			return nil, fmt.Errorf("experiments: E3 index: %w", err)
 		}
-		built, err := core.Build(ix)
+		built, err := core.BuildOpts(ix, cfg.Engine)
 		if err != nil {
 			return nil, fmt.Errorf("experiments: E3 build: %w", err)
 		}
@@ -167,20 +166,39 @@ func E3Lemma21b(cfg Config) (*Table, error) {
 	return t, firstErr
 }
 
-// reductionModes is the oracle grid shared by E4/E5.
-func reductionModes(seed int64) []struct {
+// lookupOracles resolves registry names to oracle instances, seeding the
+// randomized ones deterministically.
+func lookupOracles(seed int64, names ...string) ([]maxis.Oracle, error) {
+	out := make([]maxis.Oracle, len(names))
+	for i, name := range names {
+		o, err := maxis.Lookup(name, seed)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = o
+	}
+	return out, nil
+}
+
+// reductionModes is the oracle grid shared by E4/E5; the named oracles are
+// resolved through the maxis registry and every mode carries cfg.Engine.
+func reductionModes(cfg Config, seed int64) ([]struct {
 	name string
 	opts core.Options
-} {
+}, error) {
+	oracles, err := lookupOracles(seed, "greedy-mindeg", "greedy-random")
+	if err != nil {
+		return nil, err
+	}
 	return []struct {
 		name string
 		opts core.Options
 	}{
-		{"exact(λ=1)", core.Options{Mode: core.ModeExactHinted}},
-		{"first-fit", core.Options{Mode: core.ModeImplicitFirstFit}},
-		{"greedy-mindeg", core.Options{Mode: core.ModeOracle, Oracle: maxis.MinDegreeOracle{}}},
-		{"greedy-random", core.Options{Mode: core.ModeOracle, Oracle: &maxis.RandomOrderOracle{Seed: seed}}},
-	}
+		{"exact(λ=1)", core.Options{Mode: core.ModeExactHinted, Engine: cfg.Engine}},
+		{"first-fit", core.Options{Mode: core.ModeImplicitFirstFit, Engine: cfg.Engine}},
+		{"greedy-mindeg", core.Options{Mode: core.ModeOracle, Oracle: oracles[0], Engine: cfg.Engine}},
+		{"greedy-random", core.Options{Mode: core.ModeOracle, Oracle: oracles[1], Engine: cfg.Engine}},
+	}, nil
 }
 
 // E4PhaseDecay runs the Theorem 1.1 loop and checks the per-phase decay
@@ -209,8 +227,12 @@ func E4PhaseDecay(cfg Config) (*Table, error) {
 	if err != nil {
 		return nil, fmt.Errorf("experiments: E4 generator: %w", err)
 	}
+	modes, err := reductionModes(cfg, cfg.Seed+13)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: E4: %w", err)
+	}
 	var firstErr error
-	for _, mode := range reductionModes(cfg.Seed + 13) {
+	for _, mode := range modes {
 		opts := mode.opts
 		opts.K = k
 		res, err := core.Reduce(h, opts)
@@ -260,8 +282,12 @@ func E5ColorBudget(cfg Config) (*Table, error) {
 	if err != nil {
 		return nil, fmt.Errorf("experiments: E5 generator: %w", err)
 	}
+	modes, err := reductionModes(cfg, cfg.Seed+14)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: E5: %w", err)
+	}
 	var firstErr error
-	for _, mode := range reductionModes(cfg.Seed + 14) {
+	for _, mode := range modes {
 		opts := mode.opts
 		opts.K = k
 		res, err := core.Reduce(h, opts)
@@ -359,7 +385,7 @@ func E7OracleQuality(cfg Config) (*Table, error) {
 	if err != nil {
 		return nil, fmt.Errorf("experiments: E7 index: %w", err)
 	}
-	conflict, err := core.Build(ix)
+	conflict, err := core.BuildOpts(ix, cfg.Engine)
 	if err != nil {
 		return nil, fmt.Errorf("experiments: E7 build: %w", err)
 	}
@@ -375,11 +401,10 @@ func E7OracleQuality(cfg Config) (*Table, error) {
 	if !cfg.Quick {
 		insts = append(insts, inst{"grid(6x6)", graph.Grid(6, 6), nil})
 	}
-	oracles := []maxis.Oracle{
-		maxis.MinDegreeOracle{},
-		maxis.FirstFitOracle{},
-		&maxis.RandomOrderOracle{Seed: cfg.Seed + 99},
-		maxis.CliqueRemovalOracle{},
+	oracles, err := lookupOracles(cfg.Seed+99,
+		"greedy-mindeg", "greedy-firstfit", "greedy-random", "clique-removal")
+	if err != nil {
+		return nil, fmt.Errorf("experiments: E7: %w", err)
 	}
 	var firstErr error
 	for _, in := range insts {
@@ -523,7 +548,7 @@ func E10IntervalCF(cfg Config) (*Table, error) {
 		dyadicOK := verify.ConflictFree(h, dyadic) == nil
 		logBound := int(math.Ceil(math.Log2(float64(n + 1))))
 
-		res, err := core.Reduce(h, core.Options{K: 2, Mode: core.ModeImplicitFirstFit})
+		res, err := core.Reduce(h, core.Options{K: 2, Mode: core.ModeImplicitFirstFit, Engine: cfg.Engine})
 		if err != nil {
 			return nil, fmt.Errorf("experiments: E10 reduce: %w", err)
 		}

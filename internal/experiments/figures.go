@@ -39,6 +39,7 @@ func F1DecayCurve(cfg Config) (*Table, error) {
 	res, err := core.Reduce(h, core.Options{
 		K:    2,
 		Mode: core.ModeOracle, Oracle: &maxis.RandomOrderOracle{Seed: cfg.Seed + 5},
+		Engine: cfg.Engine,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("experiments: F1 reduce: %w", err)

@@ -10,6 +10,8 @@ import (
 	"fmt"
 	"io"
 	"strings"
+
+	"pslocal/internal/engine"
 )
 
 // Config controls instance sizes and determinism.
@@ -18,6 +20,10 @@ type Config struct {
 	Seed int64
 	// Quick shrinks the grids for use inside benchmarks and CI.
 	Quick bool
+	// Engine configures parallel conflict-graph construction and
+	// cancellation for every experiment; the zero value is serial. The
+	// tables themselves are identical for every worker count.
+	Engine engine.Options
 }
 
 // Table is a rendered experiment: a claim, measurements, and notes.

@@ -13,7 +13,10 @@ package graph
 import (
 	"errors"
 	"fmt"
+	"slices"
 	"sort"
+
+	"pslocal/internal/engine"
 )
 
 // Errors returned by Builder.Build and graph constructors.
@@ -188,6 +191,18 @@ func NewBuilder(n int) *Builder {
 	return &Builder{n: n}
 }
 
+// EdgeCapacityHint grows the internal edge buffers so at least m further
+// AddEdge calls proceed without reallocation. Generators that know their
+// edge volume up front (conflict-graph construction knows its clique sizes
+// exactly) use it to keep the emission loop allocation-lean.
+func (b *Builder) EdgeCapacityHint(m int) {
+	if m <= 0 {
+		return
+	}
+	b.us = slices.Grow(b.us, m)
+	b.vs = slices.Grow(b.vs, m)
+}
+
 // AddEdge records the undirected edge {u,v}. Errors are deferred to Build so
 // generators can add edges without per-call error handling.
 func (b *Builder) AddEdge(u, v int32) {
@@ -204,37 +219,12 @@ func (b *Builder) AddEdge(u, v int32) {
 	}
 }
 
-// Build assembles the graph. After Build the builder can be reused only by
+// Build assembles the graph through the two-pass CSR assembler (count
+// degrees, prefix-sum, scatter, per-node sort+dedupe — see DESIGN.md,
+// "Execution engine"). After Build the builder can be reused only by
 // discarding it; Build does not reset internal state.
 func (b *Builder) Build() (*Graph, error) {
-	if b.n < 0 {
-		return nil, fmt.Errorf("%w: %d", ErrNegativeSize, b.n)
-	}
-	if len(b.errs) > 0 {
-		return nil, errors.Join(b.errs...)
-	}
-	deg := make([]int32, b.n+1)
-	for i := range b.us {
-		deg[b.us[i]+1]++
-		deg[b.vs[i]+1]++
-	}
-	offsets := make([]int32, b.n+1)
-	for v := 1; v <= b.n; v++ {
-		offsets[v] = offsets[v-1] + deg[v]
-	}
-	cursor := make([]int32, b.n)
-	copy(cursor, offsets[:b.n])
-	targets := make([]int32, offsets[b.n])
-	for i := range b.us {
-		u, v := b.us[i], b.vs[i]
-		targets[cursor[u]] = v
-		cursor[u]++
-		targets[cursor[v]] = u
-		cursor[v]++
-	}
-	g := &Graph{offsets: offsets, targets: targets}
-	g.sortAndDedup()
-	return g, nil
+	return assembleCSR(b.n, []*Builder{b}, engine.Options{Workers: 1})
 }
 
 // MustBuild is Build for statically correct construction sites (generators,
@@ -245,30 +235,6 @@ func (b *Builder) MustBuild() *Graph {
 		panic(err)
 	}
 	return g
-}
-
-// sortAndDedup sorts each adjacency list and removes duplicate entries,
-// compacting targets and rewriting offsets in place.
-func (g *Graph) sortAndDedup() {
-	n := g.N()
-	write := int32(0)
-	newOffsets := make([]int32, n+1)
-	for v := 0; v < n; v++ {
-		lo, hi := g.offsets[v], g.offsets[v+1]
-		adj := g.targets[lo:hi]
-		sort.Slice(adj, func(i, j int) bool { return adj[i] < adj[j] })
-		newOffsets[v] = write
-		for i, u := range adj {
-			if i > 0 && adj[i-1] == u {
-				continue
-			}
-			g.targets[write] = u
-			write++
-		}
-	}
-	newOffsets[n] = write
-	g.offsets = newOffsets
-	g.targets = g.targets[:write]
 }
 
 // FromEdges builds a graph on n nodes from an explicit edge list.

@@ -1,0 +1,153 @@
+package graph
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"pslocal/internal/engine"
+)
+
+// requireSameCSR asserts byte-for-byte CSR equality, the contract of the
+// sharded assembly path.
+func requireSameCSR(t *testing.T, got, want *Graph) {
+	t.Helper()
+	if len(got.offsets) != len(want.offsets) {
+		t.Fatalf("offsets length %d, want %d", len(got.offsets), len(want.offsets))
+	}
+	for i := range want.offsets {
+		if got.offsets[i] != want.offsets[i] {
+			t.Fatalf("offsets[%d] = %d, want %d", i, got.offsets[i], want.offsets[i])
+		}
+	}
+	if len(got.targets) != len(want.targets) {
+		t.Fatalf("targets length %d, want %d", len(got.targets), len(want.targets))
+	}
+	for i := range want.targets {
+		if got.targets[i] != want.targets[i] {
+			t.Fatalf("targets[%d] = %d, want %d", i, got.targets[i], want.targets[i])
+		}
+	}
+}
+
+// randomEdges returns a multiset of valid edges with deliberate duplicates.
+func randomEdges(n, m int, rng *rand.Rand) [][2]int32 {
+	if n < 2 {
+		return nil // a simple graph on < 2 nodes has no edges
+	}
+	out := make([][2]int32, 0, m)
+	for len(out) < m {
+		u := int32(rng.Intn(n))
+		v := int32(rng.Intn(n))
+		if u == v {
+			continue
+		}
+		out = append(out, [2]int32{u, v})
+		if rng.Intn(4) == 0 { // duplicate, sometimes flipped
+			out = append(out, [2]int32{v, u})
+		}
+	}
+	return out
+}
+
+func TestParallelBuildEquivalentToSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + rng.Intn(60)
+		m := rng.Intn(4 * n)
+		edges := randomEdges(n, m, rng)
+
+		serial := NewBuilder(n)
+		for _, e := range edges {
+			serial.AddEdge(e[0], e[1])
+		}
+		want, err := serial.Build()
+		if err != nil {
+			t.Fatalf("serial build: %v", err)
+		}
+		if err := want.Validate(); err != nil {
+			t.Fatalf("serial invariants: %v", err)
+		}
+
+		for _, shards := range []int{1, 2, 3, 8} {
+			for _, workers := range []int{1, 2, 4} {
+				sb := NewShardedBuilder(n, shards)
+				for i, e := range edges {
+					sb.Shard(i%shards).AddEdge(e[0], e[1])
+				}
+				got, err := sb.ParallelBuild(engine.Options{Workers: workers})
+				if err != nil {
+					t.Fatalf("shards=%d workers=%d: %v", shards, workers, err)
+				}
+				requireSameCSR(t, got, want)
+			}
+		}
+	}
+}
+
+func TestShardedBuilderErrorsSurface(t *testing.T) {
+	sb := NewShardedBuilder(4, 3)
+	sb.Shard(0).AddEdge(0, 1)
+	sb.Shard(1).AddEdge(2, 9) // out of range
+	sb.Shard(2).AddEdge(3, 3) // self loop
+	_, err := sb.ParallelBuild(engine.Options{Workers: 2})
+	if !errors.Is(err, ErrNodeRange) {
+		t.Errorf("missing ErrNodeRange: %v", err)
+	}
+	if !errors.Is(err, ErrSelfLoop) {
+		t.Errorf("missing ErrSelfLoop: %v", err)
+	}
+}
+
+func TestShardedBuilderNegativeSize(t *testing.T) {
+	sb := NewShardedBuilder(-1, 2)
+	if _, err := sb.Build(); !errors.Is(err, ErrNegativeSize) {
+		t.Errorf("err = %v, want ErrNegativeSize", err)
+	}
+}
+
+func TestParallelBuildCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	sb := NewShardedBuilder(4, 2)
+	sb.Shard(0).AddEdge(0, 1)
+	_, err := sb.ParallelBuild(engine.Options{Workers: 2, Ctx: ctx})
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestEdgeCapacityHintPreservesResult(t *testing.T) {
+	b1 := NewBuilder(10)
+	b2 := NewBuilder(10)
+	b2.EdgeCapacityHint(64)
+	b2.EdgeCapacityHint(-1) // no-op
+	rng := rand.New(rand.NewSource(9))
+	for _, e := range randomEdges(10, 30, rng) {
+		b1.AddEdge(e[0], e[1])
+		b2.AddEdge(e[0], e[1])
+	}
+	g1 := b1.MustBuild()
+	g2 := b2.MustBuild()
+	requireSameCSR(t, g2, g1)
+}
+
+func TestParallelBuildNoDuplicatesFastPath(t *testing.T) {
+	// A duplicate-free emission takes the "already final" branch; the
+	// invariants must still hold.
+	sb := NewShardedBuilder(5, 2)
+	sb.Shard(0).AddEdge(0, 1)
+	sb.Shard(0).AddEdge(1, 2)
+	sb.Shard(1).AddEdge(3, 4)
+	g, err := sb.ParallelBuild(engine.Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatalf("invariants: %v", err)
+	}
+	if g.M() != 3 {
+		t.Errorf("M = %d, want 3", g.M())
+	}
+}

@@ -100,6 +100,20 @@ func (h *Hypergraph) Edge(j int) []int32 {
 	return out
 }
 
+// AppendEdge appends the sorted vertex list of edge j to dst and returns
+// the extended slice, avoiding an allocation when dst has capacity. The hot
+// construction loops of internal/core use it instead of Edge.
+func (h *Hypergraph) AppendEdge(dst []int32, j int) []int32 {
+	return append(dst, h.edges[j]...)
+}
+
+// AppendIncidentEdges appends the ascending edge indices containing v to
+// dst and returns the extended slice, avoiding an allocation when dst has
+// capacity.
+func (h *Hypergraph) AppendIncidentEdges(dst []int32, v int32) []int32 {
+	return append(dst, h.incidence[v]...)
+}
+
 // ForEachEdgeVertex calls fn for every vertex of edge j in ascending order;
 // it stops early if fn returns false.
 func (h *Hypergraph) ForEachEdgeVertex(j int, fn func(v int32) bool) {

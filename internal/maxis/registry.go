@@ -1,0 +1,79 @@
+package maxis
+
+// registry.go implements the named oracle registry (DESIGN.md, "Execution
+// engine"): solvers self-register under stable string names so commands,
+// experiments and future multi-backend deployments select oracles by
+// configuration instead of compile-time wiring.
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Factory constructs an Oracle. Deterministic oracles ignore seed;
+// randomized oracles use it to initialise their private stream.
+type Factory func(seed int64) Oracle
+
+var registry = struct {
+	sync.RWMutex
+	factories map[string]Factory
+}{factories: make(map[string]Factory)}
+
+// Register adds a named oracle factory. Empty names and duplicate
+// registrations are errors.
+func Register(name string, f Factory) error {
+	if name == "" {
+		return fmt.Errorf("maxis: Register with empty oracle name")
+	}
+	if f == nil {
+		return fmt.Errorf("maxis: Register(%q) with nil factory", name)
+	}
+	registry.Lock()
+	defer registry.Unlock()
+	if _, dup := registry.factories[name]; dup {
+		return fmt.Errorf("maxis: oracle %q registered twice", name)
+	}
+	registry.factories[name] = f
+	return nil
+}
+
+// MustRegister is Register for init-time wiring; it panics on error.
+func MustRegister(name string, f Factory) {
+	if err := Register(name, f); err != nil {
+		panic(err)
+	}
+}
+
+// Lookup constructs the named oracle, passing seed to its factory. Unknown
+// names report the registered alternatives.
+func Lookup(name string, seed int64) (Oracle, error) {
+	registry.RLock()
+	f, ok := registry.factories[name]
+	registry.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("maxis: unknown oracle %q (registered: %v)", name, Names())
+	}
+	return f(seed), nil
+}
+
+// Names returns the registered oracle names in ascending order.
+func Names() []string {
+	registry.RLock()
+	defer registry.RUnlock()
+	out := make([]string, 0, len(registry.factories))
+	for name := range registry.factories {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// The built-in suite registers under the Name() strings of its oracles.
+func init() {
+	MustRegister("exact", func(int64) Oracle { return ExactOracle{} })
+	MustRegister("greedy-mindeg", func(int64) Oracle { return MinDegreeOracle{} })
+	MustRegister("greedy-firstfit", func(int64) Oracle { return FirstFitOracle{} })
+	MustRegister("greedy-random", func(seed int64) Oracle { return &RandomOrderOracle{Seed: seed} })
+	MustRegister("clique-removal", func(int64) Oracle { return CliqueRemovalOracle{} })
+}

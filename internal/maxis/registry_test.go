@@ -1,0 +1,74 @@
+package maxis
+
+import (
+	"testing"
+
+	"pslocal/internal/graph"
+)
+
+func TestRegistryBuiltins(t *testing.T) {
+	want := []string{"clique-removal", "exact", "greedy-firstfit", "greedy-mindeg", "greedy-random"}
+	names := Names()
+	got := map[string]bool{}
+	for _, n := range names {
+		got[n] = true
+	}
+	for _, n := range want {
+		if !got[n] {
+			t.Errorf("built-in %q missing from Names() = %v", n, names)
+		}
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Errorf("Names() not strictly sorted: %v", names)
+		}
+	}
+}
+
+func TestLookupReturnsWorkingOracles(t *testing.T) {
+	g := graph.Cycle(7)
+	for _, name := range Names() {
+		o, err := Lookup(name, 42)
+		if err != nil {
+			t.Fatalf("Lookup(%q): %v", name, err)
+		}
+		if o.Name() == "" {
+			t.Errorf("oracle %q has empty Name()", name)
+		}
+		set, err := o.Solve(g)
+		if err != nil {
+			t.Fatalf("oracle %q Solve: %v", name, err)
+		}
+		if !IsIndependentSet(g, set) {
+			t.Errorf("oracle %q returned a dependent set %v", name, set)
+		}
+		if len(set) == 0 {
+			t.Errorf("oracle %q returned an empty set on C7", name)
+		}
+	}
+}
+
+func TestLookupUnknown(t *testing.T) {
+	if _, err := Lookup("no-such-oracle", 0); err == nil {
+		t.Error("Lookup of unknown name succeeded")
+	}
+}
+
+func TestRegisterRejectsDuplicatesAndEmpty(t *testing.T) {
+	if err := Register("", func(int64) Oracle { return FirstFitOracle{} }); err == nil {
+		t.Error("Register with empty name succeeded")
+	}
+	if err := Register("exact", func(int64) Oracle { return ExactOracle{} }); err == nil {
+		t.Error("duplicate Register succeeded")
+	}
+	if err := Register("test-only-oracle", nil); err == nil {
+		t.Error("Register with nil factory succeeded")
+	}
+	if err := Register("test-only-oracle", func(int64) Oracle { return FirstFitOracle{} }); err != nil {
+		t.Errorf("fresh Register failed: %v", err)
+	}
+	o, err := Lookup("test-only-oracle", 0)
+	if err != nil || o.Name() != "greedy-firstfit" {
+		t.Errorf("Lookup of fresh registration: %v, %v", o, err)
+	}
+}

@@ -30,6 +30,7 @@ import (
 	"pslocal/internal/cfcolor"
 	"pslocal/internal/core"
 	"pslocal/internal/domset"
+	"pslocal/internal/engine"
 	"pslocal/internal/experiments"
 	"pslocal/internal/graph"
 	"pslocal/internal/hypergraph"
@@ -103,6 +104,14 @@ func IsConflictFreeMulti(h *Hypergraph, mc Multicoloring) bool {
 // for all interval hypergraphs on n line vertices.
 func DyadicIntervalColoring(n int) Coloring { return cfcolor.DyadicIntervalColoring(n) }
 
+// The execution engine (options layer). EngineOptions carry the worker
+// pool width and cancellation context through conflict-graph construction,
+// the reduction and the experiment harness; the zero value is serial.
+type EngineOptions = engine.Options
+
+// ParallelEngine returns EngineOptions selecting GOMAXPROCS workers.
+func ParallelEngine() EngineOptions { return engine.Parallel() }
+
 // The conflict graph and Lemma 2.1 (the paper's Section 2).
 type (
 	// Triple is a conflict-graph node (e, v, c).
@@ -114,8 +123,14 @@ type (
 // NewConflictIndex builds the triple numbering of G_k.
 func NewConflictIndex(h *Hypergraph, k int) (*ConflictIndex, error) { return core.NewIndex(h, k) }
 
-// BuildConflictGraph materialises G_k.
+// BuildConflictGraph materialises G_k on the serial path.
 func BuildConflictGraph(ix *ConflictIndex) (*Graph, error) { return core.Build(ix) }
+
+// BuildConflictGraphOpts materialises G_k on opts' worker pool; the CSR is
+// identical to the serial path for every worker count.
+func BuildConflictGraphOpts(ix *ConflictIndex, opts EngineOptions) (*Graph, error) {
+	return core.BuildOpts(ix, opts)
+}
 
 // ConflictAdjacent answers adjacency in G_k straight from the definition.
 func ConflictAdjacent(ix *ConflictIndex, t1, t2 Triple) (bool, error) {
@@ -178,6 +193,19 @@ type (
 	// ExactOptions tunes the exact solver.
 	ExactOptions = maxis.ExactOptions
 )
+
+// OracleFactory constructs a named oracle; deterministic oracles ignore
+// the seed.
+type OracleFactory = maxis.Factory
+
+// RegisterOracle adds a named oracle to the registry.
+func RegisterOracle(name string, f OracleFactory) error { return maxis.Register(name, f) }
+
+// LookupOracle constructs a registered oracle by name.
+func LookupOracle(name string, seed int64) (Oracle, error) { return maxis.Lookup(name, seed) }
+
+// OracleNames lists the registered oracle names in ascending order.
+func OracleNames() []string { return maxis.Names() }
 
 // ExactMaxIS returns a maximum independent set.
 func ExactMaxIS(g *Graph) ([]int32, error) { return maxis.Exact(g) }

@@ -1,0 +1,30 @@
+#!/bin/sh
+# Runs the conflict-graph construction and reduction benchmarks and writes
+# their results as JSON (default BENCH_gk.json) so future PRs have a perf
+# trajectory to compare against. Usage: scripts/bench.sh [output.json]
+set -eu
+cd "$(dirname "$0")/.."
+out="${1:-BENCH_gk.json}"
+tmp="$(mktemp)"
+trap 'rm -f "$tmp"' EXIT
+
+go test -run '^$' \
+  -bench 'ConflictGraphBuild|ImplicitFirstFit|FirstFitScratch|ReduceImplicit' \
+  -benchmem -count=1 . | tee "$tmp"
+
+awk '
+  /^Benchmark/ {
+    name = $1; iters = $2; ns = ""; bpo = "null"; apo = "null"
+    for (i = 3; i < NF; i++) {
+      if ($(i+1) == "ns/op")     ns  = $i
+      if ($(i+1) == "B/op")      bpo = $i
+      if ($(i+1) == "allocs/op") apo = $i
+    }
+    if (ns == "") next
+    printf "%s  {\"name\":\"%s\",\"iterations\":%s,\"ns_per_op\":%s,\"bytes_per_op\":%s,\"allocs_per_op\":%s}", sep, name, iters, ns, bpo, apo
+    sep = ",\n"
+  }
+  BEGIN { print "[" }
+  END   { print "\n]" }
+' "$tmp" > "$out"
+echo "wrote $out"
