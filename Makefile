@@ -1,6 +1,6 @@
 # Developer entry points; CI runs the same steps (.github/workflows/ci.yml).
 
-.PHONY: build test race vet fmt bench
+.PHONY: build test race vet fmt bench bench-quick
 
 build:
 	go build ./...
@@ -17,7 +17,11 @@ vet:
 fmt:
 	gofmt -l .
 
-# bench runs the G_k construction and Reduce benchmarks and writes
-# BENCH_gk.json so successive PRs have a perf trajectory.
+# bench runs the hot-path benchmarks and appends this run to the
+# BENCH_gk.json history (keyed by git SHA) so successive PRs have a perf
+# trajectory. bench-quick is the 1-iteration CI mode, same schema.
 bench:
 	./scripts/bench.sh
+
+bench-quick:
+	BENCH_QUICK=1 ./scripts/bench.sh

@@ -213,6 +213,50 @@ func BenchmarkReduceImplicitEndToEnd(b *testing.B) {
 	}
 }
 
+// benchPortfolio races the full greedy suite on a large materialised
+// conflict graph, the per-phase workload of the oracle execution layer.
+func benchPortfolio(b *testing.B, opts engine.Options) {
+	ix := benchLargeIndex(b)
+	g, err := core.BuildOpts(ix, engine.Parallel())
+	if err != nil {
+		b.Fatal(err)
+	}
+	// The greedy family only: clique-removal costs seconds per solve at
+	// this size and would drown the fan-out signal.
+	p, err := pslocal.LookupOracle("portfolio:greedy-mindeg,greedy-firstfit,greedy-random", 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p.(*pslocal.OraclePortfolio).SetEngine(opts)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		set, err := p.Solve(g)
+		if err != nil || len(set) == 0 {
+			b.Fatalf("solve: %v (%d nodes)", err, len(set))
+		}
+	}
+}
+
+func BenchmarkPortfolioOracleSerial(b *testing.B)   { benchPortfolio(b, engine.Options{Workers: 1}) }
+func BenchmarkPortfolioOracleParallel(b *testing.B) { benchPortfolio(b, engine.Parallel()) }
+
+// BenchmarkSLOCALGreedyMIS exercises the flat-array View scratch: a full
+// SLOCAL pass over a mid-size random graph, one BFS ball per node.
+func BenchmarkSLOCALGreedyMIS(b *testing.B) {
+	rng := rand.New(rand.NewSource(15))
+	g := pslocal.GnP(2000, 0.004, rng)
+	order := pslocal.IdentityOrder(g.N())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mis, _, err := pslocal.SLOCALGreedyMIS(g, order)
+		if err != nil || len(mis) == 0 {
+			b.Fatalf("greedy MIS: %v (%d nodes)", err, len(mis))
+		}
+	}
+}
+
 func BenchmarkBallCarving(b *testing.B) {
 	rng := rand.New(rand.NewSource(11))
 	g := pslocal.GnP(80, 0.06, rng)

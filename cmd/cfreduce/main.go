@@ -7,10 +7,14 @@
 //	cfreduce -gen planted -n 60 -m 24 -k 3 -mode exact
 //	cfreduce -gen interval -n 80 -m 40 -mode implicit -print-coloring
 //	cfreduce -in instance.hg -k 2 -mode greedy-mindeg -seed 7 -workers 0
+//	cfreduce -oracle portfolio:greedy-mindeg,greedy-random,clique-removal -workers 0
 //
 // Besides the built-in modes `exact` and `implicit`, -mode accepts any
-// oracle name of the maxis registry (see -mode help); -workers sets the
-// conflict-graph construction pool (0 = GOMAXPROCS, 1 = serial).
+// oracle name of the maxis registry (see -mode help), including
+// portfolio:<a>,<b>,... names that race several oracles per phase;
+// -oracle is the explicit registry spelling and overrides -mode.
+// -workers sets the worker pool shared by conflict-graph construction
+// and portfolio solving (0 = GOMAXPROCS, 1 = serial).
 package main
 
 import (
@@ -47,19 +51,26 @@ func run() error {
 		sizeHi   = flag.Int("size-hi", 5, "maximum edge size (planted/interval)")
 		modeName = flag.String("mode", "implicit",
 			"solving mode: exact | implicit | a registry oracle name | help to list")
+		oracleName = flag.String("oracle", "",
+			"registry oracle name, incl. portfolio:<a>,<b>,... (overrides -mode)")
 		seed     = flag.Int64("seed", 1, "random seed")
-		workers  = flag.Int("workers", 1, "conflict-graph construction workers (0 = GOMAXPROCS)")
+		workers  = flag.Int("workers", 1, "construction/portfolio workers (0 = GOMAXPROCS)")
 		printCol = flag.Bool("print-coloring", false, "dump the multicolouring")
 	)
 	flag.Parse()
 
-	if *modeName == "help" {
+	mode := *modeName
+	if *oracleName != "" {
+		mode = *oracleName
+	}
+	if mode == "help" {
 		modes := []string{"exact", "implicit"}
 		for _, name := range maxis.Names() {
 			if name != "exact" { // the built-in exact mode already covers it (with the clique hint)
 				modes = append(modes, name)
 			}
 		}
+		modes = append(modes, "portfolio:<a>,<b>,...")
 		fmt.Printf("modes: %s\n", strings.Join(modes, ", "))
 		return nil
 	}
@@ -68,14 +79,11 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	opts, err := makeOptions(*modeName, *k, *seed)
+	opts, err := makeOptions(mode, *k, *seed)
 	if err != nil {
 		return err
 	}
-	opts.Engine = engine.Options{Workers: *workers}
-	if *workers == 0 { // flag convention: 0 = as wide as the hardware
-		opts.Engine = engine.Parallel()
-	}
+	opts.Engine = engine.FromWorkersFlag(*workers)
 	fmt.Printf("instance: %v\n", h)
 	res, err := core.Reduce(h, opts)
 	if err != nil {

@@ -63,6 +63,7 @@ func TestMakeOptions(t *testing.T) {
 		{"greedy", core.ModeOracle, true},
 		{"random", core.ModeOracle, true},
 		{"cliquerem", core.ModeOracle, true},
+		{"portfolio:greedy-mindeg,greedy-random", core.ModeOracle, true},
 	}
 	for _, tt := range tests {
 		opts, err := makeOptions(tt.mode, 3, 1)

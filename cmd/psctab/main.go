@@ -1,5 +1,5 @@
 // Command psctab regenerates the reproduction's experiment tables
-// (E1–E10), figure-equivalents (F1–F3) and ablations (A1–A3) — the
+// (E1–E13), figure-equivalents (F1–F3) and ablations (A1–A3) — the
 // DESIGN.md Section 4 index. A non-zero exit status means a paper claim
 // failed on the generated grid.
 //
@@ -8,6 +8,7 @@
 //	psctab                 # everything
 //	psctab -only E4,F1     # a subset
 //	psctab -quick -seed 7  # small grids, different seed
+//	psctab -only E13 -oracle portfolio:greedy-mindeg,clique-removal -workers 0
 package main
 
 import (
@@ -18,6 +19,7 @@ import (
 
 	"pslocal/internal/engine"
 	"pslocal/internal/experiments"
+	"pslocal/internal/maxis"
 )
 
 func main() {
@@ -32,46 +34,23 @@ func run() error {
 		seed    = flag.Int64("seed", 42, "random seed for all grids")
 		quick   = flag.Bool("quick", false, "use the reduced benchmark grids")
 		only    = flag.String("only", "", "comma-separated subset, e.g. E1,E4,F2,A1 (empty = all)")
-		workers = flag.Int("workers", 1, "conflict-graph construction workers (0 = GOMAXPROCS)")
+		workers = flag.Int("workers", 1, "construction/portfolio workers (0 = GOMAXPROCS)")
+		oracle  = flag.String("oracle", "",
+			"portfolio oracle raced by E13, portfolio:<a>,<b>,... (empty = E13 default)")
 	)
 	flag.Parse()
-	eng := engine.Options{Workers: *workers}
-	if *workers == 0 { // flag convention: 0 = as wide as the hardware
-		eng = engine.Parallel()
+	if err := validateOracle(*oracle, *seed); err != nil {
+		return err
 	}
-	cfg := experiments.Config{Seed: *seed, Quick: *quick, Engine: eng}
-
-	type gen struct {
-		id string
-		fn func(experiments.Config) (*experiments.Table, error)
-	}
-	gens := []gen{
-		{"E1", experiments.E1ConflictGraphSize},
-		{"E2", experiments.E2Lemma21a},
-		{"E3", experiments.E3Lemma21b},
-		{"E4", experiments.E4PhaseDecay},
-		{"E5", experiments.E5ColorBudget},
-		{"E6", experiments.E6Containment},
-		{"E7", experiments.E7OracleQuality},
-		{"E8", experiments.E8ModelBaselines},
-		{"E9", experiments.E9NetDecomp},
-		{"E10", experiments.E10IntervalCF},
-		{"E11", experiments.E11DistributedPipeline},
-		{"E12", experiments.E12CompleteSiblings},
-		{"F1", experiments.F1DecayCurve},
-		{"F2", experiments.F2LocalityHistogram},
-		{"F3", experiments.F3LambdaVsDensity},
-		{"A1", experiments.A1ImplicitVsExplicit},
-		{"A2", experiments.A2CliqueBound},
-		{"A3", experiments.A3OrderSensitivity},
+	cfg := experiments.Config{
+		Seed:   *seed,
+		Quick:  *quick,
+		Engine: engine.FromWorkersFlag(*workers),
+		Oracle: *oracle,
 	}
 
-	want := map[string]bool{}
-	if *only != "" {
-		for _, id := range strings.Split(*only, ",") {
-			want[strings.ToUpper(strings.TrimSpace(id))] = true
-		}
-	}
+	gens := generators()
+	want := parseOnly(*only)
 	var failures []string
 	printed := 0
 	for _, g := range gens {
@@ -99,4 +78,75 @@ func run() error {
 		return fmt.Errorf("claims failed: %s", strings.Join(failures, "; "))
 	}
 	return nil
+}
+
+// gen pairs an experiment id with its generator.
+type gen struct {
+	id string
+	fn func(experiments.Config) (*experiments.Table, error)
+}
+
+// generators returns the DESIGN.md Section 4 index in rendering order:
+// E1–E13, F1–F3, A1–A3.
+func generators() []gen {
+	return []gen{
+		{"E1", experiments.E1ConflictGraphSize},
+		{"E2", experiments.E2Lemma21a},
+		{"E3", experiments.E3Lemma21b},
+		{"E4", experiments.E4PhaseDecay},
+		{"E5", experiments.E5ColorBudget},
+		{"E6", experiments.E6Containment},
+		{"E7", experiments.E7OracleQuality},
+		{"E8", experiments.E8ModelBaselines},
+		{"E9", experiments.E9NetDecomp},
+		{"E10", experiments.E10IntervalCF},
+		{"E11", experiments.E11DistributedPipeline},
+		{"E12", experiments.E12CompleteSiblings},
+		{"E13", experiments.E13PortfolioPhases},
+		{"F1", experiments.F1DecayCurve},
+		{"F2", experiments.F2LocalityHistogram},
+		{"F3", experiments.F3LambdaVsDensity},
+		{"A1", experiments.A1ImplicitVsExplicit},
+		{"A2", experiments.A2CliqueBound},
+		{"A3", experiments.A3OrderSensitivity},
+	}
+}
+
+// generatorIDs returns the experiment ids in rendering order.
+func generatorIDs() []string {
+	gens := generators()
+	ids := make([]string, len(gens))
+	for i, g := range gens {
+		ids[i] = g.id
+	}
+	return ids
+}
+
+// validateOracle fails fast on a bad -oracle value so the whole suite is
+// not run before E13 finally rejects it. Empty selects the E13 default.
+func validateOracle(name string, seed int64) error {
+	if name == "" {
+		return nil
+	}
+	if !strings.HasPrefix(name, "portfolio:") {
+		return fmt.Errorf("-oracle %q is not a portfolio:<a>,<b>,... name", name)
+	}
+	if _, err := maxis.Lookup(name, seed); err != nil {
+		return fmt.Errorf("-oracle: %w", err)
+	}
+	return nil
+}
+
+// parseOnly turns the -only flag into the wanted-id set: comma-separated,
+// case-insensitive, whitespace-tolerant. Empty input selects everything
+// (an empty map).
+func parseOnly(only string) map[string]bool {
+	want := map[string]bool{}
+	if only == "" {
+		return want
+	}
+	for _, id := range strings.Split(only, ",") {
+		want[strings.ToUpper(strings.TrimSpace(id))] = true
+	}
+	return want
 }

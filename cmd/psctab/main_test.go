@@ -1,0 +1,69 @@
+package main
+
+import (
+	"reflect"
+	"runtime"
+	"testing"
+
+	"pslocal/internal/engine"
+)
+
+func TestParseOnly(t *testing.T) {
+	tests := []struct {
+		in   string
+		want map[string]bool
+	}{
+		{"", map[string]bool{}},
+		{"E4", map[string]bool{"E4": true}},
+		{"e4, f1 ,A3", map[string]bool{"E4": true, "F1": true, "A3": true}},
+		{"E13", map[string]bool{"E13": true}},
+	}
+	for _, tt := range tests {
+		if got := parseOnly(tt.in); !reflect.DeepEqual(got, tt.want) {
+			t.Errorf("parseOnly(%q) = %v, want %v", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestWorkersFlagConvention(t *testing.T) {
+	// The -workers flag maps through engine.FromWorkersFlag: 0 = "as wide
+	// as the hardware" (Parallel, resolving to GOMAXPROCS), anything else
+	// is the literal pool width.
+	if got := engine.FromWorkersFlag(0).WorkerCount(); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("workers=0 resolves to %d, want GOMAXPROCS = %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := engine.FromWorkersFlag(1); !got.Serial() {
+		t.Errorf("workers=1 should be the serial path, got %+v", got)
+	}
+	if got := engine.FromWorkersFlag(3).WorkerCount(); got != 3 {
+		t.Errorf("workers=3 resolves to %d, want 3", got)
+	}
+}
+
+func TestValidateOracleFailsFast(t *testing.T) {
+	if err := validateOracle("", 1); err != nil {
+		t.Errorf("empty -oracle rejected: %v", err)
+	}
+	if err := validateOracle("portfolio:greedy-mindeg,clique-removal", 1); err != nil {
+		t.Errorf("valid portfolio rejected: %v", err)
+	}
+	if err := validateOracle("greedy-mindeg", 1); err == nil {
+		t.Error("non-portfolio -oracle accepted")
+	}
+	if err := validateOracle("portfolio:no-such-oracle", 1); err == nil {
+		t.Error("unknown member accepted")
+	}
+}
+
+// TestGeneratorIndexCoversE1ToE13 pins the doc-comment claim: the suite
+// runs E1–E13, F1–F3 and A1–A3 (the DESIGN.md Section 4 index).
+func TestGeneratorIndexCoversE1ToE13(t *testing.T) {
+	want := []string{
+		"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10",
+		"E11", "E12", "E13", "F1", "F2", "F3", "A1", "A2", "A3",
+	}
+	got := generatorIDs()
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("generator index = %v, want %v", got, want)
+	}
+}

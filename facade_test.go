@@ -32,6 +32,37 @@ func TestFacadeGraphConstructors(t *testing.T) {
 	}
 }
 
+func TestFacadePortfolioOracle(t *testing.T) {
+	a, err := pslocal.LookupOracle("greedy-mindeg", 1)
+	if err != nil {
+		t.Fatalf("LookupOracle: %v", err)
+	}
+	b, err := pslocal.LookupOracle("greedy-firstfit", 1)
+	if err != nil {
+		t.Fatalf("LookupOracle: %v", err)
+	}
+	p, err := pslocal.NewOraclePortfolio(a, b)
+	if err != nil {
+		t.Fatalf("NewOraclePortfolio: %v", err)
+	}
+	p.SetEngine(pslocal.ParallelEngine())
+	g := pslocal.Cycle(9)
+	set, err := p.Solve(g)
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	if err := pslocal.VerifyIndependentSet(g, set); err != nil || len(set) != 4 {
+		t.Errorf("portfolio on C9 = %v (%v), want a maximum IS of size 4", set, err)
+	}
+	named, err := pslocal.LookupOracle("portfolio:greedy-mindeg,greedy-firstfit", 1)
+	if err != nil {
+		t.Fatalf("LookupOracle portfolio: %v", err)
+	}
+	if _, ok := named.(*pslocal.OraclePortfolio); !ok {
+		t.Errorf("registry portfolio has type %T", named)
+	}
+}
+
 func TestFacadeHypergraphAndColourings(t *testing.T) {
 	h, err := pslocal.NewHypergraph(4, [][]int32{{0, 1, 2}, {1, 2, 3}})
 	if err != nil {

@@ -61,7 +61,10 @@ type Options struct {
 	// MaxPhases bounds the loop defensively; 0 means 4·m + 16.
 	MaxPhases int
 	// Engine configures parallel G_k construction and cancellation of the
-	// phase loop; the zero value is the serial path.
+	// phase loop; the zero value is the serial path. A non-zero Engine is
+	// forwarded to Oracle when the oracle implements maxis.EngineSetter
+	// (the portfolio), so the per-phase solve fans out on the same pool;
+	// the zero value leaves a pre-configured oracle untouched.
 	Engine engine.Options
 }
 
@@ -113,6 +116,14 @@ func Reduce(h *hypergraph.Hypergraph, opts Options) (*Result, error) {
 	}
 	if opts.Mode < ModeOracle || opts.Mode > ModeImplicitFirstFit {
 		return nil, fmt.Errorf("%w: mode %d", ErrNoOracle, opts.Mode)
+	}
+	// Fan-out oracles (the portfolio) inherit the reduction's engine, so
+	// one Options.Engine configures G_k construction and solving alike.
+	// Only a non-zero engine is forwarded: a caller who configured the
+	// oracle directly (SetEngine before Reduce) must not be silently
+	// downgraded to the serial zero value.
+	if es, ok := opts.Oracle.(maxis.EngineSetter); ok && opts.Engine != (engine.Options{}) {
+		es.SetEngine(opts.Engine)
 	}
 	maxPhases := opts.MaxPhases
 	if maxPhases <= 0 {

@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"pslocal/internal/cfcolor"
+	"pslocal/internal/engine"
 	"pslocal/internal/graph"
 	"pslocal/internal/hypergraph"
 	"pslocal/internal/maxis"
@@ -222,6 +223,83 @@ func TestReduceBrokenOracles(t *testing.T) {
 	}
 	if _, err := Reduce(h, Options{K: 2, Mode: ModeOracle, Oracle: brokenOracle{}}); !errors.Is(err, ErrOracleNotIndependent) {
 		t.Errorf("broken oracle error = %v, want ErrOracleNotIndependent", err)
+	}
+}
+
+// engineRecordingOracle records the engine options Reduce forwards to
+// EngineSetter oracles.
+type engineRecordingOracle struct {
+	maxis.Oracle
+	got      engine.Options
+	received bool
+}
+
+func (o *engineRecordingOracle) SetEngine(opts engine.Options) {
+	o.got = opts
+	o.received = true
+}
+
+func TestReduceForwardsEngineToSetterOracles(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	h, _, err := hypergraph.PlantedCF(20, 8, 2, 3, 4, rng)
+	if err != nil {
+		t.Fatalf("PlantedCF error: %v", err)
+	}
+	rec := &engineRecordingOracle{Oracle: maxis.MinDegreeOracle{}}
+	eng := engine.Options{Workers: 3}
+	if _, err := Reduce(h, Options{K: 2, Mode: ModeOracle, Oracle: rec, Engine: eng}); err != nil {
+		t.Fatalf("Reduce error: %v", err)
+	}
+	if !rec.received || rec.got.Workers != 3 {
+		t.Errorf("oracle engine = %+v (received %v), want Workers=3", rec.got, rec.received)
+	}
+
+	// The zero engine is NOT forwarded: a pre-configured oracle keeps its
+	// own options instead of being downgraded to serial.
+	rec2 := &engineRecordingOracle{Oracle: maxis.MinDegreeOracle{}}
+	if _, err := Reduce(h, Options{K: 2, Mode: ModeOracle, Oracle: rec2}); err != nil {
+		t.Fatalf("Reduce error: %v", err)
+	}
+	if rec2.received {
+		t.Errorf("zero Options.Engine forwarded %+v, want no SetEngine call", rec2.got)
+	}
+}
+
+func TestReducePortfolioMatchesRegistryMembers(t *testing.T) {
+	// A portfolio-driven reduction verifies end to end and its phase-1
+	// independent set is at least every member's phase-1 set (same G_1).
+	rng := rand.New(rand.NewSource(12))
+	h, _, err := hypergraph.PlantedCF(15, 30, 2, 4, 6, rng)
+	if err != nil {
+		t.Fatalf("PlantedCF error: %v", err)
+	}
+	const spec = "portfolio:greedy-firstfit,greedy-mindeg,greedy-random"
+	seed := int64(21)
+	po, err := maxis.Lookup(spec, seed)
+	if err != nil {
+		t.Fatalf("lookup: %v", err)
+	}
+	res, err := Reduce(h, Options{K: 2, Mode: ModeOracle, Oracle: po, Engine: engine.Parallel()})
+	if err != nil {
+		t.Fatalf("portfolio Reduce error: %v", err)
+	}
+	if !cfcolor.IsConflictFreeMulti(h, res.Multicoloring) {
+		t.Error("portfolio result not conflict-free")
+	}
+	for i, name := range []string{"greedy-firstfit", "greedy-mindeg", "greedy-random"} {
+		// Same member-seed derivation as the registry portfolio.
+		member, err := maxis.Lookup(name, seed+int64(i))
+		if err != nil {
+			t.Fatalf("lookup %s: %v", name, err)
+		}
+		mres, err := Reduce(h, Options{K: 2, Mode: ModeOracle, Oracle: member})
+		if err != nil {
+			t.Fatalf("%s Reduce error: %v", name, err)
+		}
+		if res.Phases[0].ISSize < mres.Phases[0].ISSize {
+			t.Errorf("portfolio |I_1| = %d < member %s |I_1| = %d",
+				res.Phases[0].ISSize, name, mres.Phases[0].ISSize)
+		}
 	}
 }
 

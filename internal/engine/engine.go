@@ -31,6 +31,16 @@ type Options struct {
 // Parallel returns Options selecting runtime.GOMAXPROCS(0) workers.
 func Parallel() Options { return Options{Workers: -1} }
 
+// FromWorkersFlag maps the CLI -workers convention shared by the cmds
+// onto Options: 0 means "as wide as the hardware" (Parallel()), any
+// other value is the literal pool width.
+func FromWorkersFlag(workers int) Options {
+	if workers == 0 {
+		return Parallel()
+	}
+	return Options{Workers: workers}
+}
+
 // WorkerCount resolves Workers: itself when positive, 1 when zero (the
 // serial zero value), GOMAXPROCS when negative.
 func (o Options) WorkerCount() int {

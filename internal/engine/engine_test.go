@@ -5,6 +5,7 @@ import (
 	"errors"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"testing"
 )
 
@@ -72,6 +73,18 @@ func TestWorkerCountDefaults(t *testing.T) {
 	}
 }
 
+func TestFromWorkersFlagConvention(t *testing.T) {
+	if got := FromWorkersFlag(0).WorkerCount(); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("FromWorkersFlag(0) resolves to %d, want GOMAXPROCS", got)
+	}
+	if !FromWorkersFlag(1).Serial() {
+		t.Error("FromWorkersFlag(1) should be serial")
+	}
+	if got := FromWorkersFlag(5).WorkerCount(); got != 5 {
+		t.Errorf("FromWorkersFlag(5) resolves to %d, want 5", got)
+	}
+}
+
 func TestForEachShardVisitsEachIndexOnce(t *testing.T) {
 	for _, workers := range []int{1, 2, 3, 7} {
 		const n = 100
@@ -121,5 +134,102 @@ func TestForEachShardCancelledContext(t *testing.T) {
 	err := opts.ForEachShard(10, func(int, Shard) error { return nil })
 	if !errors.Is(err, context.Canceled) {
 		t.Errorf("ForEachShard on cancelled ctx = %v, want Canceled", err)
+	}
+}
+
+func TestForEachShardPreCancelledSkipsWork(t *testing.T) {
+	// On a pre-cancelled context no shard body runs: the serial single-
+	// shard path checks first, and the pool path's goroutines observe the
+	// error before calling fn.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, workers := range []int{1, 4} {
+		var calls atomic.Int32
+		err := Options{Workers: workers, Ctx: ctx}.ForEachShard(10, func(int, Shard) error {
+			calls.Add(1)
+			return nil
+		})
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("workers=%d: err = %v, want Canceled", workers, err)
+		}
+		if got := calls.Load(); got != 0 {
+			t.Errorf("workers=%d: fn ran %d times on a pre-cancelled context", workers, got)
+		}
+	}
+}
+
+func TestForEachShardMidRunCancel(t *testing.T) {
+	// A cancellation raised while shards are running surfaces as the
+	// context error even when every invoked fn returned nil.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	err := Options{Workers: 4, Ctx: ctx}.ForEachShard(8, func(shard int, s Shard) error {
+		if shard == 0 {
+			cancel()
+		}
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("mid-run cancel err = %v, want Canceled", err)
+	}
+
+	// A shard that observes the cancellation and returns o.Err() wins as
+	// the first error.
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	defer cancel2()
+	opts := Options{Workers: 3, Ctx: ctx2}
+	err = opts.ForEachShard(9, func(shard int, s Shard) error {
+		cancel2()
+		return opts.Err()
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("observed-cancel err = %v, want Canceled", err)
+	}
+}
+
+func TestForEachShardFewerItemsThanWorkers(t *testing.T) {
+	// n < workers: Shards caps the shard count at n so no shard is empty,
+	// and each index still runs exactly once.
+	var mu sync.Mutex
+	seen := make(map[int]int)
+	shardIdx := make(map[int]bool)
+	err := Options{Workers: 8}.ForEachShard(3, func(shard int, s Shard) error {
+		mu.Lock()
+		defer mu.Unlock()
+		shardIdx[shard] = true
+		for i := s.Lo; i < s.Hi; i++ {
+			seen[i]++
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("ForEachShard: %v", err)
+	}
+	if len(shardIdx) != 3 {
+		t.Errorf("ran %d shards for n=3, want 3 (no empty shards)", len(shardIdx))
+	}
+	for i := 0; i < 3; i++ {
+		if seen[i] != 1 {
+			t.Errorf("index %d visited %d times", i, seen[i])
+		}
+	}
+}
+
+func TestForEachShardZeroItems(t *testing.T) {
+	// n == 0: fn never runs; the result is the context state.
+	ran := false
+	if err := (Options{Workers: 4}).ForEachShard(0, func(int, Shard) error {
+		ran = true
+		return nil
+	}); err != nil || ran {
+		t.Errorf("n=0: err=%v ran=%v, want nil and no calls", err, ran)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := (Options{Workers: 4, Ctx: ctx}).ForEachShard(0, func(int, Shard) error {
+		ran = true
+		return nil
+	}); !errors.Is(err, context.Canceled) || ran {
+		t.Errorf("n=0 cancelled: err=%v ran=%v, want Canceled and no calls", err, ran)
 	}
 }

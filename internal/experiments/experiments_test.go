@@ -36,8 +36,8 @@ func TestAllExperimentsHoldOnQuickGrid(t *testing.T) {
 	if err != nil {
 		t.Fatalf("a paper claim failed: %v", err)
 	}
-	if len(tables) != 12 {
-		t.Fatalf("got %d tables, want 12", len(tables))
+	if len(tables) != 13 {
+		t.Fatalf("got %d tables, want 13", len(tables))
 	}
 	ids := map[string]bool{}
 	for _, tab := range tables {
@@ -73,6 +73,26 @@ func TestAllAblationsHoldOnQuickGrid(t *testing.T) {
 	}
 	if len(abl) != 3 {
 		t.Fatalf("got %d ablations, want 3", len(abl))
+	}
+}
+
+func TestE13RespectsConfigOracle(t *testing.T) {
+	cfg := quickCfg
+	cfg.Oracle = "portfolio:greedy-mindeg,clique-removal"
+	tab, err := E13PortfolioPhases(cfg)
+	if err != nil {
+		t.Fatalf("E13 with custom portfolio: %v", err)
+	}
+	if got := len(tab.Rows); got != 3 { // two members + the portfolio
+		t.Fatalf("got %d rows, want 3", got)
+	}
+	last := tab.Rows[len(tab.Rows)-1]
+	if last[2] != cfg.Oracle {
+		t.Errorf("portfolio row names %q, want %q", last[2], cfg.Oracle)
+	}
+	cfg.Oracle = "greedy-mindeg" // not a portfolio name
+	if _, err := E13PortfolioPhases(cfg); err == nil {
+		t.Error("non-portfolio Config.Oracle accepted")
 	}
 }
 

@@ -81,12 +81,17 @@ func E12CompleteSiblings(cfg Config) (*Table, error) {
 	}
 
 	// Dominating set: greedy vs exact (via the set-cover view) on small
-	// graphs where the exact solver is feasible.
-	dsGraphs := map[string]*graph.Graph{
-		"gnp(24,.15)": graph.GnP(24, 0.15, rng),
-		"grid(4x5)":   graph.Grid(4, 5),
+	// graphs where the exact solver is feasible. A slice, not a map: row
+	// order must be deterministic for the rendered table.
+	dsGraphs := []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"gnp(24,.15)", graph.GnP(24, 0.15, rng)},
+		{"grid(4x5)", graph.Grid(4, 5)},
 	}
-	for name, g := range dsGraphs {
+	for _, in := range dsGraphs {
+		name, g := in.name, in.g
 		greedy, err := domset.GreedyDominatingSet(g)
 		if err != nil {
 			return nil, fmt.Errorf("experiments: E12 greedy DS: %w", err)

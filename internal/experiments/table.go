@@ -1,6 +1,6 @@
 // Package experiments regenerates the paper's quantitative claims. The
 // paper (a theory paper) has no tables or figures, so DESIGN.md Section 4
-// defines the experiment suite E1–E10 and figure-equivalents F1–F3 from
+// defines the experiment suite E1–E13 and figure-equivalents F1–F3 from
 // the numbered lemmas and theorems; every function here both produces a
 // human-readable table and verifies the underlying claim, returning an
 // error when the measured behaviour contradicts the paper.
@@ -24,6 +24,9 @@ type Config struct {
 	// cancellation for every experiment; the zero value is serial. The
 	// tables themselves are identical for every worker count.
 	Engine engine.Options
+	// Oracle names the portfolio E13 races against its members
+	// ("portfolio:<a>,<b>,..."); empty selects the E13 default.
+	Oracle string
 }
 
 // Table is a rendered experiment: a claim, measurements, and notes.

@@ -1,0 +1,105 @@
+package maxis
+
+// portfolio.go implements the oracle execution layer of DESIGN.md,
+// "Execution engine": a Portfolio races several oracles on the same
+// conflict graph over the engine worker pool and keeps the largest
+// independent set found. Racing diverse greedy strategies per phase is
+// the cheap way to tighten the empirical λ of the Theorem 1.1 loop —
+// the per-phase |I| is the max over members, so the residual shrinks at
+// the best member's rate on every phase.
+
+import (
+	"fmt"
+	"strings"
+
+	"pslocal/internal/engine"
+	"pslocal/internal/graph"
+)
+
+// EngineSetter is implemented by oracles whose Solve fans work out over a
+// worker pool (Portfolio). core.Reduce forwards its engine options to any
+// such oracle, so a single -workers flag configures conflict-graph
+// construction and per-phase solving alike.
+type EngineSetter interface {
+	// SetEngine installs the execution options used by Solve.
+	SetEngine(opts engine.Options)
+}
+
+// Portfolio is an Oracle that runs every member on the input and returns
+// the largest independent set found; ties keep the earliest member, so
+// the result is deterministic for any worker count. A single-member
+// portfolio delegates directly and is bit-identical to that member.
+type Portfolio struct {
+	members []Oracle
+	eng     engine.Options
+}
+
+var _ EngineSetter = (*Portfolio)(nil)
+
+// NewPortfolio builds a portfolio over the given members. At least one
+// non-nil member is required. Members run concurrently under SetEngine
+// options, so they must not share mutable state.
+func NewPortfolio(members ...Oracle) (*Portfolio, error) {
+	if len(members) == 0 {
+		return nil, fmt.Errorf("maxis: portfolio needs at least one member")
+	}
+	owned := make([]Oracle, len(members))
+	for i, m := range members {
+		if m == nil {
+			return nil, fmt.Errorf("maxis: portfolio member %d is nil", i)
+		}
+		owned[i] = m
+	}
+	return &Portfolio{members: owned}, nil
+}
+
+// Name implements Oracle; it is the registry spelling
+// "portfolio:<member>,<member>,...".
+func (p *Portfolio) Name() string {
+	names := make([]string, len(p.members))
+	for i, m := range p.members {
+		names[i] = m.Name()
+	}
+	return portfolioPrefix + strings.Join(names, ",")
+}
+
+// Members returns the member oracles in racing order (shared slice; do
+// not mutate).
+func (p *Portfolio) Members() []Oracle { return p.members }
+
+// SetEngine implements EngineSetter. The zero value runs the members
+// serially in order, which yields the same result as any parallel run.
+func (p *Portfolio) SetEngine(opts engine.Options) { p.eng = opts }
+
+// Solve implements Oracle: every member solves g (concurrently when the
+// engine options select more than one worker), and the largest returned
+// set wins. The first member error aborts the portfolio.
+func (p *Portfolio) Solve(g *graph.Graph) ([]int32, error) {
+	if len(p.members) == 1 {
+		return p.members[0].Solve(g)
+	}
+	results := make([][]int32, len(p.members))
+	err := p.eng.ForEachShard(len(p.members), func(_ int, s engine.Shard) error {
+		for i := s.Lo; i < s.Hi; i++ {
+			if err := p.eng.Err(); err != nil {
+				return err
+			}
+			set, err := p.members[i].Solve(g)
+			if err != nil {
+				return fmt.Errorf("maxis: portfolio member %s: %w", p.members[i].Name(), err)
+			}
+			results[i] = set
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	best := 0
+	for i := 1; i < len(results); i++ {
+		if len(results[i]) > len(results[best]) {
+			best = i
+		}
+	}
+	return results[best], nil
+}

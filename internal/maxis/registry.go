@@ -8,8 +8,13 @@ package maxis
 import (
 	"fmt"
 	"sort"
+	"strings"
 	"sync"
 )
+
+// portfolioPrefix introduces composite oracle names: "portfolio:<a>,<b>"
+// resolves to a Portfolio racing the named members.
+const portfolioPrefix = "portfolio:"
 
 // Factory constructs an Oracle. Deterministic oracles ignore seed;
 // randomized oracles use it to initialise their private stream.
@@ -20,11 +25,15 @@ var registry = struct {
 	factories map[string]Factory
 }{factories: make(map[string]Factory)}
 
-// Register adds a named oracle factory. Empty names and duplicate
-// registrations are errors.
+// Register adds a named oracle factory. Empty names, duplicate
+// registrations, and names that collide with the portfolio syntax
+// (a "portfolio:" prefix or a comma) are errors.
 func Register(name string, f Factory) error {
 	if name == "" {
 		return fmt.Errorf("maxis: Register with empty oracle name")
+	}
+	if strings.HasPrefix(name, portfolioPrefix) || strings.Contains(name, ",") {
+		return fmt.Errorf("maxis: oracle name %q collides with the portfolio syntax", name)
 	}
 	if f == nil {
 		return fmt.Errorf("maxis: Register(%q) with nil factory", name)
@@ -45,9 +54,16 @@ func MustRegister(name string, f Factory) {
 	}
 }
 
-// Lookup constructs the named oracle, passing seed to its factory. Unknown
-// names report the registered alternatives.
+// Lookup constructs the named oracle, passing seed to its factory. Names
+// of the form "portfolio:<a>,<b>,..." resolve to a Portfolio over the
+// named members, member i seeded seed+i so identically-named randomized
+// members decorrelate (member 0 keeps seed, so a single-member portfolio
+// is bit-identical to that member). Unknown names report the registered
+// alternatives.
 func Lookup(name string, seed int64) (Oracle, error) {
+	if strings.HasPrefix(name, portfolioPrefix) {
+		return lookupPortfolio(name, seed)
+	}
 	registry.RLock()
 	f, ok := registry.factories[name]
 	registry.RUnlock()
@@ -55,6 +71,29 @@ func Lookup(name string, seed int64) (Oracle, error) {
 		return nil, fmt.Errorf("maxis: unknown oracle %q (registered: %v)", name, Names())
 	}
 	return f(seed), nil
+}
+
+// lookupPortfolio resolves a "portfolio:<a>,<b>,..." name. Portfolios do
+// not nest.
+func lookupPortfolio(name string, seed int64) (Oracle, error) {
+	spec := strings.TrimPrefix(name, portfolioPrefix)
+	parts := strings.Split(spec, ",")
+	members := make([]Oracle, 0, len(parts))
+	for i, part := range parts {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			return nil, fmt.Errorf("maxis: portfolio %q has an empty member", name)
+		}
+		if strings.HasPrefix(part, portfolioPrefix) {
+			return nil, fmt.Errorf("maxis: portfolios do not nest (%q)", name)
+		}
+		o, err := Lookup(part, seed+int64(i))
+		if err != nil {
+			return nil, err
+		}
+		members = append(members, o)
+	}
+	return NewPortfolio(members...)
 }
 
 // Names returns the registered oracle names in ascending order.

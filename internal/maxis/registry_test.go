@@ -54,6 +54,53 @@ func TestLookupUnknown(t *testing.T) {
 	}
 }
 
+func TestLookupPortfolioNames(t *testing.T) {
+	o, err := Lookup("portfolio:greedy-mindeg, greedy-random ,clique-removal", 9)
+	if err != nil {
+		t.Fatalf("portfolio lookup: %v", err)
+	}
+	p, ok := o.(*Portfolio)
+	if !ok {
+		t.Fatalf("portfolio lookup returned %T", o)
+	}
+	if got, want := p.Name(), "portfolio:greedy-mindeg,greedy-random,clique-removal"; got != want {
+		t.Errorf("Name = %q, want %q", got, want)
+	}
+	if len(p.Members()) != 3 {
+		t.Errorf("members = %d, want 3", len(p.Members()))
+	}
+	set, err := o.Solve(graph.Cycle(7))
+	if err != nil {
+		t.Fatalf("portfolio Solve: %v", err)
+	}
+	if !IsIndependentSet(graph.Cycle(7), set) || len(set) != 3 {
+		t.Errorf("portfolio on C7 returned %v, want a maximum IS of size 3", set)
+	}
+}
+
+func TestLookupPortfolioRejectsBadSpecs(t *testing.T) {
+	for _, name := range []string{
+		"portfolio:",                        // no members
+		"portfolio:greedy-mindeg,,exact",    // empty member
+		"portfolio:no-such-oracle",          // unknown member
+		"portfolio:portfolio:greedy-mindeg", // nesting
+	} {
+		if _, err := Lookup(name, 0); err == nil {
+			t.Errorf("Lookup(%q) succeeded, want error", name)
+		}
+	}
+}
+
+func TestRegisterRejectsPortfolioCollisions(t *testing.T) {
+	f := func(int64) Oracle { return FirstFitOracle{} }
+	if err := Register("portfolio:sneaky", f); err == nil {
+		t.Error("Register with portfolio: prefix succeeded")
+	}
+	if err := Register("a,b", f); err == nil {
+		t.Error("Register with comma succeeded")
+	}
+}
+
 func TestRegisterRejectsDuplicatesAndEmpty(t *testing.T) {
 	if err := Register("", func(int64) Oracle { return FirstFitOracle{} }); err == nil {
 		t.Error("Register with empty name succeeded")

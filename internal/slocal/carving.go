@@ -103,12 +103,13 @@ func BallCarvingMaxIS(g *graph.Graph, opts CarvingOptions) (*CarvingResult, erro
 	for i := range avail {
 		avail[i] = true
 	}
+	mk := newMarker(n) // shared BFS stamps: one allocation for all carves
 	res := &CarvingResult{RadiusBound: logBound(n, delta)}
 	for _, v := range order {
 		if !avail[v] {
 			continue
 		}
-		region, err := carveOne(g, v, avail, delta, inner)
+		region, err := carveOne(g, v, avail, mk, delta, inner)
 		if err != nil {
 			return nil, err
 		}
@@ -135,9 +136,9 @@ type carved struct {
 
 // carveOne grows the residual ball around v, extracts the inner solution,
 // and claims the (r+1)-ball.
-func carveOne(g *graph.Graph, v int32, avail []bool, delta float64, inner InnerSolver) (*carved, error) {
+func carveOne(g *graph.Graph, v int32, avail []bool, mk *marker, delta float64, inner InnerSolver) (*carved, error) {
 	// Residual BFS layers: layers[d] = nodes at avail-distance d from v.
-	layers := residualLayers(g, v, avail)
+	layers := residualLayers(g, v, avail, mk)
 	// cumulative[r] = nodes of B_avail(v, r).
 	alphaAt := make([]int, 0, len(layers))
 	setsAt := make([][]int32, 0, len(layers))
@@ -174,8 +175,12 @@ func carveOne(g *graph.Graph, v int32, avail []bool, delta float64, inner InnerS
 }
 
 // residualLayers returns BFS layers from v inside the available subgraph.
-func residualLayers(g *graph.Graph, v int32, avail []bool) [][]int32 {
-	dist := map[int32]int{v: 0}
+// The visited set lives in mk's current-generation stamps, so repeated
+// carves reuse one flat array instead of allocating a map per centre; the
+// returned layer slices are fresh (callers retain them).
+func residualLayers(g *graph.Graph, v int32, avail []bool, mk *marker) [][]int32 {
+	mk.next()
+	mk.mark(v)
 	var layers [][]int32
 	frontier := []int32{v}
 	for len(frontier) > 0 {
@@ -183,11 +188,9 @@ func residualLayers(g *graph.Graph, v int32, avail []bool) [][]int32 {
 		var next []int32
 		for _, w := range frontier {
 			g.ForEachNeighbor(w, func(u int32) bool {
-				if avail[u] {
-					if _, ok := dist[u]; !ok {
-						dist[u] = len(layers)
-						next = append(next, u)
-					}
+				if avail[u] && !mk.marked(u) {
+					mk.mark(u)
+					next = append(next, u)
 				}
 				return true
 			})

@@ -62,6 +62,7 @@ func NetworkDecomposition(g *graph.Graph, order []int32) (*Decomposition, error)
 		d.Cluster[i] = -1
 	}
 	unclustered := n
+	mk := newMarker(n) // shared BFS stamps across all phases' carves
 	for phase := int32(1); unclustered > 0; phase++ {
 		d.NumColors = int(phase)
 		// avail: unclustered and not yet claimed as a shell this phase.
@@ -73,7 +74,7 @@ func NetworkDecomposition(g *graph.Graph, order []int32) (*Decomposition, error)
 			if !avail[v] {
 				continue
 			}
-			layers := residualLayers(g, v, avail)
+			layers := residualLayers(g, v, avail, mk)
 			// Smallest r with |B(r+1)| <= 2|B(r)|; sizes[r] = |B(v, r)|.
 			size := 0
 			var ballNodes []int32

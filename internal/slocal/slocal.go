@@ -28,28 +28,82 @@ import (
 // node set.
 var ErrBadOrder = errors.New("slocal: order is not a permutation of the nodes")
 
+// marker is an epoch-stamped membership set over a fixed node universe:
+// bumping the generation invalidates every mark in O(1), so BFS passes
+// reuse one stamp array instead of allocating a map per pass.
+type marker struct {
+	stamp []uint32
+	epoch uint32
+}
+
+func newMarker(n int) *marker {
+	// epoch starts at 1 so the zeroed stamp array marks nothing.
+	return &marker{stamp: make([]uint32, n), epoch: 1}
+}
+
+// next starts a fresh generation; all previous marks become invisible.
+func (m *marker) next() {
+	m.epoch++
+	if m.epoch == 0 { // uint32 wrap: clear stamps so stale marks cannot alias
+		clear(m.stamp)
+		m.epoch = 1
+	}
+}
+
+func (m *marker) marked(v int32) bool { return m.stamp[v] == m.epoch }
+func (m *marker) mark(v int32)        { m.stamp[v] = m.epoch }
+
+// viewScratch is the reusable flat-array BFS state shared by every View
+// of one Run: epoch-stamped distances, the discovery order and per-level
+// offsets replace the per-node map[int32]int32 the original
+// implementation allocated for each processed node.
+type viewScratch struct {
+	mk       *marker
+	dist     []int32 // dist[u] is valid iff mk.marked(u)
+	visited  []int32 // discovery order; distances are non-decreasing
+	levelEnd []int   // levelEnd[d] = |{u in visited : dist[u] <= d}|
+	frontier []int32
+	next     []int32
+}
+
+func newViewScratch(n int) *viewScratch {
+	return &viewScratch{mk: newMarker(n), dist: make([]int32, n)}
+}
+
 // View is what a node observes while being processed. All information
 // access goes through the view so the runner can account for the locality
-// actually used.
+// actually used. A View is only valid during its Process call: the runner
+// recycles the underlying scratch for the next node in the order.
 type View struct {
 	g        *graph.Graph
 	center   int32
 	states   []any
-	dist     map[int32]int32
-	frontier []int32
+	s        *viewScratch
 	explored int  // levels fully explored so far
 	finished bool // BFS exhausted the component
 	maxUsed  int  // effective locality consumed
 }
 
-func newView(g *graph.Graph, center int32, states []any) *View {
-	return &View{
-		g:        g,
-		center:   center,
-		states:   states,
-		dist:     map[int32]int32{center: 0},
-		frontier: []int32{center},
-	}
+func newView(g *graph.Graph, center int32, states []any, s *viewScratch) *View {
+	w := &View{g: g, states: states, s: s}
+	w.reset(center)
+	return w
+}
+
+// reset re-centres the view on the next processed node, recycling the
+// scratch arrays instead of allocating fresh BFS state.
+func (w *View) reset(center int32) {
+	s := w.s
+	s.mk.next()
+	s.visited = append(s.visited[:0], center)
+	s.levelEnd = append(s.levelEnd[:0], 1)
+	s.frontier = append(s.frontier[:0], center)
+	s.mk.mark(center)
+	s.dist[center] = 0
+	w.center = center
+	w.explored = 0
+	w.finished = false
+	w.maxUsed = 0
 }
 
 // Center returns the node being processed.
@@ -58,24 +112,28 @@ func (w *View) Center() int32 { return w.center }
 // extend grows the explored ball to radius r (or until the component is
 // exhausted) and charges the effective radius to the locality account.
 func (w *View) extend(r int) {
+	s := w.s
 	for w.explored < r && !w.finished {
-		var next []int32
 		d := int32(w.explored + 1)
-		for _, v := range w.frontier {
+		s.next = s.next[:0]
+		for _, v := range s.frontier {
 			w.g.ForEachNeighbor(v, func(u int32) bool {
-				if _, ok := w.dist[u]; !ok {
-					w.dist[u] = d
-					next = append(next, u)
+				if !s.mk.marked(u) {
+					s.mk.mark(u)
+					s.dist[u] = d
+					s.visited = append(s.visited, u)
+					s.next = append(s.next, u)
 				}
 				return true
 			})
 		}
-		w.frontier = next
-		if len(next) == 0 {
+		s.frontier, s.next = s.next, s.frontier
+		if len(s.frontier) == 0 {
 			w.finished = true
 			break
 		}
 		w.explored++
+		s.levelEnd = append(s.levelEnd, len(s.visited))
 	}
 	if w.explored > w.maxUsed {
 		w.maxUsed = w.explored
@@ -90,13 +148,14 @@ func (w *View) BallNodes(r int) []int32 {
 		return nil
 	}
 	w.extend(r)
-	limit := int32(r)
-	var nodes []int32
-	for u, d := range w.dist {
-		if d <= limit {
-			nodes = append(nodes, u)
-		}
+	eff := r
+	if eff > w.explored {
+		eff = w.explored
 	}
+	// Discovery order is sorted by distance, so B(center, eff) is a prefix.
+	prefix := w.s.visited[:w.s.levelEnd[eff]]
+	nodes := make([]int32, len(prefix))
+	copy(nodes, prefix)
 	sortInt32(nodes)
 	return nodes
 }
@@ -112,7 +171,7 @@ func (w *View) BallGraph(r int) (*graph.Graph, []int32, error) {
 // lies outside the explored ball (the algorithm must request a larger ball
 // first) or when u has not been processed yet.
 func (w *View) State(u int32) (state any, ok bool) {
-	if _, seen := w.dist[u]; !seen {
+	if u < 0 || int(u) >= len(w.states) || !w.s.mk.marked(u) {
 		return nil, false
 	}
 	if w.states[u] == nil {
@@ -124,8 +183,10 @@ func (w *View) State(u int32) (state any, ok bool) {
 // Dist returns the distance from the centre to u when u is inside the
 // explored ball.
 func (w *View) Dist(u int32) (int, bool) {
-	d, ok := w.dist[u]
-	return int(d), ok
+	if u < 0 || int(u) >= len(w.s.dist) || !w.s.mk.marked(u) {
+		return 0, false
+	}
+	return int(w.s.dist[u]), true
 }
 
 // Radius returns the effective locality consumed so far.
@@ -147,7 +208,10 @@ type Result struct {
 	Locality int
 }
 
-// Run processes the nodes of g in the given order.
+// Run processes the nodes of g in the given order. One flat-array scratch
+// is shared across the whole order, so a full pass allocates O(n) once
+// instead of a fresh BFS map per processed node; the *View handed to proc
+// must not be retained past the call.
 func Run(g *graph.Graph, order []int32, proc Process) (*Result, error) {
 	if err := checkPermutation(g.N(), order); err != nil {
 		return nil, err
@@ -157,8 +221,14 @@ func Run(g *graph.Graph, order []int32, proc Process) (*Result, error) {
 		Outputs:         states,
 		PerNodeLocality: make([]int, g.N()),
 	}
+	scratch := newViewScratch(g.N())
+	var view *View
 	for _, v := range order {
-		view := newView(g, v, states)
+		if view == nil {
+			view = newView(g, v, states, scratch)
+		} else {
+			view.reset(v)
+		}
 		states[v] = proc(v, view)
 		res.PerNodeLocality[v] = view.Radius()
 		if view.Radius() > res.Locality {

@@ -158,6 +158,112 @@ func TestViewNegativeRadius(t *testing.T) {
 	}
 }
 
+// TestViewMatchesGlobalBFSOnRandomInstances is the flat-array rewrite's
+// equivalence check: on random graphs with random per-node radius
+// requests, every BallNodes result must equal the global BFS ball and the
+// locality accounting (PerNodeLocality / Locality) must equal the
+// map-based definition min(requested radius, eccentricity of the node's
+// component).
+func TestViewMatchesGlobalBFSOnRandomInstances(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 20; trial++ {
+		g := graph.GnP(1+rng.Intn(40), rng.Float64()*0.2, rng)
+		n := g.N()
+		req := make([]int, n)
+		for i := range req {
+			req[i] = rng.Intn(6)
+		}
+		res, err := Run(g, randomOrder(n, rng), func(v int32, view *View) any {
+			got := view.BallNodes(req[v])
+			dist := graph.BFS(g, v)
+			var want []int32
+			for u, d := range dist {
+				if d >= 0 && int(d) <= req[v] {
+					want = append(want, int32(u))
+				}
+			}
+			if len(got) != len(want) {
+				t.Fatalf("trial %d node %d: ball(%d) has %d nodes, want %d", trial, v, req[v], len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("trial %d node %d: ball(%d) = %v, want %v", trial, v, req[v], got, want)
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("trial %d: Run error: %v", trial, err)
+		}
+		wantMax := 0
+		for v := 0; v < n; v++ {
+			ecc := 0
+			for _, d := range graph.BFS(g, int32(v)) {
+				if int(d) > ecc {
+					ecc = int(d)
+				}
+			}
+			want := req[v]
+			if ecc < want {
+				want = ecc
+			}
+			if res.PerNodeLocality[v] != want {
+				t.Errorf("trial %d node %d: locality %d, want min(r=%d, ecc=%d) = %d",
+					trial, v, res.PerNodeLocality[v], req[v], ecc, want)
+			}
+			if want > wantMax {
+				wantMax = want
+			}
+		}
+		if res.Locality != wantMax {
+			t.Errorf("trial %d: run locality %d, want %d", trial, res.Locality, wantMax)
+		}
+	}
+}
+
+// TestViewShrinkingRadiusRequests covers re-reading a smaller ball after
+// a larger one was explored (a prefix of the discovery order).
+func TestViewShrinkingRadiusRequests(t *testing.T) {
+	g := graph.Path(7) // 0-1-2-3-4-5-6
+	_, err := Run(g, IdentityOrder(7), func(v int32, view *View) any {
+		if v != 3 {
+			return nil
+		}
+		if got := len(view.BallNodes(2)); got != 5 {
+			t.Errorf("B(3,2) has %d nodes, want 5", got)
+		}
+		if got := view.BallNodes(1); len(got) != 3 || got[0] != 2 || got[1] != 3 || got[2] != 4 {
+			t.Errorf("B(3,1) after B(3,2) = %v, want [2 3 4]", got)
+		}
+		if got := len(view.BallNodes(0)); got != 1 {
+			t.Errorf("B(3,0) has %d nodes, want 1", got)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Run error: %v", err)
+	}
+}
+
+func TestMarkerEpochWrap(t *testing.T) {
+	m := newMarker(4)
+	m.next()
+	m.mark(1) // stamp[1] = current epoch
+	stale := m.stamp[1]
+	m.epoch = ^uint32(0) // simulate ~2^32 generations passing
+	m.next()             // wraps: stamps must be cleared, not aliased
+	if m.epoch == 0 {
+		t.Fatal("epoch 0 is reserved for the cleared state")
+	}
+	if m.marked(1) {
+		t.Errorf("stale stamp %d aliases the post-wrap epoch %d", stale, m.epoch)
+	}
+	m.mark(2)
+	if !m.marked(2) || m.marked(3) {
+		t.Error("post-wrap marking broken")
+	}
+}
+
 func TestGreedyMISLocalityOne(t *testing.T) {
 	rng := rand.New(rand.NewSource(1))
 	for trial := 0; trial < 15; trial++ {

@@ -98,9 +98,19 @@ func MoserTardos(h *hypergraph.Hypergraph, rng *rand.Rand, maxResamples int) ([]
 		inQueue[j] = true
 	}
 	resamples := 0
-	for len(queue) > 0 {
-		j := queue[0]
-		queue = queue[1:]
+	// Pop via head index instead of queue = queue[1:]: re-slicing from the
+	// front pins the whole backing array for the run's lifetime while
+	// appends keep growing a new one, so long resampling runs held O(total
+	// enqueues) memory. Compacting once the dead prefix dominates keeps the
+	// buffer at O(live entries).
+	head := 0
+	for head < len(queue) {
+		if head > 256 && head > len(queue)/2 {
+			queue = queue[:copy(queue, queue[head:])]
+			head = 0
+		}
+		j := queue[head]
+		head++
 		inQueue[j] = false
 		if !monochromatic(h, int(j), colours) {
 			continue

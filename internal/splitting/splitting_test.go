@@ -55,6 +55,45 @@ func TestMoserTardosPairEdges(t *testing.T) {
 	}
 }
 
+// longResampler returns the star instance {0,i} for i in 1..n-1: every
+// resample of an edge re-randomises the hub, re-queueing all n-1 edges,
+// so the queue churns through far more pops than m — the regression
+// regime for the head-index pop (the former queue = queue[1:] retained
+// every popped slot for the run's lifetime).
+func longResampler(n int) *hypergraph.Hypergraph {
+	edges := make([][]int32, 0, n-1)
+	for v := 1; v < n; v++ {
+		edges = append(edges, []int32{0, int32(v)})
+	}
+	return hypergraph.MustNew(n, edges)
+}
+
+func TestMoserTardosLongResamplingRun(t *testing.T) {
+	h := longResampler(120)
+	for seed := int64(0); seed < 5; seed++ {
+		rng := rand.New(rand.NewSource(100 + seed))
+		colours, err := MoserTardos(h, rng, 200000)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if err := Verify(h, colours); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+func BenchmarkMoserTardosLongResampling(b *testing.B) {
+	h := longResampler(120)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rng := rand.New(rand.NewSource(int64(i)))
+		if _, err := MoserTardos(h, rng, 200000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 func TestMoserTardosBudget(t *testing.T) {
 	// An odd cycle of pair-edges has no proper 2-colouring: resampling
 	// can never converge and must hit the budget.

@@ -198,6 +198,19 @@ type (
 // the seed.
 type OracleFactory = maxis.Factory
 
+// OraclePortfolio races several member oracles per Solve call over the
+// engine worker pool and keeps the largest independent set (the oracle
+// execution layer; see DESIGN.md). The registry also resolves
+// "portfolio:<a>,<b>,..." names to portfolios via LookupOracle.
+type OraclePortfolio = maxis.Portfolio
+
+// NewOraclePortfolio builds a portfolio over the given members; configure
+// its fan-out with SetEngine (a non-zero ReduceOptions.Engine overrides
+// it inside Reduce).
+func NewOraclePortfolio(members ...Oracle) (*OraclePortfolio, error) {
+	return maxis.NewPortfolio(members...)
+}
+
 // RegisterOracle adds a named oracle to the registry.
 func RegisterOracle(name string, f OracleFactory) error { return maxis.Register(name, f) }
 

@@ -1,30 +1,41 @@
 #!/bin/sh
-# Runs the conflict-graph construction and reduction benchmarks and writes
-# their results as JSON (default BENCH_gk.json) so future PRs have a perf
-# trajectory to compare against. Usage: scripts/bench.sh [output.json]
+# Runs the hot-path benchmarks (conflict-graph construction, reduction,
+# oracle portfolio, SLOCAL simulator, Moser-Tardos splitting) and appends
+# the results to the perf trajectory (default BENCH_gk.json): a stable
+# {"schema":1,"history":[...]} document with one entry per run, keyed by
+# git SHA (suffixed "-dirty" when the tree has uncommitted changes), so
+# the cross-PR trajectory accumulates instead of being overwritten
+# (scripts/benchmerge does the parsing and merging). Usage:
+# scripts/bench.sh [output.json]; BENCH_QUICK=1 selects the 1-iteration
+# CI mode, flagged in the entry so quick numbers are never mistaken for
+# full measurements.
 set -eu
 cd "$(dirname "$0")/.."
 out="${1:-BENCH_gk.json}"
 tmp="$(mktemp)"
 trap 'rm -f "$tmp"' EXIT
 
-go test -run '^$' \
-  -bench 'ConflictGraphBuild|ImplicitFirstFit|FirstFitScratch|ReduceImplicit' \
-  -benchmem -count=1 . | tee "$tmp"
+benchtime=""
+quickflag=""
+if [ "${BENCH_QUICK:-0}" = "1" ]; then
+  benchtime="-benchtime=1x"
+  quickflag="-quick"
+fi
 
-awk '
-  /^Benchmark/ {
-    name = $1; iters = $2; ns = ""; bpo = "null"; apo = "null"
-    for (i = 3; i < NF; i++) {
-      if ($(i+1) == "ns/op")     ns  = $i
-      if ($(i+1) == "B/op")      bpo = $i
-      if ($(i+1) == "allocs/op") apo = $i
-    }
-    if (ns == "") next
-    printf "%s  {\"name\":\"%s\",\"iterations\":%s,\"ns_per_op\":%s,\"bytes_per_op\":%s,\"allocs_per_op\":%s}", sep, name, iters, ns, bpo, apo
-    sep = ",\n"
-  }
-  BEGIN { print "[" }
-  END   { print "\n]" }
-' "$tmp" > "$out"
+# No pipes around go test: plain sh has no pipefail, and a masked bench
+# failure must not record a partial trajectory entry.
+# shellcheck disable=SC2086  # benchtime is intentionally word-split
+go test -run '^$' \
+  -bench 'ConflictGraphBuild|ImplicitFirstFit|FirstFitScratch|ReduceImplicit|PortfolioOracle|BallCarving|NetworkDecomposition|SLOCALGreedyMIS' \
+  -benchmem -count=1 $benchtime . > "$tmp"
+go test -run '^$' -bench 'MoserTardosLongResampling' -benchmem -count=1 $benchtime \
+  ./internal/splitting/ >> "$tmp"
+cat "$tmp"
+
+sha="$(git rev-parse HEAD 2>/dev/null || echo unknown)"
+if ! git diff-index --quiet HEAD -- 2>/dev/null; then
+  sha="${sha}-dirty"
+fi
+# shellcheck disable=SC2086  # quickflag is intentionally word-split
+go run ./scripts/benchmerge -out "$out" -sha "$sha" $quickflag < "$tmp"
 echo "wrote $out"

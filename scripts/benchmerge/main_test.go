@@ -1,0 +1,113 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: pslocal
+cpu: whatever
+BenchmarkConflictGraphBuild-8   	    1000	   1234567 ns/op	  345678 B/op	     901 allocs/op
+BenchmarkPortfolioOracleParallel 	      54	  22222222.5 ns/op
+PASS
+ok  	pslocal	2.345s
+`
+
+func TestParseBench(t *testing.T) {
+	results, err := parseBench(strings.NewReader(sample))
+	if err != nil {
+		t.Fatalf("parseBench: %v", err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("parsed %d results, want 2", len(results))
+	}
+	r := results[0]
+	if r.Name != "BenchmarkConflictGraphBuild-8" || r.Iterations != 1000 || r.NsPerOp != 1234567 {
+		t.Errorf("first result = %+v", r)
+	}
+	if r.BytesPerOp == nil || *r.BytesPerOp != 345678 || r.AllocsPerOp == nil || *r.AllocsPerOp != 901 {
+		t.Errorf("first result memory fields = %+v", r)
+	}
+	if results[1].BytesPerOp != nil || results[1].AllocsPerOp != nil {
+		t.Errorf("missing -benchmem fields should be null, got %+v", results[1])
+	}
+	if results[1].NsPerOp != 22222222.5 {
+		t.Errorf("fractional ns/op parsed as %v", results[1].NsPerOp)
+	}
+}
+
+func TestRunAppendsAndReplacesBySHA(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "BENCH.json")
+	if err := run(out, "sha1", 100, false, strings.NewReader(sample)); err != nil {
+		t.Fatalf("first run: %v", err)
+	}
+	if err := run(out, "sha2", 200, true, strings.NewReader(sample)); err != nil {
+		t.Fatalf("second run: %v", err)
+	}
+	// Same SHA again with a full run: the quick entry is upgraded in
+	// place, not duplicated.
+	if err := run(out, "sha2", 300, false, strings.NewReader(sample)); err != nil {
+		t.Fatalf("third run: %v", err)
+	}
+	traj, err := loadTrajectory(out)
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	if traj.Schema != 1 || len(traj.History) != 2 {
+		t.Fatalf("trajectory = schema %d, %d entries; want schema 1 with 2 entries", traj.Schema, len(traj.History))
+	}
+	if traj.History[0].SHA != "sha1" || traj.History[1].SHA != "sha2" {
+		t.Errorf("history order = %s, %s", traj.History[0].SHA, traj.History[1].SHA)
+	}
+	if traj.History[1].UnixTime != 300 || traj.History[1].Quick {
+		t.Errorf("full rerun kept %+v, want time 300 quick=false (upgraded)", traj.History[1])
+	}
+	// A quick run must never replace a full measurement for the same SHA.
+	if err := run(out, "sha1", 500, true, strings.NewReader(sample)); err != nil {
+		t.Fatalf("quick-over-full run: %v", err)
+	}
+	traj, err = loadTrajectory(out)
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	if traj.History[0].UnixTime != 100 || traj.History[0].Quick {
+		t.Errorf("quick run replaced full entry: %+v", traj.History[0])
+	}
+}
+
+func TestLoadTrajectoryMigratesLegacyArray(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "BENCH.json")
+	legacy := `[
+  {"name":"BenchmarkOld","iterations":5,"ns_per_op":9.5,"bytes_per_op":null,"allocs_per_op":null}
+]`
+	if err := os.WriteFile(out, []byte(legacy), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(out, "new", 400, false, strings.NewReader(sample)); err != nil {
+		t.Fatalf("run over legacy: %v", err)
+	}
+	traj, err := loadTrajectory(out)
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	if len(traj.History) != 2 || traj.History[0].SHA != "legacy" || traj.History[1].SHA != "new" {
+		t.Fatalf("migrated history = %+v", traj.History)
+	}
+	if traj.History[0].Results[0].Name != "BenchmarkOld" {
+		t.Errorf("legacy results lost: %+v", traj.History[0].Results)
+	}
+}
+
+func TestRunRejectsEmptyInput(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "BENCH.json")
+	if err := run(out, "sha", 1, false, strings.NewReader("no benchmarks here\n")); err == nil {
+		t.Error("empty benchmark input accepted")
+	}
+	if _, err := os.Stat(out); !os.IsNotExist(err) {
+		t.Error("output written despite empty input")
+	}
+}
