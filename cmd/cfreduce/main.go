@@ -7,6 +7,7 @@
 //	cfreduce -gen planted -n 60 -m 24 -k 3 -mode exact
 //	cfreduce -gen interval -n 80 -m 40 -mode implicit -print-coloring
 //	cfreduce -in instance.hg -k 2 -mode greedy-mindeg -seed 7 -workers 0
+//	cfreduce -in instance.json -out result.json
 //	cfreduce -oracle portfolio:greedy-mindeg,greedy-random,clique-removal -workers 0
 //
 // Besides the built-in modes `exact` and `implicit`, -mode accepts any
@@ -15,6 +16,11 @@
 // -oracle is the explicit registry spelling and overrides -mode.
 // -workers sets the worker pool shared by conflict-graph construction
 // and portfolio solving (0 = GOMAXPROCS, 1 = serial).
+//
+// -in accepts any internal/graphio format (the native edge list, DIMACS
+// for graphs, or JSON), sniffed from the content; -out writes the
+// reduction result as the graphio JSON document ("-" for stdout), the
+// same schema cmd/cfserve responds with.
 package main
 
 import (
@@ -26,6 +32,7 @@ import (
 	"pslocal/internal/core"
 	"pslocal/internal/encode"
 	"pslocal/internal/engine"
+	"pslocal/internal/graphio"
 	"pslocal/internal/hypergraph"
 	"pslocal/internal/maxis"
 	"pslocal/internal/verify"
@@ -43,7 +50,8 @@ func main() {
 func run() error {
 	var (
 		genName  = flag.String("gen", "planted", "instance generator: planted | uniform | interval | star")
-		inFile   = flag.String("in", "", "read hypergraph from file instead of generating")
+		inFile   = flag.String("in", "", "read hypergraph from file instead of generating (edge-list/DIMACS/JSON, sniffed)")
+		outFile  = flag.String("out", "", "write the reduction result as JSON to this file (\"-\" = stdout)")
 		n        = flag.Int("n", 60, "vertices")
 		m        = flag.Int("m", 24, "hyperedges")
 		k        = flag.Int("k", 3, "palette size per phase")
@@ -109,17 +117,25 @@ func run() error {
 			return err
 		}
 	}
+	if *outFile != "" {
+		if err := writeResult(*outFile, res); err != nil {
+			return err
+		}
+	}
 	return nil
+}
+
+// writeResult dumps the result document to path, or stdout for "-".
+func writeResult(path string, res *core.Result) error {
+	if path == "-" {
+		return graphio.WriteResult(os.Stdout, res)
+	}
+	return graphio.WriteResultFile(path, res)
 }
 
 func makeInstance(inFile, gen string, n, m, k, sizeLo, sizeHi int, rng *rand.Rand) (*hypergraph.Hypergraph, error) {
 	if inFile != "" {
-		f, err := os.Open(inFile)
-		if err != nil {
-			return nil, err
-		}
-		defer f.Close()
-		return encode.ReadHypergraph(f)
+		return graphio.ReadHypergraphFile(inFile)
 	}
 	switch gen {
 	case "planted":

@@ -8,6 +8,7 @@ import (
 
 	"pslocal/internal/core"
 	"pslocal/internal/encode"
+	"pslocal/internal/graphio"
 	"pslocal/internal/hypergraph"
 )
 
@@ -82,5 +83,47 @@ func TestMakeOptions(t *testing.T) {
 	}
 	if _, err := makeOptions("nope", 3, 1); err == nil {
 		t.Error("unknown mode accepted")
+	}
+}
+
+// TestMakeInstanceFromJSONFile checks that -in accepts the graphio JSON
+// format (sniffed from content, whatever the extension).
+func TestMakeInstanceFromJSONFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "h.json")
+	doc := `{"type":"hypergraph","n":4,"edges":[[0,1],[2,3]]}`
+	if err := os.WriteFile(path, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	h, err := makeInstance(path, "ignored", 0, 0, 0, 0, 0, nil)
+	if err != nil {
+		t.Fatalf("read back: %v", err)
+	}
+	if h.N() != 4 || h.M() != 2 {
+		t.Errorf("n=%d m=%d, want 4, 2", h.N(), h.M())
+	}
+}
+
+// TestWriteResult checks the -out path round-trips through graphio.
+func TestWriteResult(t *testing.T) {
+	h := hypergraph.MustNew(4, [][]int32{{0, 1}, {2, 3}})
+	res, err := core.Reduce(h, core.Options{K: 2, Mode: core.ModeImplicitFirstFit})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "res.json")
+	if err := writeResult(path, res); err != nil {
+		t.Fatalf("writeResult: %v", err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	back, err := graphio.ReadResult(f)
+	if err != nil {
+		t.Fatalf("ReadResult: %v", err)
+	}
+	if back.K != res.K || back.TotalColors != res.TotalColors || len(back.Phases) != len(res.Phases) {
+		t.Errorf("result round trip changed the document: %+v vs %+v", back, res)
 	}
 }

@@ -1,0 +1,116 @@
+package main
+
+// cache.go implements the instance cache: parsed graphs and hypergraphs
+// keyed by a content hash of the raw request body, so repeated
+// submissions of a hot instance skip parsing and CSR construction
+// entirely. Instances are immutable after construction (see
+// internal/graph and internal/hypergraph), which is what makes handing
+// the same parsed value to concurrent requests safe. Eviction is plain
+// LRU over an entry-count bound; DESIGN.md ("Reduction service") records
+// the keying and eviction rationale.
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/hex"
+	"sync"
+)
+
+// cacheKey derives the cache key for a request body: the substrate kind
+// and requested format are part of the key because the same bytes could
+// in principle parse differently under different format directives.
+func cacheKey(kind, format string, body []byte) string {
+	h := sha256.New()
+	h.Write([]byte(kind))
+	h.Write([]byte{0})
+	h.Write([]byte(format))
+	h.Write([]byte{0})
+	h.Write(body)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// instanceCache is a mutex-guarded LRU from content hash to parsed
+// instance (*graph.Graph or *hypergraph.Hypergraph).
+type instanceCache struct {
+	mu        sync.Mutex
+	capacity  int
+	order     *list.List // front = most recently used
+	items     map[string]*list.Element
+	hits      uint64
+	misses    uint64
+	evictions uint64
+}
+
+// cacheEntry is one LRU slot.
+type cacheEntry struct {
+	key string
+	val any
+}
+
+// newInstanceCache returns a cache bounded to capacity entries (minimum 1).
+func newInstanceCache(capacity int) *instanceCache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &instanceCache{
+		capacity: capacity,
+		order:    list.New(),
+		items:    make(map[string]*list.Element, capacity),
+	}
+}
+
+// get returns the cached instance for key, promoting it to
+// most-recently-used, and records the hit or miss.
+func (c *instanceCache) get(key string) (any, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.order.MoveToFront(el)
+	return el.Value.(*cacheEntry).val, true
+}
+
+// put inserts (or refreshes) key → val and evicts the least recently
+// used entries beyond capacity.
+func (c *instanceCache) put(key string, val any) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		el.Value.(*cacheEntry).val = val
+		c.order.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.order.PushFront(&cacheEntry{key: key, val: val})
+	for c.order.Len() > c.capacity {
+		back := c.order.Back()
+		c.order.Remove(back)
+		delete(c.items, back.Value.(*cacheEntry).key)
+		c.evictions++
+	}
+}
+
+// cacheStats is the /statz snapshot of the cache.
+type cacheStats struct {
+	Capacity  int    `json:"capacity"`
+	Entries   int    `json:"entries"`
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Evictions uint64 `json:"evictions"`
+}
+
+// snapshot returns a consistent view of the cache counters.
+func (c *instanceCache) snapshot() cacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return cacheStats{
+		Capacity:  c.capacity,
+		Entries:   c.order.Len(),
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Evictions: c.evictions,
+	}
+}

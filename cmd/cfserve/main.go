@@ -1,0 +1,93 @@
+// Command cfserve serves the reduction pipeline over HTTP: POST a
+// hypergraph (or graph) in any internal/graphio format, pick the oracle
+// and worker count per request, and get the result back as JSON —
+// Maus's Theorem 1.1 reduction as a request/response service.
+//
+// Endpoints:
+//
+//	POST /v1/reduce  conflict-free multicolouring of the posted hypergraph
+//	                 ?k=3&oracle=implicit|exact|<registry name>&workers=N&seed=S&format=auto|edgelist|dimacs|json
+//	POST /v1/maxis   independent set of the posted graph
+//	                 ?oracle=<registry name>&algorithm=oracle|carving&delta=1.0&workers=N&seed=S&format=...
+//	GET  /healthz    liveness
+//	GET  /statz      request/cache/inflight counters as JSON
+//
+// Quick start (the same instance ships in testdata/quickstart.json and is
+// smoke-tested by CI):
+//
+//	cfserve -addr :8355 &
+//	curl -fsS -X POST --data-binary @cmd/cfserve/testdata/quickstart.json \
+//	  'http://localhost:8355/v1/reduce?k=3&oracle=greedy-mindeg&workers=2'
+//
+// Concurrency: at most -max-inflight solves run at once (excess requests
+// queue at the admission gate, honouring per-request cancellation), and
+// each request's worker fan-out is capped by -max-workers. Parsed
+// instances are cached by content hash (-cache-entries), so repeated
+// submissions of a hot graph skip parsing and CSR construction.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "cfserve:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		addr         = flag.String("addr", ":8355", "listen address")
+		maxWorkers   = flag.Int("max-workers", 0, "per-request worker cap (0 = GOMAXPROCS)")
+		maxInflight  = flag.Int("max-inflight", 0, "concurrent solve bound (0 = GOMAXPROCS)")
+		cacheEntries = flag.Int("cache-entries", 128, "parsed-instance cache capacity")
+		maxBodyMB    = flag.Int64("max-body-mb", 64, "request body cap in MiB")
+		seed         = flag.Int64("seed", 1, "default oracle seed when the request has none")
+	)
+	flag.Parse()
+
+	s := newServer(config{
+		maxWorkers:   *maxWorkers,
+		maxInflight:  *maxInflight,
+		cacheEntries: *cacheEntries,
+		maxBodyBytes: *maxBodyMB << 20,
+		seed:         *seed,
+	})
+	httpServer := &http.Server{
+		Addr:              *addr,
+		Handler:           s,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("cfserve: listening on %s (POST /v1/reduce, POST /v1/maxis, GET /healthz, GET /statz)", *addr)
+		errc <- httpServer.ListenAndServe()
+	}()
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		return err
+	case sig := <-stop:
+		log.Printf("cfserve: %v, draining", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+		defer cancel()
+		if err := httpServer.Shutdown(ctx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			return err
+		}
+		return nil
+	}
+}

@@ -1,0 +1,497 @@
+package main
+
+// server.go implements the HTTP surface of the reduction service. Two
+// POST endpoints expose the pipeline — /v1/reduce runs the Theorem 1.1
+// reduction on a hypergraph, /v1/maxis solves MaxIS on a graph — with
+// the instance format, oracle selection, worker count and seed chosen
+// per request through query parameters. Request bodies are any
+// internal/graphio format (sniffed by default); every response verifies
+// its own output through internal/verify before reporting verified=true.
+// Admission is bounded by an engine.Gate so a burst of requests queues
+// instead of oversubscribing the worker pools, and parsed instances are
+// cached by content hash (cache.go).
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"pslocal/internal/core"
+	"pslocal/internal/engine"
+	"pslocal/internal/graph"
+	"pslocal/internal/graphio"
+	"pslocal/internal/hypergraph"
+	"pslocal/internal/maxis"
+	"pslocal/internal/slocal"
+	"pslocal/internal/verify"
+)
+
+// config carries the server-wide limits set by the flags in main.go.
+type config struct {
+	// maxWorkers caps the per-request worker count; < 1 selects GOMAXPROCS.
+	maxWorkers int
+	// maxInflight bounds concurrently running solves; < 1 selects GOMAXPROCS.
+	maxInflight int
+	// cacheEntries bounds the parsed-instance LRU.
+	cacheEntries int
+	// maxBodyBytes caps request bodies; <= 0 selects 64 MiB.
+	maxBodyBytes int64
+	// seed is the default oracle seed when a request carries none.
+	seed int64
+}
+
+// server is the HTTP handler plus its shared state.
+type server struct {
+	cfg   config
+	cache *instanceCache
+	gate  *engine.Gate
+	mux   *http.ServeMux
+	start time.Time
+
+	requests atomic.Uint64 // all requests, any endpoint
+	reduces  atomic.Uint64 // successful /v1/reduce responses
+	solves   atomic.Uint64 // successful /v1/maxis responses
+	failures atomic.Uint64 // 4xx/5xx responses
+	canceled atomic.Uint64 // requests abandoned by the client mid-solve
+}
+
+// newServer wires the routes and resolves config defaults.
+func newServer(cfg config) *server {
+	if cfg.maxWorkers < 1 {
+		cfg.maxWorkers = engine.Parallel().WorkerCount()
+	}
+	if cfg.cacheEntries < 1 {
+		cfg.cacheEntries = 128
+	}
+	if cfg.maxBodyBytes <= 0 {
+		cfg.maxBodyBytes = 64 << 20
+	}
+	s := &server{
+		cfg:   cfg,
+		cache: newInstanceCache(cfg.cacheEntries),
+		gate:  engine.NewGate(cfg.maxInflight),
+		mux:   http.NewServeMux(),
+		start: time.Now(),
+	}
+	s.mux.HandleFunc("POST /v1/reduce", s.handleReduce)
+	s.mux.HandleFunc("POST /v1/maxis", s.handleMaxIS)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /statz", s.handleStatz)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	s.mux.ServeHTTP(w, r)
+}
+
+// instanceInfo describes the parsed instance and its cache disposition in
+// every response.
+type instanceInfo struct {
+	Kind  string `json:"kind"`
+	N     int    `json:"n"`
+	M     int    `json:"m"`
+	Cache string `json:"cache"` // "hit" or "miss"
+	Key   string `json:"key"`   // "sha256:" + first 16 hex digits
+}
+
+// reduceResponse is the /v1/reduce response body. Result is the
+// graphio reduction-result document, so CLI -out files and service
+// responses share one schema.
+type reduceResponse struct {
+	Instance  instanceInfo    `json:"instance"`
+	Oracle    string          `json:"oracle"`
+	Workers   int             `json:"workers"`
+	Verified  bool            `json:"verified"`
+	ElapsedMS float64         `json:"elapsed_ms"`
+	Result    json.RawMessage `json:"result"`
+}
+
+// handleReduce runs the Theorem 1.1 reduction on the posted hypergraph.
+func (s *server) handleReduce(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	format, err := graphio.ParseFormat(q.Get("format"))
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	k, err := intParam(q.Get("k"), 3)
+	if err != nil || k < 1 {
+		s.fail(w, http.StatusBadRequest, fmt.Errorf("bad k parameter %q (want a positive integer)", q.Get("k")))
+		return
+	}
+	workers, err := intParam(q.Get("workers"), 1)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, fmt.Errorf("bad workers parameter %q", q.Get("workers")))
+		return
+	}
+	workers = s.clampWorkers(workers)
+	seed, err := int64Param(q.Get("seed"), s.cfg.seed)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, fmt.Errorf("bad seed parameter %q", q.Get("seed")))
+		return
+	}
+	oracleName := q.Get("oracle")
+	if oracleName == "" {
+		oracleName = "implicit"
+	}
+	opts := core.Options{K: k}
+	switch oracleName {
+	case "exact":
+		opts.Mode = core.ModeExactHinted
+	case "implicit":
+		opts.Mode = core.ModeImplicitFirstFit
+	default:
+		oracle, err := maxis.Lookup(oracleName, seed)
+		if err != nil {
+			s.fail(w, http.StatusBadRequest, err)
+			return
+		}
+		opts.Mode = core.ModeOracle
+		opts.Oracle = oracle
+	}
+
+	// Admission happens before the body is even read: parsing and CSR
+	// construction are exactly the costs the gate exists to bound.
+	if err := s.gate.Acquire(r.Context()); err != nil {
+		s.abandon(err)
+		return
+	}
+	defer s.gate.Release()
+
+	body, status, err := s.readBody(w, r)
+	if err != nil {
+		s.fail(w, status, err)
+		return
+	}
+	key := cacheKey("hypergraph", format.String(), body)
+	info := instanceInfo{Kind: "hypergraph", Cache: "hit", Key: "sha256:" + key[:16]}
+	cached, ok := s.cache.get(key)
+	var h *hypergraph.Hypergraph
+	if ok {
+		h = cached.(*hypergraph.Hypergraph)
+	} else {
+		info.Cache = "miss"
+		h, err = graphio.ReadHypergraph(bytes.NewReader(body), format)
+		if err != nil {
+			s.fail(w, http.StatusBadRequest, err)
+			return
+		}
+		s.cache.put(key, h)
+	}
+	info.N, info.M = h.N(), h.M()
+
+	started := time.Now()
+	opts.Engine = engine.Options{Workers: workers, Ctx: r.Context()}
+	res, err := core.Reduce(h, opts)
+	if err != nil {
+		if isCancellation(err) {
+			s.abandon(err)
+			return
+		}
+		s.fail(w, http.StatusInternalServerError, err)
+		return
+	}
+	verified := verify.ReductionResult(h, res) == nil &&
+		verify.ConflictFreeMulti(h, res.Multicoloring) == nil
+
+	var doc bytes.Buffer
+	if err := graphio.WriteResult(&doc, res); err != nil {
+		s.fail(w, http.StatusInternalServerError, err)
+		return
+	}
+	s.reduces.Add(1)
+	s.writeJSON(w, http.StatusOK, reduceResponse{
+		Instance:  info,
+		Oracle:    oracleName,
+		Workers:   workers,
+		Verified:  verified,
+		ElapsedMS: msSince(started),
+		Result:    json.RawMessage(doc.Bytes()),
+	})
+}
+
+// maxisResponse is the /v1/maxis response body. Locality is present only
+// for algorithm=carving.
+type maxisResponse struct {
+	Instance       instanceInfo `json:"instance"`
+	Algorithm      string       `json:"algorithm"`
+	Oracle         string       `json:"oracle,omitempty"`
+	Workers        int          `json:"workers"`
+	Size           int          `json:"size"`
+	IndependentSet []int32      `json:"independent_set"`
+	Verified       bool         `json:"verified"`
+	Locality       int          `json:"locality,omitempty"`
+	RadiusBound    int          `json:"radius_bound,omitempty"`
+	ElapsedMS      float64      `json:"elapsed_ms"`
+}
+
+// handleMaxIS solves MaxIS on the posted graph, either through a registry
+// oracle (algorithm=oracle, the default) or the SLOCAL ball-carving
+// (1+δ)-approximation (algorithm=carving, which reports its locality).
+func (s *server) handleMaxIS(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	format, err := graphio.ParseFormat(q.Get("format"))
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	workers, err := intParam(q.Get("workers"), 1)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, fmt.Errorf("bad workers parameter %q", q.Get("workers")))
+		return
+	}
+	workers = s.clampWorkers(workers)
+	seed, err := int64Param(q.Get("seed"), s.cfg.seed)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, fmt.Errorf("bad seed parameter %q", q.Get("seed")))
+		return
+	}
+	algorithm := q.Get("algorithm")
+	if algorithm == "" {
+		algorithm = "oracle"
+	}
+	var (
+		oracleName string
+		oracle     maxis.Oracle
+		delta      float64
+	)
+	switch algorithm {
+	case "oracle":
+		oracleName = q.Get("oracle")
+		if oracleName == "" {
+			oracleName = "greedy-mindeg"
+		}
+		oracle, err = maxis.Lookup(oracleName, seed)
+		if err != nil {
+			s.fail(w, http.StatusBadRequest, err)
+			return
+		}
+	case "carving":
+		delta, err = floatParam(q.Get("delta"), 1.0)
+		if err != nil || delta <= 0 {
+			s.fail(w, http.StatusBadRequest, fmt.Errorf("bad delta parameter %q (want a positive float)", q.Get("delta")))
+			return
+		}
+	default:
+		s.fail(w, http.StatusBadRequest, fmt.Errorf("unknown algorithm %q (want oracle|carving)", algorithm))
+		return
+	}
+
+	// As in handleReduce, admission precedes the body read so parsing is
+	// bounded too.
+	if err := s.gate.Acquire(r.Context()); err != nil {
+		s.abandon(err)
+		return
+	}
+	defer s.gate.Release()
+
+	body, status, err := s.readBody(w, r)
+	if err != nil {
+		s.fail(w, status, err)
+		return
+	}
+	key := cacheKey("graph", format.String(), body)
+	info := instanceInfo{Kind: "graph", Cache: "hit", Key: "sha256:" + key[:16]}
+	cached, ok := s.cache.get(key)
+	var g *graph.Graph
+	if ok {
+		g = cached.(*graph.Graph)
+	} else {
+		info.Cache = "miss"
+		g, err = graphio.ReadGraph(bytes.NewReader(body), format)
+		if err != nil {
+			s.fail(w, http.StatusBadRequest, err)
+			return
+		}
+		s.cache.put(key, g)
+	}
+	info.N, info.M = g.N(), g.M()
+
+	started := time.Now()
+	resp := maxisResponse{Instance: info, Algorithm: algorithm, Oracle: oracleName, Workers: workers}
+	var set []int32
+	switch algorithm {
+	case "oracle":
+		if es, ok := oracle.(maxis.EngineSetter); ok {
+			es.SetEngine(engine.Options{Workers: workers, Ctx: r.Context()})
+		}
+		set, err = oracle.Solve(g)
+	case "carving":
+		var res *slocal.CarvingResult
+		res, err = slocal.BallCarvingMaxIS(g, slocal.CarvingOptions{
+			Delta: delta,
+			Inner: carvingInner(r.Context()),
+		})
+		if err == nil {
+			set = res.Set
+			resp.Locality = res.Locality
+			resp.RadiusBound = res.RadiusBound
+		}
+	}
+	if err != nil {
+		if isCancellation(err) {
+			s.abandon(err)
+			return
+		}
+		s.fail(w, http.StatusInternalServerError, err)
+		return
+	}
+	resp.Size = len(set)
+	resp.IndependentSet = set
+	resp.Verified = verify.IndependentSet(g, set) == nil
+	resp.ElapsedMS = msSince(started)
+	s.solves.Add(1)
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+// carvingBranchBudget bounds the exact solve inside each carved ball. A
+// dense request would otherwise pin its gate slot on an unbounded
+// branch-and-bound with no cancellation path; when the budget trips, the
+// solver's anytime set is used instead — the output is still a verified
+// independent set, only the (1+δ) quality bound degrades.
+const carvingBranchBudget = 1 << 20
+
+// carvingInner returns the per-ball MaxIS solver for server-side ball
+// carving: budget-bounded, and checking the request context between
+// balls so an abandoned request stops at the next carve.
+func carvingInner(ctx context.Context) slocal.InnerSolver {
+	return func(g *graph.Graph) ([]int32, error) {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		set, err := maxis.ExactOpts(g, maxis.ExactOptions{MaxBranchNodes: carvingBranchBudget})
+		if errors.Is(err, maxis.ErrBudgetExceeded) {
+			return set, nil
+		}
+		return set, err
+	}
+}
+
+// handleHealthz reports liveness.
+func (s *server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	s.writeJSON(w, http.StatusOK, map[string]any{
+		"status":   "ok",
+		"uptime_s": time.Since(s.start).Seconds(),
+	})
+}
+
+// statzResponse is the /statz metrics snapshot.
+type statzResponse struct {
+	UptimeS     float64    `json:"uptime_s"`
+	Requests    uint64     `json:"requests"`
+	Reduces     uint64     `json:"reduces"`
+	Solves      uint64     `json:"solves"`
+	Failures    uint64     `json:"failures"`
+	Canceled    uint64     `json:"canceled"`
+	Inflight    int        `json:"inflight"`
+	MaxInflight int        `json:"max_inflight"`
+	MaxWorkers  int        `json:"max_workers"`
+	Cache       cacheStats `json:"cache"`
+}
+
+// handleStatz reports the service counters and cache statistics.
+func (s *server) handleStatz(w http.ResponseWriter, _ *http.Request) {
+	s.writeJSON(w, http.StatusOK, statzResponse{
+		UptimeS:     time.Since(s.start).Seconds(),
+		Requests:    s.requests.Load(),
+		Reduces:     s.reduces.Load(),
+		Solves:      s.solves.Load(),
+		Failures:    s.failures.Load(),
+		Canceled:    s.canceled.Load(),
+		Inflight:    s.gate.InUse(),
+		MaxInflight: s.gate.Capacity(),
+		MaxWorkers:  s.cfg.maxWorkers,
+		Cache:       s.cache.snapshot(),
+	})
+}
+
+// readBody drains the request body under the configured size cap,
+// returning the HTTP status a failure should map to (413 for an
+// over-limit body, 400 otherwise).
+func (s *server) readBody(w http.ResponseWriter, r *http.Request) ([]byte, int, error) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.maxBodyBytes))
+	if err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			return nil, http.StatusRequestEntityTooLarge, fmt.Errorf("reading request body: %w", err)
+		}
+		return nil, http.StatusBadRequest, fmt.Errorf("reading request body: %w", err)
+	}
+	if len(body) == 0 {
+		return nil, http.StatusBadRequest, errors.New("empty request body: POST the instance in a graphio format")
+	}
+	return body, http.StatusBadRequest, nil
+}
+
+// clampWorkers maps the request's workers parameter onto [1, maxWorkers]:
+// 0 or negative ask for "as many as allowed" (the server cap).
+func (s *server) clampWorkers(workers int) int {
+	if workers < 1 || workers > s.cfg.maxWorkers {
+		return s.cfg.maxWorkers
+	}
+	return workers
+}
+
+// fail writes a JSON error response and counts the failure.
+func (s *server) fail(w http.ResponseWriter, status int, err error) {
+	s.failures.Add(1)
+	s.writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+// abandon records a request whose client went away mid-solve; nothing is
+// written because nobody is listening.
+func (s *server) abandon(error) {
+	s.canceled.Add(1)
+}
+
+// writeJSON writes v with the given status.
+func (s *server) writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// isCancellation reports whether err stems from the request context.
+func isCancellation(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// intParam parses an optional integer query parameter.
+func intParam(s string, def int) (int, error) {
+	if s == "" {
+		return def, nil
+	}
+	return strconv.Atoi(s)
+}
+
+// int64Param parses an optional int64 query parameter.
+func int64Param(s string, def int64) (int64, error) {
+	if s == "" {
+		return def, nil
+	}
+	return strconv.ParseInt(s, 10, 64)
+}
+
+// floatParam parses an optional float query parameter.
+func floatParam(s string, def float64) (float64, error) {
+	if s == "" {
+		return def, nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+// msSince returns the elapsed milliseconds since t.
+func msSince(t time.Time) float64 {
+	return float64(time.Since(t).Microseconds()) / 1000.0
+}

@@ -1,20 +1,28 @@
-// Command pscgen emits graph and hypergraph instances in the text format
-// that cfreduce consumes, for reproducible experiment pipelines.
+// Command pscgen emits graph and hypergraph instances in any
+// internal/graphio format, for reproducible experiment pipelines feeding
+// cfreduce or cfserve.
 //
 // Usage:
 //
 //	pscgen -kind hypergraph -gen planted -n 60 -m 24 -k 3 > instance.hg
 //	pscgen -kind graph -gen gnp -n 100 -p 0.1 -seed 9 > graph.g
+//	pscgen -kind graph -gen grid -n 4 -m 5 -format dimacs -out grid.col
+//	pscgen -kind hypergraph -format json | curl -fsS -X POST --data-binary @- localhost:8355/v1/reduce
+//
+// -format selects edgelist (the default), dimacs (graphs only) or json;
+// -out writes to a file, deriving the format from its extension when
+// -format is not given.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"math/rand"
 	"os"
 
-	"pslocal/internal/encode"
 	"pslocal/internal/graph"
+	"pslocal/internal/graphio"
 	"pslocal/internal/hypergraph"
 )
 
@@ -25,20 +33,46 @@ func main() {
 	}
 }
 
-func run() error {
+func run() (err error) {
 	var (
-		kind   = flag.String("kind", "hypergraph", "graph | hypergraph")
-		gen    = flag.String("gen", "planted", "graph: gnp|grid|cycle|tree; hypergraph: planted|uniform|interval|star")
-		n      = flag.Int("n", 60, "vertices (grid: rows)")
-		m      = flag.Int("m", 24, "hyperedges (grid: cols)")
-		k      = flag.Int("k", 3, "planted palette size")
-		sizeLo = flag.Int("size-lo", 3, "minimum edge size")
-		sizeHi = flag.Int("size-hi", 5, "maximum edge size")
-		p      = flag.Float64("p", 0.1, "G(n,p) edge probability")
-		seed   = flag.Int64("seed", 1, "random seed")
+		kind    = flag.String("kind", "hypergraph", "graph | hypergraph")
+		gen     = flag.String("gen", "planted", "graph: gnp|grid|cycle|tree; hypergraph: planted|uniform|interval|star")
+		n       = flag.Int("n", 60, "vertices (grid: rows)")
+		m       = flag.Int("m", 24, "hyperedges (grid: cols)")
+		k       = flag.Int("k", 3, "planted palette size")
+		sizeLo  = flag.Int("size-lo", 3, "minimum edge size")
+		sizeHi  = flag.Int("size-hi", 5, "maximum edge size")
+		p       = flag.Float64("p", 0.1, "G(n,p) edge probability")
+		seed    = flag.Int64("seed", 1, "random seed")
+		formatF = flag.String("format", "", "output format: edgelist | dimacs | json (empty = from -out extension, else edgelist)")
+		outFile = flag.String("out", "", "write to this file instead of stdout")
 	)
 	flag.Parse()
 	rng := rand.New(rand.NewSource(*seed))
+
+	format, err := graphio.ParseFormat(*formatF)
+	if err != nil {
+		return err
+	}
+	if format == graphio.FormatAuto && *outFile != "" {
+		format = graphio.FormatFromPath(*outFile)
+	}
+	if format == graphio.FormatAuto {
+		format = graphio.FormatEdgeList
+	}
+	var w io.Writer = os.Stdout
+	if *outFile != "" {
+		f, err := os.Create(*outFile)
+		if err != nil {
+			return err
+		}
+		defer func() {
+			if cerr := f.Close(); cerr != nil && err == nil {
+				err = cerr
+			}
+		}()
+		w = f
+	}
 
 	switch *kind {
 	case "graph":
@@ -46,13 +80,13 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		return encode.WriteGraph(os.Stdout, g)
+		return graphio.WriteGraph(w, g, format)
 	case "hypergraph":
 		h, err := makeHypergraph(*gen, *n, *m, *k, *sizeLo, *sizeHi, rng)
 		if err != nil {
 			return err
 		}
-		return encode.WriteHypergraph(os.Stdout, h)
+		return graphio.WriteHypergraph(w, h, format)
 	default:
 		return fmt.Errorf("unknown kind %q", *kind)
 	}

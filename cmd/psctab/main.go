@@ -9,11 +9,16 @@
 //	psctab -only E4,F1     # a subset
 //	psctab -quick -seed 7  # small grids, different seed
 //	psctab -only E13 -oracle portfolio:greedy-mindeg,clique-removal -workers 0
+//	psctab -quick -out tables.txt
+//
+// -out writes the rendered tables to a file instead of stdout, so
+// experiment pipelines can archive a run next to its instances.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -29,7 +34,7 @@ func main() {
 	}
 }
 
-func run() error {
+func run() (err error) {
 	var (
 		seed    = flag.Int64("seed", 42, "random seed for all grids")
 		quick   = flag.Bool("quick", false, "use the reduced benchmark grids")
@@ -37,8 +42,22 @@ func run() error {
 		workers = flag.Int("workers", 1, "construction/portfolio workers (0 = GOMAXPROCS)")
 		oracle  = flag.String("oracle", "",
 			"portfolio oracle raced by E13, portfolio:<a>,<b>,... (empty = E13 default)")
+		outFile = flag.String("out", "", "write the rendered tables to this file instead of stdout")
 	)
 	flag.Parse()
+	var w io.Writer = os.Stdout
+	if *outFile != "" {
+		f, err := os.Create(*outFile)
+		if err != nil {
+			return err
+		}
+		defer func() {
+			if cerr := f.Close(); cerr != nil && err == nil {
+				err = cerr
+			}
+		}()
+		w = f
+	}
 	if err := validateOracle(*oracle, *seed); err != nil {
 		return err
 	}
@@ -58,11 +77,11 @@ func run() error {
 			continue
 		}
 		if printed > 0 {
-			fmt.Println()
+			fmt.Fprintln(w)
 		}
 		tab, err := g.fn(cfg)
 		if tab != nil {
-			if rerr := tab.Render(os.Stdout); rerr != nil {
+			if rerr := tab.Render(w); rerr != nil {
 				return rerr
 			}
 			printed++

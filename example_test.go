@@ -6,6 +6,7 @@ package pslocal_test
 import (
 	"fmt"
 	"math/rand"
+	"strings"
 
 	"pslocal"
 )
@@ -89,4 +90,62 @@ func ExampleDyadicIntervalColoring() {
 	fmt.Println(c)
 	// Output:
 	// [3 2 3 1 3 2 3]
+}
+
+// ExampleReadGraph parses a DIMACS .col document (the format published
+// graph instances use) into the repository's CSR graph. FormatAuto
+// sniffs the same input without being told the format.
+func ExampleReadGraph() {
+	const doc = `c a 5-cycle
+p edge 5 5
+e 1 2
+e 2 3
+e 3 4
+e 4 5
+e 5 1
+`
+	g, err := pslocal.ReadGraph(strings.NewReader(doc), pslocal.FormatDIMACS)
+	if err != nil {
+		fmt.Println("read:", err)
+		return
+	}
+	fmt.Println(g)
+	fmt.Println("edge {0,4}:", g.HasEdge(0, 4))
+	// Output:
+	// graph(n=5, m=5)
+	// edge {0,4}: true
+}
+
+// ExampleNewOraclePortfolio races three oracles on the same graph and
+// keeps the largest independent set; Reduce forwards its Engine options
+// to the portfolio so one -workers setting drives the whole phase loop.
+func ExampleNewOraclePortfolio() {
+	members := make([]pslocal.Oracle, 0, 3)
+	for _, name := range []string{"greedy-mindeg", "greedy-random", "clique-removal"} {
+		o, err := pslocal.LookupOracle(name, 1)
+		if err != nil {
+			fmt.Println("lookup:", err)
+			return
+		}
+		members = append(members, o)
+	}
+	p, err := pslocal.NewOraclePortfolio(members...)
+	if err != nil {
+		fmt.Println("portfolio:", err)
+		return
+	}
+	fmt.Println("racing:", p.Name())
+
+	g := pslocal.Grid(4, 5)
+	set, err := p.Solve(g)
+	if err != nil {
+		fmt.Println("solve:", err)
+		return
+	}
+	fmt.Println("|I|:", len(set))
+	fmt.Println("independent:", pslocal.VerifyIndependentSet(g, set) == nil)
+	// Output:
+	// racing: portfolio:greedy-mindeg,greedy-random,clique-removal
+	// |I|: 10
+	// independent: true
 }

@@ -11,7 +11,6 @@ import (
 	"strings"
 
 	"pslocal"
-	"pslocal/internal/maxis"
 )
 
 func main() {
@@ -32,12 +31,16 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	// The random-order greedy is the weakest interesting oracle: its
+	// empirical λ drives multiple phases, which is what we want to see.
+	oracle, err := pslocal.LookupOracle("greedy-random", 9)
+	if err != nil {
+		return err
+	}
 	res, err := pslocal.Reduce(h, pslocal.ReduceOptions{
-		K:    2,
-		Mode: pslocal.ModeOracle,
-		// The random-order greedy is the weakest interesting oracle: its
-		// empirical λ drives multiple phases, which is what we want to see.
-		Oracle: &maxis.RandomOrderOracle{Seed: 9},
+		K:      2,
+		Mode:   pslocal.ModeOracle,
+		Oracle: oracle,
 	})
 	if err != nil {
 		return err

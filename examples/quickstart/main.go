@@ -9,7 +9,6 @@ import (
 	"os"
 
 	"pslocal"
-	"pslocal/internal/maxis"
 )
 
 func main() {
@@ -31,13 +30,25 @@ func run() error {
 	fmt.Printf("instance: %v (planted conflict-free 3-colouring exists: %v)\n",
 		h, pslocal.IsConflictFree(h, planted))
 
+	// Named oracles come from the registry, the same names the -oracle
+	// CLI flags and cfserve query parameters accept.
+	greedy, err := pslocal.LookupOracle("greedy-mindeg", 7)
+	if err != nil {
+		return err
+	}
+	portfolio, err := pslocal.LookupOracle("portfolio:greedy-mindeg,greedy-random,clique-removal", 7)
+	if err != nil {
+		return err
+	}
 	configs := []struct {
 		name string
 		opts pslocal.ReduceOptions
 	}{
 		{"exact oracle (λ=1)", pslocal.ReduceOptions{K: 3, Mode: pslocal.ModeExactHinted}},
 		{"implicit first-fit", pslocal.ReduceOptions{K: 3, Mode: pslocal.ModeImplicitFirstFit}},
-		{"min-degree greedy", pslocal.ReduceOptions{K: 3, Mode: pslocal.ModeOracle, Oracle: maxis.MinDegreeOracle{}}},
+		{"min-degree greedy", pslocal.ReduceOptions{K: 3, Mode: pslocal.ModeOracle, Oracle: greedy}},
+		{"oracle portfolio", pslocal.ReduceOptions{K: 3, Mode: pslocal.ModeOracle, Oracle: portfolio,
+			Engine: pslocal.ParallelEngine()}},
 	}
 	for _, cfg := range configs {
 		res, err := pslocal.Reduce(h, cfg.opts)

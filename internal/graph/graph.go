@@ -176,6 +176,20 @@ func (g *Graph) String() string {
 	return fmt.Sprintf("graph(n=%d, m=%d)", g.N(), g.M())
 }
 
+// Equal reports whether a and b are the same graph: the same node count
+// and identical adjacency. Builder canonicalises the CSR (sorted,
+// duplicate-free neighbour lists), so structural equality is exactly
+// representation equality; the I/O round-trip tests rely on this.
+func Equal(a, b *Graph) bool {
+	if a.N() != b.N() {
+		return false
+	}
+	if a.N() == 0 {
+		return true
+	}
+	return slices.Equal(a.offsets, b.offsets) && slices.Equal(a.targets, b.targets)
+}
+
 // Builder accumulates edges and produces an immutable Graph. Parallel edges
 // are merged silently; self loops and out-of-range endpoints surface as
 // errors from Build. A Builder must be created with NewBuilder.

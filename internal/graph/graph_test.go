@@ -270,3 +270,22 @@ func MustFromEdges(t *testing.T, n int, edges [][2]int32) *Graph {
 	}
 	return g
 }
+
+func TestEqual(t *testing.T) {
+	a := MustFromEdges(t, 4, [][2]int32{{0, 1}, {1, 2}, {2, 3}})
+	b := MustFromEdges(t, 4, [][2]int32{{2, 3}, {1, 0}, {2, 1}}) // same edges, different order
+	c := MustFromEdges(t, 4, [][2]int32{{0, 1}, {1, 2}})
+	d := MustFromEdges(t, 5, [][2]int32{{0, 1}, {1, 2}, {2, 3}})
+	if !Equal(a, b) {
+		t.Error("Equal should be insensitive to edge insertion order")
+	}
+	if Equal(a, c) {
+		t.Error("graphs with different edge sets compared equal")
+	}
+	if Equal(a, d) {
+		t.Error("graphs with different node counts compared equal")
+	}
+	if !Equal(&Graph{}, NewBuilder(0).MustBuild()) {
+		t.Error("zero-value graph should equal the built empty graph")
+	}
+}

@@ -1,0 +1,81 @@
+package graphio
+
+// fuzz_test.go backs the round-trip encoders with fuzzing: any input the
+// readers accept must re-encode and re-parse to the identical structure,
+// and no input may panic the parser. `go test` runs the seed corpus;
+// `go test -fuzz=FuzzReadGraph ./internal/graphio` explores further.
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"pslocal/internal/graph"
+)
+
+func FuzzReadGraph(f *testing.F) {
+	f.Add("graph 3 2\n0 1\n1 2\n")
+	f.Add("graph 0 0\n")
+	f.Add("# comment\ngraph 4 1\n2 3\n")
+	f.Add("p edge 3 2\ne 1 2\ne 2 3\n")
+	f.Add("c comment\np edge 5 0\n")
+	f.Add(`{"type":"graph","n":3,"edges":[[0,1],[1,2]]}`)
+	f.Add(`{"n":2,"edges":[[0,1]]}`)
+	f.Add("graph 2 1\n0 5000000000\n")
+	f.Add("p edge 2 2\ne 1 2\ne 2 1\n")
+	f.Add(`{"type":"graph","n":1,"edges":[[0,0]]}`)
+	f.Fuzz(func(t *testing.T, input string) {
+		for _, format := range []Format{FormatAuto, FormatEdgeList, FormatDIMACS, FormatJSON} {
+			g, err := ReadGraph(strings.NewReader(input), format)
+			if err != nil {
+				continue // malformed input must error, not panic
+			}
+			// A successful parse must round-trip identically through
+			// every writable format.
+			for _, out := range []Format{FormatEdgeList, FormatDIMACS, FormatJSON} {
+				var buf bytes.Buffer
+				if err := WriteGraph(&buf, g, out); err != nil {
+					t.Fatalf("format %v: write after successful parse: %v", out, err)
+				}
+				got, err := ReadGraph(bytes.NewReader(buf.Bytes()), out)
+				if err != nil {
+					t.Fatalf("format %v: reparse of own output: %v\n%s", out, err, buf.String())
+				}
+				if !graph.Equal(g, got) {
+					t.Fatalf("format %v: round trip changed the graph", out)
+				}
+			}
+		}
+	})
+}
+
+func FuzzReadHypergraph(f *testing.F) {
+	f.Add("hypergraph 4 2\n0 1 2\n2 3\n")
+	f.Add("hypergraph 1 1\n0\n")
+	f.Add(`{"type":"hypergraph","n":4,"edges":[[0,1,2],[2,3]]}`)
+	f.Add(`{"n":3,"edges":[[0,1],[1,2,0]]}`)
+	f.Add("hypergraph 2 1\n0 0 1\n")
+	f.Add(`{"type":"hypergraph","n":3,"edges":[[]]}`)
+	f.Fuzz(func(t *testing.T, input string) {
+		for _, format := range []Format{FormatAuto, FormatEdgeList, FormatJSON} {
+			h, err := ReadHypergraph(strings.NewReader(input), format)
+			if err != nil {
+				continue
+			}
+			for _, out := range []Format{FormatEdgeList, FormatJSON} {
+				var buf bytes.Buffer
+				if err := WriteHypergraph(&buf, h, out); err != nil {
+					t.Fatalf("format %v: write after successful parse: %v", out, err)
+				}
+				got, err := ReadHypergraph(bytes.NewReader(buf.Bytes()), out)
+				if err != nil {
+					t.Fatalf("format %v: reparse of own output: %v\n%s", out, err, buf.String())
+				}
+				if got.N() != h.N() || !reflect.DeepEqual(got.Edges(), h.Edges()) {
+					t.Fatalf("format %v: round trip changed the hypergraph", out)
+				}
+			}
+		}
+	})
+}

@@ -114,6 +114,21 @@ func (h *Hypergraph) AppendIncidentEdges(dst []int32, v int32) []int32 {
 	return append(dst, h.incidence[v]...)
 }
 
+// Edges returns a deep copy of the hyperedge list, each edge sorted and
+// duplicate-free — the whole-structure accessor for external serializers
+// and for comparing instances across an I/O round trip (graphio's tests
+// do). Iteration call sites should prefer ForEachEdgeVertex or
+// AppendEdge, which do not allocate per edge.
+func (h *Hypergraph) Edges() [][]int32 {
+	out := make([][]int32, len(h.edges))
+	for j, e := range h.edges {
+		cp := make([]int32, len(e))
+		copy(cp, e)
+		out[j] = cp
+	}
+	return out
+}
+
 // ForEachEdgeVertex calls fn for every vertex of edge j in ascending order;
 // it stops early if fn returns false.
 func (h *Hypergraph) ForEachEdgeVertex(j int, fn func(v int32) bool) {

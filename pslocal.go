@@ -33,6 +33,7 @@ import (
 	"pslocal/internal/engine"
 	"pslocal/internal/experiments"
 	"pslocal/internal/graph"
+	"pslocal/internal/graphio"
 	"pslocal/internal/hypergraph"
 	"pslocal/internal/local"
 	"pslocal/internal/maxis"
@@ -83,6 +84,55 @@ func PlantedCF(n, m, k, sizeLo, sizeHi int, rng *rand.Rand) (*Hypergraph, []int3
 func IntervalHypergraph(n, m, lenLo, lenHi int, rng *rand.Rand) (*Hypergraph, error) {
 	return hypergraph.Interval(n, m, lenLo, lenHi, rng)
 }
+
+// Graph I/O (the internal/graphio subsystem). Graphs and hypergraphs
+// read and write in three interchangeable formats; the same files work
+// with the CLI -in/-out flags and as cmd/cfserve request bodies.
+
+// GraphFormat identifies a supported instance encoding.
+type GraphFormat = graphio.Format
+
+// The supported formats. FormatAuto sniffs the input on reads and
+// selects the edge list on writes.
+const (
+	// FormatAuto sniffs the format from the input's first decisive line.
+	FormatAuto = graphio.FormatAuto
+	// FormatEdgeList is the native "graph n m" / "hypergraph n m" text
+	// format.
+	FormatEdgeList = graphio.FormatEdgeList
+	// FormatDIMACS is the DIMACS .col format (graphs only).
+	FormatDIMACS = graphio.FormatDIMACS
+	// FormatJSON is the single-object JSON document format.
+	FormatJSON = graphio.FormatJSON
+)
+
+// ParseGraphFormat maps a flag spelling ("auto", "edgelist", "dimacs",
+// "json") onto a GraphFormat.
+func ParseGraphFormat(s string) (GraphFormat, error) { return graphio.ParseFormat(s) }
+
+// ReadGraph parses a graph from r (see ExampleReadGraph).
+func ReadGraph(r io.Reader, f GraphFormat) (*Graph, error) { return graphio.ReadGraph(r, f) }
+
+// WriteGraph writes g to w; the output round-trips bit-identically
+// through ReadGraph.
+func WriteGraph(w io.Writer, g *Graph, f GraphFormat) error { return graphio.WriteGraph(w, g, f) }
+
+// ReadHypergraph parses a hypergraph from r (DIMACS is graphs-only).
+func ReadHypergraph(r io.Reader, f GraphFormat) (*Hypergraph, error) {
+	return graphio.ReadHypergraph(r, f)
+}
+
+// WriteHypergraph writes h to w.
+func WriteHypergraph(w io.Writer, h *Hypergraph, f GraphFormat) error {
+	return graphio.WriteHypergraph(w, h, f)
+}
+
+// WriteResult writes a reduction result as the JSON document shared by
+// the cfreduce -out flag and the cfserve response body.
+func WriteResult(w io.Writer, res *ReduceResult) error { return graphio.WriteResult(w, res) }
+
+// ReadResult parses a reduction-result document written by WriteResult.
+func ReadResult(r io.Reader) (*ReduceResult, error) { return graphio.ReadResult(r) }
 
 // Colourings (substrate S11).
 type (
