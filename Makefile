@@ -1,9 +1,17 @@
 # Developer entry points; CI runs the same steps (.github/workflows/ci.yml).
 
-.PHONY: build test race vet fmt bench bench-quick
+.PHONY: build test race vet fmt api api-update bench bench-quick
 
 build:
 	go build ./...
+
+# api compares the exported facade surface against the checked-in golden
+# api.txt; api-update blesses a reviewed surface change.
+api:
+	./scripts/apicheck.sh
+
+api-update:
+	./scripts/apicheck.sh -update
 
 test:
 	go test ./...

@@ -7,6 +7,8 @@
 package pslocal_test
 
 import (
+	"bytes"
+	"context"
 	"math/rand"
 	"testing"
 
@@ -277,6 +279,67 @@ func BenchmarkNetworkDecomposition(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := pslocal.NetworkDecomposition(g, nil); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// --- Solver-backed pipeline (the serving path of cmd/cfserve) ---
+
+// benchSolverBody serializes the benchmark reduction instance the way a
+// cfserve client would post it.
+func benchSolverBody(b *testing.B) []byte {
+	b.Helper()
+	rng := rand.New(rand.NewSource(9))
+	h, _, err := pslocal.PlantedCF(60, 40, 3, 3, 5, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := pslocal.WriteHypergraph(&buf, h, pslocal.FormatEdgeList); err != nil {
+		b.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// BenchmarkSolverReduceCold measures the full serve path on a cache miss:
+// admission, parse, and the reduction (a fresh single-entry cache per
+// iteration keeps every submission cold).
+func BenchmarkSolverReduceCold(b *testing.B) {
+	body := benchSolverBody(b)
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sv := pslocal.NewSolver(pslocal.WithK(3), pslocal.WithCache(1))
+		res, inst, err := sv.SolveReader(ctx, bytes.NewReader(body), pslocal.FormatAuto)
+		if err != nil {
+			b.Fatalf("cold solve: %v", err)
+		}
+		if res.TotalColors == 0 || inst.CacheHit {
+			b.Fatalf("cold solve: colours %d, hit %v", res.TotalColors, inst.CacheHit)
+		}
+	}
+}
+
+// BenchmarkSolverReduceCacheHit measures the hot-instance path: the same
+// body resubmitted to one shared Solver skips parsing and CSR
+// construction, so the delta against the cold benchmark is the cache win.
+func BenchmarkSolverReduceCacheHit(b *testing.B) {
+	body := benchSolverBody(b)
+	ctx := context.Background()
+	sv := pslocal.NewSolver(pslocal.WithK(3), pslocal.WithCache(4))
+	if _, _, err := sv.SolveReader(ctx, bytes.NewReader(body), pslocal.FormatAuto); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, inst, err := sv.SolveReader(ctx, bytes.NewReader(body), pslocal.FormatAuto)
+		if err != nil {
+			b.Fatalf("hot solve: %v", err)
+		}
+		if res.TotalColors == 0 || !inst.CacheHit {
+			b.Fatalf("hot solve: colours %d, hit %v", res.TotalColors, inst.CacheHit)
 		}
 	}
 }

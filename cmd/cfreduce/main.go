@@ -17,6 +17,11 @@
 // -workers sets the worker pool shared by conflict-graph construction
 // and portfolio solving (0 = GOMAXPROCS, 1 = serial).
 //
+// The command is a thin shell over a pslocal.Solver: the flags become
+// solver options, the solve runs under a signal context, so Ctrl-C
+// cancels a long reduction cooperatively instead of killing the process
+// mid-write.
+//
 // -in accepts any internal/graphio format (the native edge list, DIMACS
 // for graphs, or JSON), sniffed from the content; -out writes the
 // reduction result as the graphio JSON document ("-" for stdout), the
@@ -24,17 +29,18 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
-	"pslocal/internal/core"
+	"pslocal"
 	"pslocal/internal/encode"
-	"pslocal/internal/engine"
 	"pslocal/internal/graphio"
 	"pslocal/internal/hypergraph"
-	"pslocal/internal/maxis"
 	"pslocal/internal/verify"
 
 	"math/rand"
@@ -61,7 +67,7 @@ func run() error {
 			"solving mode: exact | implicit | a registry oracle name | help to list")
 		oracleName = flag.String("oracle", "",
 			"registry oracle name, incl. portfolio:<a>,<b>,... (overrides -mode)")
-		seed     = flag.Int64("seed", 1, "random seed")
+		seed     = flag.Int64("seed", 1, "random seed (instance generation and randomized oracles)")
 		workers  = flag.Int("workers", 1, "construction/portfolio workers (0 = GOMAXPROCS)")
 		printCol = flag.Bool("print-coloring", false, "dump the multicolouring")
 	)
@@ -73,7 +79,7 @@ func run() error {
 	}
 	if mode == "help" {
 		modes := []string{"exact", "implicit"}
-		for _, name := range maxis.Names() {
+		for _, name := range pslocal.OracleNames() {
 			if name != "exact" { // the built-in exact mode already covers it (with the clique hint)
 				modes = append(modes, name)
 			}
@@ -82,18 +88,25 @@ func run() error {
 		fmt.Printf("modes: %s\n", strings.Join(modes, ", "))
 		return nil
 	}
+	if name, ok := legacyModes[mode]; ok {
+		mode = name
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	rng := rand.New(rand.NewSource(*seed))
 	h, err := makeInstance(*inFile, *genName, *n, *m, *k, *sizeLo, *sizeHi, rng)
 	if err != nil {
 		return err
 	}
-	opts, err := makeOptions(mode, *k, *seed)
-	if err != nil {
-		return err
-	}
-	opts.Engine = engine.FromWorkersFlag(*workers)
+	sv := pslocal.NewSolver(
+		pslocal.WithK(*k),
+		pslocal.WithSeed(*seed),
+		pslocal.WithWorkers(*workers),
+		pslocal.WithOracle(mode),
+	)
 	fmt.Printf("instance: %v\n", h)
-	res, err := core.Reduce(h, opts)
+	res, err := sv.Solve(ctx, h)
 	if err != nil {
 		return err
 	}
@@ -126,7 +139,7 @@ func run() error {
 }
 
 // writeResult dumps the result document to path, or stdout for "-".
-func writeResult(path string, res *core.Result) error {
+func writeResult(path string, res *pslocal.ReduceResult) error {
 	if path == "-" {
 		return graphio.WriteResult(os.Stdout, res)
 	}
@@ -157,25 +170,4 @@ var legacyModes = map[string]string{
 	"greedy":    "greedy-mindeg",
 	"random":    "greedy-random",
 	"cliquerem": "clique-removal",
-}
-
-func makeOptions(mode string, k int, seed int64) (core.Options, error) {
-	opts := core.Options{K: k}
-	switch mode {
-	case "exact":
-		opts.Mode = core.ModeExactHinted
-	case "implicit":
-		opts.Mode = core.ModeImplicitFirstFit
-	default:
-		if name, ok := legacyModes[mode]; ok {
-			mode = name
-		}
-		oracle, err := maxis.Lookup(mode, seed)
-		if err != nil {
-			return opts, err
-		}
-		opts.Mode = core.ModeOracle
-		opts.Oracle = oracle
-	}
-	return opts, nil
 }

@@ -1,11 +1,14 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"math/rand"
 	"os"
 	"path/filepath"
 	"testing"
 
+	"pslocal"
 	"pslocal/internal/core"
 	"pslocal/internal/encode"
 	"pslocal/internal/graphio"
@@ -53,36 +56,36 @@ func TestMakeInstanceFromFile(t *testing.T) {
 	}
 }
 
-func TestMakeOptions(t *testing.T) {
-	tests := []struct {
-		mode     string
-		wantMode core.Mode
-		oracle   bool
-	}{
-		{"exact", core.ModeExactHinted, false},
-		{"implicit", core.ModeImplicitFirstFit, false},
-		{"greedy", core.ModeOracle, true},
-		{"random", core.ModeOracle, true},
-		{"cliquerem", core.ModeOracle, true},
-		{"portfolio:greedy-mindeg,greedy-random", core.ModeOracle, true},
+// TestModeSpellings checks that every documented -mode spelling — the
+// built-ins, the legacy aliases, and a portfolio name — resolves through
+// the Solver and reduces a small instance, and that an unknown spelling
+// surfaces the typed error.
+func TestModeSpellings(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	h, _, err := hypergraph.PlantedCF(20, 8, 2, 2, 3, rng)
+	if err != nil {
+		t.Fatal(err)
 	}
-	for _, tt := range tests {
-		opts, err := makeOptions(tt.mode, 3, 1)
+	for _, mode := range []string{
+		"exact", "implicit", "greedy", "random", "cliquerem",
+		"portfolio:greedy-mindeg,greedy-random",
+	} {
+		name := mode
+		if legacy, ok := legacyModes[mode]; ok {
+			name = legacy
+		}
+		sv := pslocal.NewSolver(pslocal.WithK(2), pslocal.WithOracle(name))
+		res, err := sv.Solve(context.Background(), h)
 		if err != nil {
-			t.Fatalf("%s: %v", tt.mode, err)
+			t.Fatalf("%s: %v", mode, err)
 		}
-		if opts.Mode != tt.wantMode {
-			t.Errorf("%s: mode %d, want %d", tt.mode, opts.Mode, tt.wantMode)
-		}
-		if (opts.Oracle != nil) != tt.oracle {
-			t.Errorf("%s: oracle presence %v, want %v", tt.mode, opts.Oracle != nil, tt.oracle)
-		}
-		if opts.K != 3 {
-			t.Errorf("%s: K = %d, want 3", tt.mode, opts.K)
+		if res.K != 2 || len(res.Phases) == 0 {
+			t.Errorf("%s: degenerate result %+v", mode, res)
 		}
 	}
-	if _, err := makeOptions("nope", 3, 1); err == nil {
-		t.Error("unknown mode accepted")
+	sv := pslocal.NewSolver(pslocal.WithOracle("nope"))
+	if _, err := sv.Solve(context.Background(), h); !errors.Is(err, pslocal.ErrUnknownOracle) {
+		t.Errorf("unknown mode error = %v, want ErrUnknownOracle", err)
 	}
 }
 
@@ -106,7 +109,7 @@ func TestMakeInstanceFromJSONFile(t *testing.T) {
 // TestWriteResult checks the -out path round-trips through graphio.
 func TestWriteResult(t *testing.T) {
 	h := hypergraph.MustNew(4, [][]int32{{0, 1}, {2, 3}})
-	res, err := core.Reduce(h, core.Options{K: 2, Mode: core.ModeImplicitFirstFit})
+	res, err := core.Reduce(nil, h, core.Options{K: 2, Mode: core.ModeImplicitFirstFit})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -4,33 +4,29 @@ package main
 // POST endpoints expose the pipeline — /v1/reduce runs the Theorem 1.1
 // reduction on a hypergraph, /v1/maxis solves MaxIS on a graph — with
 // the instance format, oracle selection, worker count and seed chosen
-// per request through query parameters. Request bodies are any
-// internal/graphio format (sniffed by default); every response verifies
-// its own output through internal/verify before reporting verified=true.
-// Admission is bounded by an engine.Gate so a burst of requests queues
-// instead of oversubscribing the worker pools, and parsed instances are
-// cached by content hash (cache.go).
+// per request through query parameters.
+//
+// Both endpoints are served through one shared pslocal.Solver: the server
+// owns no cache or gate of its own. The base Solver (built in newServer)
+// carries the server-wide limits — the parsed-instance cache and the
+// bounded admission gate — and each request derives a per-call variant
+// with Solver.With for its oracle, palette, seed and worker choices; the
+// derived solvers share the base cache and gate. Solver errors map onto
+// HTTP statuses via errors.Is over the pslocal error taxonomy, and every
+// response verifies its own output through the facade verifiers before
+// reporting verified=true.
 
 import (
 	"bytes"
-	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
-	"io"
 	"net/http"
 	"strconv"
 	"sync/atomic"
 	"time"
 
-	"pslocal/internal/core"
-	"pslocal/internal/engine"
-	"pslocal/internal/graph"
-	"pslocal/internal/graphio"
-	"pslocal/internal/hypergraph"
-	"pslocal/internal/maxis"
-	"pslocal/internal/slocal"
-	"pslocal/internal/verify"
+	"pslocal"
 )
 
 // config carries the server-wide limits set by the flags in main.go.
@@ -49,11 +45,10 @@ type config struct {
 
 // server is the HTTP handler plus its shared state.
 type server struct {
-	cfg   config
-	cache *instanceCache
-	gate  *engine.Gate
-	mux   *http.ServeMux
-	start time.Time
+	cfg    config
+	solver *pslocal.Solver // owns the instance cache and admission gate
+	mux    *http.ServeMux
+	start  time.Time
 
 	requests atomic.Uint64 // all requests, any endpoint
 	reduces  atomic.Uint64 // successful /v1/reduce responses
@@ -62,10 +57,14 @@ type server struct {
 	canceled atomic.Uint64 // requests abandoned by the client mid-solve
 }
 
-// newServer wires the routes and resolves config defaults.
+// newServer wires the routes, resolves config defaults, and builds the
+// shared Solver.
 func newServer(cfg config) *server {
 	if cfg.maxWorkers < 1 {
-		cfg.maxWorkers = engine.Parallel().WorkerCount()
+		cfg.maxWorkers = pslocal.ParallelEngine().WorkerCount()
+	}
+	if cfg.maxInflight < 1 {
+		cfg.maxInflight = -1 // Solver convention: negative = GOMAXPROCS
 	}
 	if cfg.cacheEntries < 1 {
 		cfg.cacheEntries = 128
@@ -74,9 +73,12 @@ func newServer(cfg config) *server {
 		cfg.maxBodyBytes = 64 << 20
 	}
 	s := &server{
-		cfg:   cfg,
-		cache: newInstanceCache(cfg.cacheEntries),
-		gate:  engine.NewGate(cfg.maxInflight),
+		cfg: cfg,
+		solver: pslocal.NewSolver(
+			pslocal.WithCache(cfg.cacheEntries),
+			pslocal.WithMaxInflight(cfg.maxInflight),
+			pslocal.WithSeed(cfg.seed),
+		),
 		mux:   http.NewServeMux(),
 		start: time.Now(),
 	}
@@ -103,6 +105,26 @@ type instanceInfo struct {
 	Key   string `json:"key"`   // "sha256:" + first 16 hex digits
 }
 
+// describe maps the Solver's instance report onto the response schema.
+func describe(inst *pslocal.InstanceInfo) instanceInfo {
+	info := instanceInfo{
+		Kind:  inst.Kind,
+		N:     inst.N,
+		M:     inst.M,
+		Cache: "miss",
+	}
+	// The key is empty only when the Solver runs cacheless, which this
+	// server never configures — but do not let a future config change
+	// panic the response path.
+	if len(inst.Key) >= 16 {
+		info.Key = "sha256:" + inst.Key[:16]
+	}
+	if inst.CacheHit {
+		info.Cache = "hit"
+	}
+	return info
+}
+
 // reduceResponse is the /v1/reduce response body. Result is the
 // graphio reduction-result document, so CLI -out files and service
 // responses share one schema.
@@ -118,7 +140,7 @@ type reduceResponse struct {
 // handleReduce runs the Theorem 1.1 reduction on the posted hypergraph.
 func (s *server) handleReduce(w http.ResponseWriter, r *http.Request) {
 	q := r.URL.Query()
-	format, err := graphio.ParseFormat(q.Get("format"))
+	format, err := pslocal.ParseGraphFormat(q.Get("format"))
 	if err != nil {
 		s.fail(w, http.StatusBadRequest, err)
 		return
@@ -143,74 +165,37 @@ func (s *server) handleReduce(w http.ResponseWriter, r *http.Request) {
 	if oracleName == "" {
 		oracleName = "implicit"
 	}
-	opts := core.Options{K: k}
-	switch oracleName {
-	case "exact":
-		opts.Mode = core.ModeExactHinted
-	case "implicit":
-		opts.Mode = core.ModeImplicitFirstFit
-	default:
-		oracle, err := maxis.Lookup(oracleName, seed)
-		if err != nil {
-			s.fail(w, http.StatusBadRequest, err)
-			return
-		}
-		opts.Mode = core.ModeOracle
-		opts.Oracle = oracle
-	}
 
-	// Admission happens before the body is even read: parsing and CSR
-	// construction are exactly the costs the gate exists to bound.
-	if err := s.gate.Acquire(r.Context()); err != nil {
-		s.abandon(err)
-		return
-	}
-	defer s.gate.Release()
-
-	body, status, err := s.readBody(w, r)
-	if err != nil {
-		s.fail(w, status, err)
-		return
-	}
-	key := cacheKey("hypergraph", format.String(), body)
-	info := instanceInfo{Kind: "hypergraph", Cache: "hit", Key: "sha256:" + key[:16]}
-	cached, ok := s.cache.get(key)
-	var h *hypergraph.Hypergraph
-	if ok {
-		h = cached.(*hypergraph.Hypergraph)
-	} else {
-		info.Cache = "miss"
-		h, err = graphio.ReadHypergraph(bytes.NewReader(body), format)
-		if err != nil {
-			s.fail(w, http.StatusBadRequest, err)
-			return
-		}
-		s.cache.put(key, h)
-	}
-	info.N, info.M = h.N(), h.M()
-
+	sv := s.solver.With(
+		pslocal.WithK(k),
+		pslocal.WithWorkers(workers),
+		pslocal.WithSeed(seed),
+		pslocal.WithOracle(oracleName),
+	)
 	started := time.Now()
-	opts.Engine = engine.Options{Workers: workers, Ctx: r.Context()}
-	res, err := core.Reduce(h, opts)
+	// Admission (the shared gate) happens inside SolveReader before the
+	// body is even read: parsing and CSR construction are exactly the
+	// costs the gate exists to bound.
+	res, inst, err := sv.SolveReader(r.Context(),
+		http.MaxBytesReader(w, r.Body, s.cfg.maxBodyBytes), format)
 	if err != nil {
-		if isCancellation(err) {
-			s.abandon(err)
-			return
-		}
-		s.fail(w, http.StatusInternalServerError, err)
+		s.failSolve(w, err)
 		return
 	}
-	verified := verify.ReductionResult(h, res) == nil &&
-		verify.ConflictFreeMulti(h, res.Multicoloring) == nil
+	verified := false
+	if hg := inst.Hypergraph(); hg != nil {
+		verified = pslocal.VerifyReduction(hg, res) == nil &&
+			pslocal.VerifyConflictFreeMulti(hg, res.Multicoloring) == nil
+	}
 
 	var doc bytes.Buffer
-	if err := graphio.WriteResult(&doc, res); err != nil {
+	if err := pslocal.WriteResult(&doc, res); err != nil {
 		s.fail(w, http.StatusInternalServerError, err)
 		return
 	}
 	s.reduces.Add(1)
 	s.writeJSON(w, http.StatusOK, reduceResponse{
-		Instance:  info,
+		Instance:  describe(inst),
 		Oracle:    oracleName,
 		Workers:   workers,
 		Verified:  verified,
@@ -239,7 +224,7 @@ type maxisResponse struct {
 // (1+δ)-approximation (algorithm=carving, which reports its locality).
 func (s *server) handleMaxIS(w http.ResponseWriter, r *http.Request) {
 	q := r.URL.Query()
-	format, err := graphio.ParseFormat(q.Get("format"))
+	format, err := pslocal.ParseGraphFormat(q.Get("format"))
 	if err != nil {
 		s.fail(w, http.StatusBadRequest, err)
 		return
@@ -259,121 +244,54 @@ func (s *server) handleMaxIS(w http.ResponseWriter, r *http.Request) {
 	if algorithm == "" {
 		algorithm = "oracle"
 	}
-	var (
-		oracleName string
-		oracle     maxis.Oracle
-		delta      float64
-	)
+	opts := []pslocal.SolverOption{
+		pslocal.WithWorkers(workers),
+		pslocal.WithSeed(seed),
+	}
+	oracleName := ""
 	switch algorithm {
 	case "oracle":
 		oracleName = q.Get("oracle")
 		if oracleName == "" {
 			oracleName = "greedy-mindeg"
 		}
-		oracle, err = maxis.Lookup(oracleName, seed)
-		if err != nil {
-			s.fail(w, http.StatusBadRequest, err)
-			return
-		}
+		opts = append(opts, pslocal.WithOracle(oracleName))
 	case "carving":
-		delta, err = floatParam(q.Get("delta"), 1.0)
+		delta, err := floatParam(q.Get("delta"), 1.0)
 		if err != nil || delta <= 0 {
 			s.fail(w, http.StatusBadRequest, fmt.Errorf("bad delta parameter %q (want a positive float)", q.Get("delta")))
 			return
 		}
+		opts = append(opts, pslocal.WithCarving(delta))
 	default:
 		s.fail(w, http.StatusBadRequest, fmt.Errorf("unknown algorithm %q (want oracle|carving)", algorithm))
 		return
 	}
 
-	// As in handleReduce, admission precedes the body read so parsing is
-	// bounded too.
-	if err := s.gate.Acquire(r.Context()); err != nil {
-		s.abandon(err)
-		return
-	}
-	defer s.gate.Release()
-
-	body, status, err := s.readBody(w, r)
-	if err != nil {
-		s.fail(w, status, err)
-		return
-	}
-	key := cacheKey("graph", format.String(), body)
-	info := instanceInfo{Kind: "graph", Cache: "hit", Key: "sha256:" + key[:16]}
-	cached, ok := s.cache.get(key)
-	var g *graph.Graph
-	if ok {
-		g = cached.(*graph.Graph)
-	} else {
-		info.Cache = "miss"
-		g, err = graphio.ReadGraph(bytes.NewReader(body), format)
-		if err != nil {
-			s.fail(w, http.StatusBadRequest, err)
-			return
-		}
-		s.cache.put(key, g)
-	}
-	info.N, info.M = g.N(), g.M()
-
+	sv := s.solver.With(opts...)
 	started := time.Now()
-	resp := maxisResponse{Instance: info, Algorithm: algorithm, Oracle: oracleName, Workers: workers}
-	var set []int32
-	switch algorithm {
-	case "oracle":
-		if es, ok := oracle.(maxis.EngineSetter); ok {
-			es.SetEngine(engine.Options{Workers: workers, Ctx: r.Context()})
-		}
-		set, err = oracle.Solve(g)
-	case "carving":
-		var res *slocal.CarvingResult
-		res, err = slocal.BallCarvingMaxIS(g, slocal.CarvingOptions{
-			Delta: delta,
-			Inner: carvingInner(r.Context()),
-		})
-		if err == nil {
-			set = res.Set
-			resp.Locality = res.Locality
-			resp.RadiusBound = res.RadiusBound
-		}
-	}
+	res, inst, err := sv.MaxISReader(r.Context(),
+		http.MaxBytesReader(w, r.Body, s.cfg.maxBodyBytes), format)
 	if err != nil {
-		if isCancellation(err) {
-			s.abandon(err)
-			return
-		}
-		s.fail(w, http.StatusInternalServerError, err)
+		s.failSolve(w, err)
 		return
 	}
-	resp.Size = len(set)
-	resp.IndependentSet = set
-	resp.Verified = verify.IndependentSet(g, set) == nil
-	resp.ElapsedMS = msSince(started)
+	resp := maxisResponse{
+		Instance:       describe(inst),
+		Algorithm:      algorithm,
+		Oracle:         oracleName,
+		Workers:        workers,
+		Size:           len(res.Set),
+		IndependentSet: res.Set,
+		Locality:       res.Locality,
+		RadiusBound:    res.RadiusBound,
+		ElapsedMS:      msSince(started),
+	}
+	if g := inst.Graph(); g != nil {
+		resp.Verified = pslocal.VerifyIndependentSet(g, res.Set) == nil
+	}
 	s.solves.Add(1)
 	s.writeJSON(w, http.StatusOK, resp)
-}
-
-// carvingBranchBudget bounds the exact solve inside each carved ball. A
-// dense request would otherwise pin its gate slot on an unbounded
-// branch-and-bound with no cancellation path; when the budget trips, the
-// solver's anytime set is used instead — the output is still a verified
-// independent set, only the (1+δ) quality bound degrades.
-const carvingBranchBudget = 1 << 20
-
-// carvingInner returns the per-ball MaxIS solver for server-side ball
-// carving: budget-bounded, and checking the request context between
-// balls so an abandoned request stops at the next carve.
-func carvingInner(ctx context.Context) slocal.InnerSolver {
-	return func(g *graph.Graph) ([]int32, error) {
-		if err := ctx.Err(); err != nil {
-			return nil, err
-		}
-		set, err := maxis.ExactOpts(g, maxis.ExactOptions{MaxBranchNodes: carvingBranchBudget})
-		if errors.Is(err, maxis.ErrBudgetExceeded) {
-			return set, nil
-		}
-		return set, err
-	}
 }
 
 // handleHealthz reports liveness.
@@ -386,19 +304,20 @@ func (s *server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 
 // statzResponse is the /statz metrics snapshot.
 type statzResponse struct {
-	UptimeS     float64    `json:"uptime_s"`
-	Requests    uint64     `json:"requests"`
-	Reduces     uint64     `json:"reduces"`
-	Solves      uint64     `json:"solves"`
-	Failures    uint64     `json:"failures"`
-	Canceled    uint64     `json:"canceled"`
-	Inflight    int        `json:"inflight"`
-	MaxInflight int        `json:"max_inflight"`
-	MaxWorkers  int        `json:"max_workers"`
-	Cache       cacheStats `json:"cache"`
+	UptimeS     float64                  `json:"uptime_s"`
+	Requests    uint64                   `json:"requests"`
+	Reduces     uint64                   `json:"reduces"`
+	Solves      uint64                   `json:"solves"`
+	Failures    uint64                   `json:"failures"`
+	Canceled    uint64                   `json:"canceled"`
+	Inflight    int                      `json:"inflight"`
+	MaxInflight int                      `json:"max_inflight"`
+	MaxWorkers  int                      `json:"max_workers"`
+	Cache       pslocal.SolverCacheStats `json:"cache"`
 }
 
-// handleStatz reports the service counters and cache statistics.
+// handleStatz reports the service counters and the Solver's cache and
+// admission statistics.
 func (s *server) handleStatz(w http.ResponseWriter, _ *http.Request) {
 	s.writeJSON(w, http.StatusOK, statzResponse{
 		UptimeS:     time.Since(s.start).Seconds(),
@@ -407,29 +326,11 @@ func (s *server) handleStatz(w http.ResponseWriter, _ *http.Request) {
 		Solves:      s.solves.Load(),
 		Failures:    s.failures.Load(),
 		Canceled:    s.canceled.Load(),
-		Inflight:    s.gate.InUse(),
-		MaxInflight: s.gate.Capacity(),
+		Inflight:    s.solver.InFlight(),
+		MaxInflight: s.solver.MaxInFlight(),
 		MaxWorkers:  s.cfg.maxWorkers,
-		Cache:       s.cache.snapshot(),
+		Cache:       s.solver.CacheStats(),
 	})
-}
-
-// readBody drains the request body under the configured size cap,
-// returning the HTTP status a failure should map to (413 for an
-// over-limit body, 400 otherwise).
-func (s *server) readBody(w http.ResponseWriter, r *http.Request) ([]byte, int, error) {
-	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.maxBodyBytes))
-	if err != nil {
-		var tooLarge *http.MaxBytesError
-		if errors.As(err, &tooLarge) {
-			return nil, http.StatusRequestEntityTooLarge, fmt.Errorf("reading request body: %w", err)
-		}
-		return nil, http.StatusBadRequest, fmt.Errorf("reading request body: %w", err)
-	}
-	if len(body) == 0 {
-		return nil, http.StatusBadRequest, errors.New("empty request body: POST the instance in a graphio format")
-	}
-	return body, http.StatusBadRequest, nil
 }
 
 // clampWorkers maps the request's workers parameter onto [1, maxWorkers]:
@@ -439,6 +340,30 @@ func (s *server) clampWorkers(workers int) int {
 		return s.cfg.maxWorkers
 	}
 	return workers
+}
+
+// failSolve maps a Solver error onto the response: abandoned requests are
+// only counted (nobody is listening), the typed taxonomy maps onto 4xx
+// via errors.Is, and everything else is a 500.
+func (s *server) failSolve(w http.ResponseWriter, err error) {
+	var tooLarge *http.MaxBytesError
+	switch {
+	case errors.Is(err, pslocal.ErrCancelled):
+		s.abandon(err)
+	case errors.As(err, &tooLarge):
+		s.fail(w, http.StatusRequestEntityTooLarge, err)
+	case errors.Is(err, pslocal.ErrUnknownOracle),
+		errors.Is(err, pslocal.ErrReadInstance),
+		errors.Is(err, pslocal.ErrMalformedInput),
+		errors.Is(err, pslocal.ErrDuplicateEdge),
+		errors.Is(err, pslocal.ErrUnsupportedFormat),
+		errors.Is(err, pslocal.ErrUnknownFormat),
+		errors.Is(err, pslocal.ErrBadK),
+		errors.Is(err, pslocal.ErrBadDelta):
+		s.fail(w, http.StatusBadRequest, err)
+	default:
+		s.fail(w, http.StatusInternalServerError, err)
+	}
 }
 
 // fail writes a JSON error response and counts the failure.
@@ -460,11 +385,6 @@ func (s *server) writeJSON(w http.ResponseWriter, status int, v any) {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	_ = enc.Encode(v)
-}
-
-// isCancellation reports whether err stems from the request context.
-func isCancellation(err error) bool {
-	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
 }
 
 // intParam parses an optional integer query parameter.

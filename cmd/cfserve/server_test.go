@@ -318,26 +318,6 @@ func TestHealthzAndStatz(t *testing.T) {
 	}
 }
 
-func TestCacheEviction(t *testing.T) {
-	c := newInstanceCache(2)
-	c.put("a", 1)
-	c.put("b", 2)
-	if _, ok := c.get("a"); !ok {
-		t.Fatal("a should be cached")
-	}
-	c.put("c", 3) // evicts b, the least recently used
-	if _, ok := c.get("b"); ok {
-		t.Error("b should have been evicted")
-	}
-	if _, ok := c.get("a"); !ok {
-		t.Error("a should have survived (recently used)")
-	}
-	st := c.snapshot()
-	if st.Evictions != 1 || st.Entries != 2 {
-		t.Errorf("snapshot = %+v", st)
-	}
-}
-
 func TestMethodNotAllowed(t *testing.T) {
 	_, ts := newTestServer(t)
 	resp, err := http.Get(ts.URL + "/v1/reduce")

@@ -43,7 +43,7 @@ func run() (err error) {
 		sizeLo  = flag.Int("size-lo", 3, "minimum edge size")
 		sizeHi  = flag.Int("size-hi", 5, "maximum edge size")
 		p       = flag.Float64("p", 0.1, "G(n,p) edge probability")
-		seed    = flag.Int64("seed", 1, "random seed")
+		seed    = flag.Int64("seed", 1, "random seed (the default shared by cfreduce and psctab)")
 		formatF = flag.String("format", "", "output format: edgelist | dimacs | json (empty = from -out extension, else edgelist)")
 		outFile = flag.String("out", "", "write to this file instead of stdout")
 	)

@@ -1,0 +1,58 @@
+package pslocal
+
+// errors.go exports the typed error taxonomy of the facade so callers
+// branch with errors.Is instead of matching message strings. cmd/cfserve
+// maps these onto HTTP status codes; library callers use them to tell a
+// bad instance from a bad configuration from an abandoned call.
+
+import (
+	"pslocal/internal/core"
+	"pslocal/internal/graphio"
+	"pslocal/internal/maxis"
+	"pslocal/internal/slocal"
+	"pslocal/internal/solver"
+)
+
+var (
+	// ErrCancelled reports a Solver call abandoned through its context.
+	// Errors matching it also match the underlying context.Canceled or
+	// context.DeadlineExceeded under errors.Is.
+	ErrCancelled = solver.ErrCancelled
+	// ErrUnknownOracle reports an oracle name with no registered factory
+	// (WithOracle, LookupOracle, the cfserve oracle query parameter).
+	ErrUnknownOracle = maxis.ErrUnknownOracle
+	// ErrReadInstance reports a SolveReader/MaxISReader body read that
+	// failed before parsing; the cause stays reachable via errors.As.
+	ErrReadInstance = solver.ErrReadInstance
+	// ErrMalformedInput reports instance bytes that do not parse in the
+	// requested (or sniffed) graphio format.
+	ErrMalformedInput = graphio.ErrFormat
+	// ErrDuplicateEdge reports an instance listing the same (hyper)edge
+	// twice — rejected rather than silently merged.
+	ErrDuplicateEdge = graphio.ErrDuplicateEdge
+	// ErrUnsupportedFormat reports a format/substrate combination with no
+	// encoding (hypergraphs have no DIMACS representation).
+	ErrUnsupportedFormat = graphio.ErrUnsupported
+	// ErrUnknownFormat reports an unrecognised format name.
+	ErrUnknownFormat = graphio.ErrUnknownFormat
+	// ErrBadK reports a non-positive palette size.
+	ErrBadK = core.ErrBadK
+	// ErrNoOracle reports reduce options that configure no solving mode.
+	ErrNoOracle = core.ErrNoOracle
+	// ErrOracleNotIndependent reports an oracle that returned a
+	// non-independent set — a contract violation, surfaced rather than
+	// silently miscoloured.
+	ErrOracleNotIndependent = core.ErrOracleNotIndependent
+	// ErrNoProgress reports a reduction phase that made no edge happy.
+	ErrNoProgress = core.ErrNoProgress
+	// ErrPhaseBudget reports a reduction exceeding its phase bound.
+	ErrPhaseBudget = core.ErrPhaseBudget
+	// ErrBudgetExceeded reports an exact solve that ran out of its branch
+	// budget; the returned set is the best found so far.
+	ErrBudgetExceeded = maxis.ErrBudgetExceeded
+	// ErrBadDelta reports a non-positive carving growth slack.
+	ErrBadDelta = slocal.ErrBadDelta
+	// ErrBadOrder reports a processing order that is not a permutation of
+	// the node set.
+	ErrBadOrder = slocal.ErrBadOrder
+)

@@ -4,12 +4,71 @@ package pslocal_test
 // seeds make the outputs stable.
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"strings"
 
 	"pslocal"
 )
+
+// ExampleNewSolver shows the context-first entry point: one Solver
+// configured once carries the palette, oracle, worker pool and seed
+// through every call, and solves both substrates (hypergraph reduction
+// and graph MaxIS) through the same handle.
+func ExampleNewSolver() {
+	rng := rand.New(rand.NewSource(7))
+	h, _, err := pslocal.PlantedCF(60, 24, 3, 3, 5, rng)
+	if err != nil {
+		fmt.Println("generator:", err)
+		return
+	}
+	sv := pslocal.NewSolver(
+		pslocal.WithK(3),
+		pslocal.WithOracle("greedy-mindeg"),
+		pslocal.WithWorkers(0), // GOMAXPROCS, the CLI -workers convention
+	)
+	ctx := context.Background()
+	res, err := sv.Solve(ctx, h)
+	if err != nil {
+		fmt.Println("solve:", err)
+		return
+	}
+	fmt.Println("phases:", len(res.Phases))
+	fmt.Println("verified:", pslocal.VerifyReduction(h, res) == nil)
+
+	is, err := sv.MaxIS(ctx, pslocal.Grid(4, 5))
+	if err != nil {
+		fmt.Println("maxis:", err)
+		return
+	}
+	fmt.Println("|I|:", len(is.Set))
+	// Output:
+	// phases: 1
+	// verified: true
+	// |I|: 10
+}
+
+// ExampleSolver_SolveReader feeds a serialized instance straight into the
+// Solver: the body is cached by content hash, so resubmitting the same
+// bytes skips parsing (the mechanism behind cmd/cfserve's hot-instance
+// path).
+func ExampleSolver_SolveReader() {
+	const doc = `{"type":"hypergraph","n":4,"edges":[[0,1,2],[1,2,3]]}`
+	sv := pslocal.NewSolver(pslocal.WithK(2), pslocal.WithCache(16))
+	ctx := context.Background()
+	for i := 0; i < 2; i++ {
+		res, inst, err := sv.SolveReader(ctx, strings.NewReader(doc), pslocal.FormatAuto)
+		if err != nil {
+			fmt.Println("solve:", err)
+			return
+		}
+		fmt.Printf("run %d: cache hit %v, colours %d\n", i+1, inst.CacheHit, res.TotalColors)
+	}
+	// Output:
+	// run 1: cache hit false, colours 2
+	// run 2: cache hit true, colours 2
+}
 
 // ExampleReduce runs the Theorem 1.1 reduction on a planted instance and
 // verifies the result.

@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -36,8 +37,9 @@ func run() error {
 			return fmt.Errorf("n=%d: dyadic colouring unexpectedly not conflict-free", n)
 		}
 
-		// Paper route: iterated approximate MaxIS on conflict graphs.
-		res, err := pslocal.Reduce(h, pslocal.ReduceOptions{K: 2, Mode: pslocal.ModeImplicitFirstFit})
+		// Paper route: iterated approximate MaxIS on conflict graphs,
+		// through the Solver's scalable implicit-first-fit default.
+		res, err := pslocal.NewSolver(pslocal.WithK(2)).Solve(context.Background(), h)
 		if err != nil {
 			return err
 		}

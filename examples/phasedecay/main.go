@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -33,15 +34,12 @@ func run() error {
 	}
 	// The random-order greedy is the weakest interesting oracle: its
 	// empirical λ drives multiple phases, which is what we want to see.
-	oracle, err := pslocal.LookupOracle("greedy-random", 9)
-	if err != nil {
-		return err
-	}
-	res, err := pslocal.Reduce(h, pslocal.ReduceOptions{
-		K:      2,
-		Mode:   pslocal.ModeOracle,
-		Oracle: oracle,
-	})
+	sv := pslocal.NewSolver(
+		pslocal.WithK(2),
+		pslocal.WithOracle("greedy-random"),
+		pslocal.WithSeed(9),
+	)
+	res, err := sv.Solve(context.Background(), h)
 	if err != nil {
 		return err
 	}

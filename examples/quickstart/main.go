@@ -1,9 +1,11 @@
 // Quickstart: generate a conflict-free-colourable hypergraph, run the
-// paper's Theorem 1.1 reduction with three different MaxIS oracles, and
-// verify that every output is a conflict-free multicolouring.
+// paper's Theorem 1.1 reduction through Solvers configured with four
+// different MaxIS strategies, and verify that every output is a
+// conflict-free multicolouring.
 package main
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"os"
@@ -30,28 +32,23 @@ func run() error {
 	fmt.Printf("instance: %v (planted conflict-free 3-colouring exists: %v)\n",
 		h, pslocal.IsConflictFree(h, planted))
 
-	// Named oracles come from the registry, the same names the -oracle
-	// CLI flags and cfserve query parameters accept.
-	greedy, err := pslocal.LookupOracle("greedy-mindeg", 7)
-	if err != nil {
-		return err
-	}
-	portfolio, err := pslocal.LookupOracle("portfolio:greedy-mindeg,greedy-random,clique-removal", 7)
-	if err != nil {
-		return err
-	}
+	// A Solver is configured once and carries its strategy through every
+	// call; WithOracle takes the same names the -oracle CLI flags and
+	// cfserve query parameters accept, and WithPortfolio races several
+	// registry oracles per phase on the worker pool.
+	ctx := context.Background()
 	configs := []struct {
-		name string
-		opts pslocal.ReduceOptions
+		name   string
+		solver *pslocal.Solver
 	}{
-		{"exact oracle (λ=1)", pslocal.ReduceOptions{K: 3, Mode: pslocal.ModeExactHinted}},
-		{"implicit first-fit", pslocal.ReduceOptions{K: 3, Mode: pslocal.ModeImplicitFirstFit}},
-		{"min-degree greedy", pslocal.ReduceOptions{K: 3, Mode: pslocal.ModeOracle, Oracle: greedy}},
-		{"oracle portfolio", pslocal.ReduceOptions{K: 3, Mode: pslocal.ModeOracle, Oracle: portfolio,
-			Engine: pslocal.ParallelEngine()}},
+		{"exact oracle (λ=1)", pslocal.NewSolver(pslocal.WithK(3), pslocal.WithOracle("exact"))},
+		{"implicit first-fit", pslocal.NewSolver(pslocal.WithK(3))},
+		{"min-degree greedy", pslocal.NewSolver(pslocal.WithK(3), pslocal.WithOracle("greedy-mindeg"))},
+		{"oracle portfolio", pslocal.NewSolver(pslocal.WithK(3), pslocal.WithWorkers(0),
+			pslocal.WithPortfolio("greedy-mindeg", "greedy-random", "clique-removal"))},
 	}
 	for _, cfg := range configs {
-		res, err := pslocal.Reduce(h, cfg.opts)
+		res, err := cfg.solver.Solve(ctx, h)
 		if err != nil {
 			return fmt.Errorf("%s: %w", cfg.name, err)
 		}

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"os"
@@ -40,13 +41,15 @@ func run() error {
 	}
 	fmt.Printf("SLOCAL greedy MIS:        |MIS|=%-4d locality=%d\n", len(smis), sres.Locality)
 
-	// SLOCAL model: ball carving approximates MaxIS, not just MIS.
-	carve, err := pslocal.BallCarvingMaxIS(g, pslocal.CarvingOptions{Delta: 1.0})
+	// SLOCAL model: ball carving approximates MaxIS, not just MIS. The
+	// carving runs behind the Solver handle, which budgets the per-ball
+	// exact solves and admits a cancellation context.
+	carve, err := pslocal.NewSolver(pslocal.WithCarving(1.0)).MaxIS(context.Background(), g)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("SLOCAL ball carving (δ=1): |IS|=%-4d locality=%d (bound %d) regions=%d\n",
-		len(carve.Set), carve.Locality, carve.RadiusBound, len(carve.Regions))
+	fmt.Printf("SLOCAL ball carving (δ=1): |IS|=%-4d locality=%d (bound %d)\n",
+		len(carve.Set), carve.Locality, carve.RadiusBound)
 
 	for name, set := range map[string][]int32{"luby": mis, "greedy": smis, "carving": carve.Set} {
 		if err := pslocal.VerifyIndependentSet(g, set); err != nil {

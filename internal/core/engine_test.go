@@ -148,11 +148,11 @@ func TestReduceEngineParityAndCancellation(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, mode := range []Mode{ModeImplicitFirstFit, ModeExactHinted} {
-		serial, err := Reduce(h, Options{K: 2, Mode: mode})
+		serial, err := Reduce(nil, h, Options{K: 2, Mode: mode})
 		if err != nil {
 			t.Fatalf("mode %d serial: %v", mode, err)
 		}
-		parallel, err := Reduce(h, Options{K: 2, Mode: mode, Engine: engine.Options{Workers: 4}})
+		parallel, err := Reduce(nil, h, Options{K: 2, Mode: mode, Engine: engine.Options{Workers: 4}})
 		if err != nil {
 			t.Fatalf("mode %d parallel: %v", mode, err)
 		}
@@ -169,7 +169,7 @@ func TestReduceEngineParityAndCancellation(t *testing.T) {
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	_, err = Reduce(h, Options{K: 2, Mode: ModeImplicitFirstFit, Engine: engine.Options{Ctx: ctx}})
+	_, err = Reduce(nil, h, Options{K: 2, Mode: ModeImplicitFirstFit, Engine: engine.Options{Ctx: ctx}})
 	if !errors.Is(err, context.Canceled) {
 		t.Errorf("cancelled Reduce err = %v, want context.Canceled", err)
 	}

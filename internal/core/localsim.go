@@ -11,6 +11,7 @@ package core
 // distributed (randomized) version of the Theorem 1.1 pipeline.
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -257,7 +258,8 @@ type LocalResult struct {
 // polylog-phase guarantee (the paper's point: a LOCAL MIS is *not* known
 // to give a MaxIS approximation), and the phase count is an empirical
 // observation the experiments record.
-func ReduceLocalRandomized(h *hypergraph.Hypergraph, k int, seed int64) (*LocalResult, error) {
+// A non-nil ctx cancels cooperatively between phases.
+func ReduceLocalRandomized(ctx context.Context, h *hypergraph.Hypergraph, k int, seed int64) (*LocalResult, error) {
 	if k < 1 {
 		return nil, fmt.Errorf("%w: %d", ErrBadK, k)
 	}
@@ -270,6 +272,11 @@ func ReduceLocalRandomized(h *hypergraph.Hypergraph, k int, seed int64) (*LocalR
 	for phase := 1; cur.M() > 0; phase++ {
 		if phase > maxPhases {
 			return nil, fmt.Errorf("%w: %d phases", ErrPhaseBudget, maxPhases)
+		}
+		if ctx != nil {
+			if err := ctx.Err(); err != nil {
+				return nil, fmt.Errorf("core: local phase %d: %w", phase, err)
+			}
 		}
 		ix, err := NewIndex(cur, k)
 		if err != nil {

@@ -127,7 +127,7 @@ func TestReduceLocalRandomized(t *testing.T) {
 		if err != nil {
 			t.Fatalf("generator: %v", err)
 		}
-		res, err := ReduceLocalRandomized(h, 2, int64(trial))
+		res, err := ReduceLocalRandomized(nil, h, 2, int64(trial))
 		if err != nil {
 			t.Fatalf("trial %d: %v", trial, err)
 		}
@@ -155,14 +155,14 @@ func TestReduceLocalRandomized(t *testing.T) {
 
 func TestReduceLocalRandomizedErrors(t *testing.T) {
 	h := hypergraph.MustNew(2, [][]int32{{0, 1}})
-	if _, err := ReduceLocalRandomized(h, 0, 1); err == nil {
+	if _, err := ReduceLocalRandomized(nil, h, 0, 1); err == nil {
 		t.Error("k=0 accepted")
 	}
 }
 
 func TestReduceLocalRandomizedEmptyHypergraph(t *testing.T) {
 	h := hypergraph.MustNew(3, nil)
-	res, err := ReduceLocalRandomized(h, 2, 1)
+	res, err := ReduceLocalRandomized(nil, h, 2, 1)
 	if err != nil {
 		t.Fatalf("error: %v", err)
 	}

@@ -11,6 +11,7 @@ package core
 // phases with k·ρ total colours.
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -106,8 +107,15 @@ func PhaseBound(lambda float64, m int) int {
 	return int(math.Ceil(lambda*math.Log(float64(m)))) + 1
 }
 
-// Reduce runs the Theorem 1.1 reduction on h.
-func Reduce(h *hypergraph.Hypergraph, opts Options) (*Result, error) {
+// Reduce runs the Theorem 1.1 reduction on h. A non-nil ctx cancels
+// cooperatively — between phases, between construction shards, and inside
+// the exact and portfolio solvers — and takes precedence over
+// opts.Engine.Ctx; a nil ctx leaves opts.Engine.Ctx in charge (never
+// cancelled when that is nil too).
+func Reduce(ctx context.Context, h *hypergraph.Hypergraph, opts Options) (*Result, error) {
+	if ctx != nil {
+		opts.Engine.Ctx = ctx
+	}
 	if opts.K < 1 {
 		return nil, fmt.Errorf("%w: %d", ErrBadK, opts.K)
 	}
@@ -206,9 +214,9 @@ func solvePhase(ix *Index, opts Options, ff *FirstFitScratch) ([]Triple, int, er
 	var ids []int32
 	switch opts.Mode {
 	case ModeExactHinted:
-		ids, err = maxis.ExactOpts(g, maxis.ExactOptions{CliqueHint: ix.EdgeCliqueHint()})
+		ids, err = maxis.ExactOpts(g, maxis.ExactOptions{CliqueHint: ix.EdgeCliqueHint(), Ctx: opts.Engine.Ctx})
 	case ModeOracle:
-		ids, err = opts.Oracle.Solve(g)
+		ids, err = maxis.OracleSolve(opts.Engine.Ctx, opts.Oracle, g)
 	}
 	if err != nil {
 		return nil, 0, err

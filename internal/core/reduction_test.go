@@ -24,7 +24,7 @@ func TestReduceExactSinglePhaseOnPlanted(t *testing.T) {
 		if err != nil {
 			t.Fatalf("PlantedCF error: %v", err)
 		}
-		res, err := Reduce(h, Options{K: k, Mode: ModeExactHinted})
+		res, err := Reduce(nil, h, Options{K: k, Mode: ModeExactHinted})
 		if err != nil {
 			t.Fatalf("Reduce error: %v", err)
 		}
@@ -61,7 +61,7 @@ func TestReduceAllModesProduceConflictFreeMulticolorings(t *testing.T) {
 		for _, base := range oracles {
 			opts := base
 			opts.K = k
-			res, err := Reduce(h, opts)
+			res, err := Reduce(nil, h, opts)
 			if err != nil {
 				t.Fatalf("trial %d mode %d: %v", trial, opts.Mode, err)
 			}
@@ -88,7 +88,7 @@ func TestReducePhaseInvariants(t *testing.T) {
 	if err != nil {
 		t.Fatalf("PlantedCF error: %v", err)
 	}
-	res, err := Reduce(h, Options{K: 3, Mode: ModeImplicitFirstFit})
+	res, err := Reduce(nil, h, Options{K: 3, Mode: ModeImplicitFirstFit})
 	if err != nil {
 		t.Fatalf("Reduce error: %v", err)
 	}
@@ -129,7 +129,7 @@ func TestReduceGreedyPhaseBoundLooseEnvelope(t *testing.T) {
 	if err != nil {
 		t.Fatalf("PlantedCF error: %v", err)
 	}
-	res, err := Reduce(h, Options{K: 3, Mode: ModeImplicitFirstFit})
+	res, err := Reduce(nil, h, Options{K: 3, Mode: ModeImplicitFirstFit})
 	if err != nil {
 		t.Fatalf("Reduce error: %v", err)
 	}
@@ -151,7 +151,7 @@ func TestReduceUniformNonPlanted(t *testing.T) {
 	if err != nil {
 		t.Fatalf("Uniform error: %v", err)
 	}
-	res, err := Reduce(h, Options{K: 2, Mode: ModeImplicitFirstFit})
+	res, err := Reduce(nil, h, Options{K: 2, Mode: ModeImplicitFirstFit})
 	if err != nil {
 		t.Fatalf("Reduce error: %v", err)
 	}
@@ -162,7 +162,7 @@ func TestReduceUniformNonPlanted(t *testing.T) {
 
 func TestReduceSingletonEdges(t *testing.T) {
 	h := hypergraph.MustNew(2, [][]int32{{0}, {0}, {1}})
-	res, err := Reduce(h, Options{K: 1, Mode: ModeExactHinted})
+	res, err := Reduce(nil, h, Options{K: 1, Mode: ModeExactHinted})
 	if err != nil {
 		t.Fatalf("Reduce error: %v", err)
 	}
@@ -176,7 +176,7 @@ func TestReduceSingletonEdges(t *testing.T) {
 
 func TestReduceEmptyHypergraph(t *testing.T) {
 	h := hypergraph.MustNew(5, nil)
-	res, err := Reduce(h, Options{K: 2, Mode: ModeExactHinted})
+	res, err := Reduce(nil, h, Options{K: 2, Mode: ModeExactHinted})
 	if err != nil {
 		t.Fatalf("Reduce error: %v", err)
 	}
@@ -187,13 +187,13 @@ func TestReduceEmptyHypergraph(t *testing.T) {
 
 func TestReduceOptionErrors(t *testing.T) {
 	h := hypergraph.MustNew(2, [][]int32{{0, 1}})
-	if _, err := Reduce(h, Options{K: 0, Mode: ModeExactHinted}); !errors.Is(err, ErrBadK) {
+	if _, err := Reduce(nil, h, Options{K: 0, Mode: ModeExactHinted}); !errors.Is(err, ErrBadK) {
 		t.Errorf("K=0 error = %v, want ErrBadK", err)
 	}
-	if _, err := Reduce(h, Options{K: 2, Mode: ModeOracle}); !errors.Is(err, ErrNoOracle) {
+	if _, err := Reduce(nil, h, Options{K: 2, Mode: ModeOracle}); !errors.Is(err, ErrNoOracle) {
 		t.Errorf("no oracle error = %v, want ErrNoOracle", err)
 	}
-	if _, err := Reduce(h, Options{K: 2, Mode: 0}); !errors.Is(err, ErrNoOracle) {
+	if _, err := Reduce(nil, h, Options{K: 2, Mode: 0}); !errors.Is(err, ErrNoOracle) {
 		t.Errorf("bad mode error = %v, want ErrNoOracle", err)
 	}
 }
@@ -218,10 +218,10 @@ func (brokenOracle) Solve(g *graph.Graph) ([]int32, error) {
 
 func TestReduceBrokenOracles(t *testing.T) {
 	h := hypergraph.MustNew(3, [][]int32{{0, 1}, {1, 2}})
-	if _, err := Reduce(h, Options{K: 2, Mode: ModeOracle, Oracle: emptyOracle{}}); !errors.Is(err, ErrNoProgress) {
+	if _, err := Reduce(nil, h, Options{K: 2, Mode: ModeOracle, Oracle: emptyOracle{}}); !errors.Is(err, ErrNoProgress) {
 		t.Errorf("empty oracle error = %v, want ErrNoProgress", err)
 	}
-	if _, err := Reduce(h, Options{K: 2, Mode: ModeOracle, Oracle: brokenOracle{}}); !errors.Is(err, ErrOracleNotIndependent) {
+	if _, err := Reduce(nil, h, Options{K: 2, Mode: ModeOracle, Oracle: brokenOracle{}}); !errors.Is(err, ErrOracleNotIndependent) {
 		t.Errorf("broken oracle error = %v, want ErrOracleNotIndependent", err)
 	}
 }
@@ -247,7 +247,7 @@ func TestReduceForwardsEngineToSetterOracles(t *testing.T) {
 	}
 	rec := &engineRecordingOracle{Oracle: maxis.MinDegreeOracle{}}
 	eng := engine.Options{Workers: 3}
-	if _, err := Reduce(h, Options{K: 2, Mode: ModeOracle, Oracle: rec, Engine: eng}); err != nil {
+	if _, err := Reduce(nil, h, Options{K: 2, Mode: ModeOracle, Oracle: rec, Engine: eng}); err != nil {
 		t.Fatalf("Reduce error: %v", err)
 	}
 	if !rec.received || rec.got.Workers != 3 {
@@ -257,7 +257,7 @@ func TestReduceForwardsEngineToSetterOracles(t *testing.T) {
 	// The zero engine is NOT forwarded: a pre-configured oracle keeps its
 	// own options instead of being downgraded to serial.
 	rec2 := &engineRecordingOracle{Oracle: maxis.MinDegreeOracle{}}
-	if _, err := Reduce(h, Options{K: 2, Mode: ModeOracle, Oracle: rec2}); err != nil {
+	if _, err := Reduce(nil, h, Options{K: 2, Mode: ModeOracle, Oracle: rec2}); err != nil {
 		t.Fatalf("Reduce error: %v", err)
 	}
 	if rec2.received {
@@ -279,7 +279,7 @@ func TestReducePortfolioMatchesRegistryMembers(t *testing.T) {
 	if err != nil {
 		t.Fatalf("lookup: %v", err)
 	}
-	res, err := Reduce(h, Options{K: 2, Mode: ModeOracle, Oracle: po, Engine: engine.Parallel()})
+	res, err := Reduce(nil, h, Options{K: 2, Mode: ModeOracle, Oracle: po, Engine: engine.Parallel()})
 	if err != nil {
 		t.Fatalf("portfolio Reduce error: %v", err)
 	}
@@ -292,7 +292,7 @@ func TestReducePortfolioMatchesRegistryMembers(t *testing.T) {
 		if err != nil {
 			t.Fatalf("lookup %s: %v", name, err)
 		}
-		mres, err := Reduce(h, Options{K: 2, Mode: ModeOracle, Oracle: member})
+		mres, err := Reduce(nil, h, Options{K: 2, Mode: ModeOracle, Oracle: member})
 		if err != nil {
 			t.Fatalf("%s Reduce error: %v", name, err)
 		}

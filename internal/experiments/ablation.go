@@ -36,11 +36,11 @@ func A1ImplicitVsExplicit(cfg Config) (*Table, error) {
 		if err != nil {
 			return nil, fmt.Errorf("experiments: A1 generator: %w", err)
 		}
-		impl, err := core.Reduce(h, core.Options{K: k, Mode: core.ModeImplicitFirstFit, Engine: cfg.Engine})
+		impl, err := core.Reduce(nil, h, core.Options{K: k, Mode: core.ModeImplicitFirstFit, Engine: cfg.Engine})
 		if err != nil {
 			return nil, fmt.Errorf("experiments: A1 implicit: %w", err)
 		}
-		expl, err := core.Reduce(h, core.Options{K: k, Mode: core.ModeOracle, Oracle: maxis.FirstFitOracle{}, Engine: cfg.Engine})
+		expl, err := core.Reduce(nil, h, core.Options{K: k, Mode: core.ModeOracle, Oracle: maxis.FirstFitOracle{}, Engine: cfg.Engine})
 		if err != nil {
 			return nil, fmt.Errorf("experiments: A1 explicit: %w", err)
 		}
@@ -131,7 +131,7 @@ func A3OrderSensitivity(cfg Config) (*Table, error) {
 	}
 	var firstErr error
 	for trial := 0; trial < trials; trial++ {
-		res, err := core.Reduce(h, core.Options{
+		res, err := core.Reduce(nil, h, core.Options{
 			K:    3,
 			Mode: core.ModeOracle, Oracle: &maxis.RandomOrderOracle{Seed: cfg.Seed + int64(trial)},
 			Engine: cfg.Engine,

@@ -235,7 +235,7 @@ func E4PhaseDecay(cfg Config) (*Table, error) {
 	for _, mode := range modes {
 		opts := mode.opts
 		opts.K = k
-		res, err := core.Reduce(h, opts)
+		res, err := core.Reduce(nil, h, opts)
 		if err != nil {
 			return nil, fmt.Errorf("experiments: E4 %s: %w", mode.name, err)
 		}
@@ -290,7 +290,7 @@ func E5ColorBudget(cfg Config) (*Table, error) {
 	for _, mode := range modes {
 		opts := mode.opts
 		opts.K = k
-		res, err := core.Reduce(h, opts)
+		res, err := core.Reduce(nil, h, opts)
 		if err != nil {
 			return nil, fmt.Errorf("experiments: E5 %s: %w", mode.name, err)
 		}
@@ -548,7 +548,7 @@ func E10IntervalCF(cfg Config) (*Table, error) {
 		dyadicOK := verify.ConflictFree(h, dyadic) == nil
 		logBound := int(math.Ceil(math.Log2(float64(n + 1))))
 
-		res, err := core.Reduce(h, core.Options{K: 2, Mode: core.ModeImplicitFirstFit, Engine: cfg.Engine})
+		res, err := core.Reduce(nil, h, core.Options{K: 2, Mode: core.ModeImplicitFirstFit, Engine: cfg.Engine})
 		if err != nil {
 			return nil, fmt.Errorf("experiments: E10 reduce: %w", err)
 		}

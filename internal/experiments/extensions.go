@@ -45,7 +45,7 @@ func E11DistributedPipeline(cfg Config) (*Table, error) {
 		if err != nil {
 			return nil, fmt.Errorf("experiments: E11 generator: %w", err)
 		}
-		res, err := core.ReduceLocalRandomized(h, k, cfg.Seed+int64(m))
+		res, err := core.ReduceLocalRandomized(cfg.Engine.Ctx, h, k, cfg.Seed+int64(m))
 		if err != nil {
 			return nil, fmt.Errorf("experiments: E11 pipeline: %w", err)
 		}

@@ -36,7 +36,7 @@ func F1DecayCurve(cfg Config) (*Table, error) {
 	if err != nil {
 		return nil, fmt.Errorf("experiments: F1 generator: %w", err)
 	}
-	res, err := core.Reduce(h, core.Options{
+	res, err := core.Reduce(nil, h, core.Options{
 		K:    2,
 		Mode: core.ModeOracle, Oracle: &maxis.RandomOrderOracle{Seed: cfg.Seed + 5},
 		Engine: cfg.Engine,

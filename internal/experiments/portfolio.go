@@ -69,7 +69,7 @@ func E13PortfolioPhases(cfg Config) (*Table, error) {
 		if err != nil {
 			return nil, fmt.Errorf("experiments: E13 member %q: %w", mn, err)
 		}
-		res, err := core.Reduce(h, core.Options{K: k, Mode: core.ModeOracle, Oracle: o, Engine: cfg.Engine})
+		res, err := core.Reduce(nil, h, core.Options{K: k, Mode: core.ModeOracle, Oracle: o, Engine: cfg.Engine})
 		if err != nil {
 			return nil, fmt.Errorf("experiments: E13 %s: %w", mn, err)
 		}
@@ -88,7 +88,7 @@ func E13PortfolioPhases(cfg Config) (*Table, error) {
 	if err != nil {
 		return nil, fmt.Errorf("experiments: E13 portfolio: %w", err)
 	}
-	res, err := core.Reduce(h, core.Options{K: k, Mode: core.ModeOracle, Oracle: po, Engine: cfg.Engine})
+	res, err := core.Reduce(nil, h, core.Options{K: k, Mode: core.ModeOracle, Oracle: po, Engine: cfg.Engine})
 	if err != nil {
 		return nil, fmt.Errorf("experiments: E13 portfolio run: %w", err)
 	}

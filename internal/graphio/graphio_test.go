@@ -331,7 +331,7 @@ func TestResultRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := core.Reduce(h, core.Options{K: 3, Mode: core.ModeImplicitFirstFit})
+	res, err := core.Reduce(nil, h, core.Options{K: 3, Mode: core.ModeImplicitFirstFit})
 	if err != nil {
 		t.Fatal(err)
 	}

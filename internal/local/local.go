@@ -9,6 +9,7 @@
 package local
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -95,6 +96,9 @@ type Factory func(v int32, view NodeView) Program
 type Options struct {
 	// MaxRounds bounds the simulation; 0 means the default of 4·(n + 16).
 	MaxRounds int
+	// Ctx cancels the simulation cooperatively: it is checked between
+	// synchronous rounds. Nil never cancels.
+	Ctx context.Context
 }
 
 // Result reports a completed run.
@@ -132,6 +136,11 @@ func Run(g *graph.Graph, factory Factory, opts Options) (*Result, error) {
 		return res, nil
 	}
 	for round := 1; round <= maxRounds; round++ {
+		if opts.Ctx != nil {
+			if err := opts.Ctx.Err(); err != nil {
+				return res, fmt.Errorf("local: run cancelled at round %d: %w", round, err)
+			}
+		}
 		res.Rounds = round
 		outboxes := make([]*Outbox, n)
 		for v := 0; v < n; v++ {

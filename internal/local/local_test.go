@@ -1,6 +1,7 @@
 package local
 
 import (
+	"context"
 	"errors"
 	"math"
 	"math/rand"
@@ -248,5 +249,17 @@ func TestOutboxPayloadResolution(t *testing.T) {
 	}
 	if p, _ := o.payloadFor(4); p != "b" {
 		t.Error("other neighbours still get the broadcast")
+	}
+}
+
+// TestRunCtxCancellation pins Options.Ctx: a cancelled context stops the
+// synchronous-round loop between rounds.
+func TestRunCtxCancellation(t *testing.T) {
+	g := graph.Cycle(64)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, _, err := LubyMIS(g, 1, Options{Ctx: ctx})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error = %v, want context.Canceled", err)
 	}
 }

@@ -12,6 +12,7 @@ package maxis
 //     the graphs the reduction produces.
 
 import (
+	"context"
 	"fmt"
 
 	"pslocal/internal/graph"
@@ -28,7 +29,16 @@ type ExactOptions struct {
 	// exceeded, Solve returns the best set found so far together with
 	// ErrBudgetExceeded.
 	MaxBranchNodes int64
+	// Ctx cancels the search cooperatively: it is polled every
+	// ctxPollInterval branch nodes and the search returns ctx's error with
+	// the best set found so far. Nil never cancels.
+	Ctx context.Context
 }
+
+// ctxPollInterval is how many branch nodes pass between context polls: a
+// power of two so the check compiles to a mask, frequent enough that
+// cancellation lands within microseconds on dense inputs.
+const ctxPollInterval = 1024
 
 // Exact returns a maximum independent set of g using default options.
 func Exact(g *graph.Graph) ([]int32, error) {
@@ -56,6 +66,7 @@ func ExactOpts(g *graph.Graph, opts ExactOptions) ([]int32, error) {
 		n:      n,
 		adj:    make([]bitset, n),
 		budget: opts.MaxBranchNodes,
+		ctx:    opts.Ctx,
 	}
 	for v := 0; v < n; v++ {
 		row := newBitset(n)
@@ -81,6 +92,9 @@ func ExactOpts(g *graph.Graph, opts ExactOptions) ([]int32, error) {
 	s.scratch = newBitset(n)
 	s.solve(active)
 	sortNodes(s.best)
+	if s.ctxErr != nil {
+		return s.best, s.ctxErr
+	}
 	if s.exceeded {
 		return s.best, ErrBudgetExceeded
 	}
@@ -132,6 +146,9 @@ type exactState struct {
 	cur       []int32
 	budget    int64 // remaining branch nodes; <= 0 with budgeted=true means stop
 	exceeded  bool
+	ctx       context.Context
+	ctxTick   int64 // branch nodes since the last context poll
+	ctxErr    error
 	hint      []int32
 	hintStamp []int64
 	hintGen   int64
@@ -142,8 +159,17 @@ type exactState struct {
 // solve explores the branch rooted at the given active set. It owns
 // `active` (callers pass clones) and restores s.cur before returning.
 func (s *exactState) solve(active bitset) {
-	if s.exceeded {
+	if s.exceeded || s.ctxErr != nil {
 		return
+	}
+	if s.ctx != nil {
+		s.ctxTick++
+		if s.ctxTick&(ctxPollInterval-1) == 0 {
+			if err := s.ctx.Err(); err != nil {
+				s.ctxErr = err
+				return
+			}
+		}
 	}
 	if s.budget != 0 {
 		s.budget--

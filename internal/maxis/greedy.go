@@ -5,6 +5,7 @@ package maxis
 // paper's introduction, run centrally), and random-permutation greedy.
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -190,4 +191,15 @@ func (ExactOracle) Name() string { return "exact" }
 // Solve implements Oracle.
 func (o ExactOracle) Solve(g *graph.Graph) ([]int32, error) {
 	return ExactOpts(g, o.Options)
+}
+
+// SolveContext implements ContextSolver: the branch-and-bound polls ctx
+// and returns its error (with the best set so far) soon after
+// cancellation. An explicit Options.Ctx wins over ctx.
+func (o ExactOracle) SolveContext(ctx context.Context, g *graph.Graph) ([]int32, error) {
+	opts := o.Options
+	if opts.Ctx == nil {
+		opts.Ctx = ctx
+	}
+	return ExactOpts(g, opts)
 }

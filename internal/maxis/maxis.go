@@ -8,6 +8,7 @@
 package maxis
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -34,6 +35,31 @@ type Oracle interface {
 	Name() string
 	// Solve returns an independent set of g.
 	Solve(g *graph.Graph) ([]int32, error)
+}
+
+// ContextSolver is implemented by oracles whose Solve supports cooperative
+// cancellation (the exact branch-and-bound, the portfolio). OracleSolve
+// prefers this interface when the caller carries a context.
+type ContextSolver interface {
+	// SolveContext is Solve observing ctx: a long-running search returns
+	// ctx.Err() (possibly wrapped) soon after cancellation.
+	SolveContext(ctx context.Context, g *graph.Graph) ([]int32, error)
+}
+
+// OracleSolve runs o on g under ctx: a ContextSolver solves with
+// cooperative cancellation, any other oracle gets a cancellation check
+// before it starts. A nil ctx never cancels.
+func OracleSolve(ctx context.Context, o Oracle, g *graph.Graph) ([]int32, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if cs, ok := o.(ContextSolver); ok {
+		return cs.SolveContext(ctx, g)
+	}
+	return o.Solve(g)
 }
 
 // IsIndependentSet reports whether nodes is an independent set of g

@@ -9,6 +9,7 @@ package maxis
 // the best member's rate on every phase.
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -75,16 +76,32 @@ func (p *Portfolio) SetEngine(opts engine.Options) { p.eng = opts }
 // engine options select more than one worker), and the largest returned
 // set wins. The first member error aborts the portfolio.
 func (p *Portfolio) Solve(g *graph.Graph) ([]int32, error) {
+	return p.solve(p.eng, g)
+}
+
+// SolveContext implements ContextSolver: the race runs under ctx (an
+// explicit SetEngine context wins) and ctx-aware members cancel
+// cooperatively mid-solve.
+func (p *Portfolio) SolveContext(ctx context.Context, g *graph.Graph) ([]int32, error) {
+	eng := p.eng
+	if eng.Ctx == nil {
+		eng.Ctx = ctx
+	}
+	return p.solve(eng, g)
+}
+
+// solve races the members on eng's pool.
+func (p *Portfolio) solve(eng engine.Options, g *graph.Graph) ([]int32, error) {
 	if len(p.members) == 1 {
-		return p.members[0].Solve(g)
+		return OracleSolve(eng.Ctx, p.members[0], g)
 	}
 	results := make([][]int32, len(p.members))
-	err := p.eng.ForEachShard(len(p.members), func(_ int, s engine.Shard) error {
+	err := eng.ForEachShard(len(p.members), func(_ int, s engine.Shard) error {
 		for i := s.Lo; i < s.Hi; i++ {
-			if err := p.eng.Err(); err != nil {
+			if err := eng.Err(); err != nil {
 				return err
 			}
-			set, err := p.members[i].Solve(g)
+			set, err := OracleSolve(eng.Ctx, p.members[i], g)
 			if err != nil {
 				return fmt.Errorf("maxis: portfolio member %s: %w", p.members[i].Name(), err)
 			}

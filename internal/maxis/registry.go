@@ -6,11 +6,17 @@ package maxis
 // configuration instead of compile-time wiring.
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
 	"sync"
 )
+
+// ErrUnknownOracle reports a Lookup name with no registered factory;
+// callers branch on it with errors.Is instead of matching the message
+// (cmd/cfserve maps it to HTTP 400).
+var ErrUnknownOracle = errors.New("maxis: unknown oracle")
 
 // portfolioPrefix introduces composite oracle names: "portfolio:<a>,<b>"
 // resolves to a Portfolio racing the named members.
@@ -68,7 +74,7 @@ func Lookup(name string, seed int64) (Oracle, error) {
 	f, ok := registry.factories[name]
 	registry.RUnlock()
 	if !ok {
-		return nil, fmt.Errorf("maxis: unknown oracle %q (registered: %v)", name, Names())
+		return nil, fmt.Errorf("%w: %q (registered: %v)", ErrUnknownOracle, name, Names())
 	}
 	return f(seed), nil
 }

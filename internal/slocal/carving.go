@@ -25,6 +25,7 @@ package slocal
 // and is documented in DESIGN.md.)
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -49,6 +50,10 @@ type CarvingOptions struct {
 	Inner InnerSolver
 	// Order is the processing order; nil selects the identity order.
 	Order []int32
+	// Ctx cancels the run cooperatively: it is checked before every carve
+	// and threaded into the default exact inner solver, so an abandoned
+	// run stops within one ball. Nil never cancels.
+	Ctx context.Context
 }
 
 // Region describes one carved region.
@@ -88,7 +93,13 @@ func BallCarvingMaxIS(g *graph.Graph, opts CarvingOptions) (*CarvingResult, erro
 	}
 	inner := opts.Inner
 	if inner == nil {
-		inner = maxis.Exact
+		if ctx := opts.Ctx; ctx != nil {
+			inner = func(g *graph.Graph) ([]int32, error) {
+				return maxis.ExactOpts(g, maxis.ExactOptions{Ctx: ctx})
+			}
+		} else {
+			inner = maxis.Exact
+		}
 	}
 	order := opts.Order
 	if order == nil {
@@ -108,6 +119,11 @@ func BallCarvingMaxIS(g *graph.Graph, opts CarvingOptions) (*CarvingResult, erro
 	for _, v := range order {
 		if !avail[v] {
 			continue
+		}
+		if opts.Ctx != nil {
+			if err := opts.Ctx.Err(); err != nil {
+				return nil, fmt.Errorf("slocal: carving cancelled: %w", err)
+			}
 		}
 		region, err := carveOne(g, v, avail, mk, delta, inner)
 		if err != nil {

@@ -17,6 +17,7 @@
 package slocal
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -213,6 +214,13 @@ type Result struct {
 // instead of a fresh BFS map per processed node; the *View handed to proc
 // must not be retained past the call.
 func Run(g *graph.Graph, order []int32, proc Process) (*Result, error) {
+	return RunCtx(nil, g, order, proc)
+}
+
+// RunCtx is Run with cooperative cancellation: ctx is checked before every
+// processed node, so an abandoned simulation stops within one Process
+// call. A nil ctx never cancels.
+func RunCtx(ctx context.Context, g *graph.Graph, order []int32, proc Process) (*Result, error) {
 	if err := checkPermutation(g.N(), order); err != nil {
 		return nil, err
 	}
@@ -224,6 +232,11 @@ func Run(g *graph.Graph, order []int32, proc Process) (*Result, error) {
 	scratch := newViewScratch(g.N())
 	var view *View
 	for _, v := range order {
+		if ctx != nil {
+			if err := ctx.Err(); err != nil {
+				return nil, fmt.Errorf("slocal: run cancelled at node %d: %w", v, err)
+			}
+		}
 		if view == nil {
 			view = newView(g, v, states, scratch)
 		} else {

@@ -1,6 +1,7 @@
 package slocal
 
 import (
+	"context"
 	"errors"
 	"math/rand"
 	"testing"
@@ -322,5 +323,43 @@ func TestGreedyColouringProperAndBounded(t *testing.T) {
 		if res.Locality > 1 {
 			t.Errorf("trial %d: locality %d, want <= 1", trial, res.Locality)
 		}
+	}
+}
+
+// TestRunCtxCancellation pins the simulator's cooperative cancellation:
+// a context cancelled mid-order stops the run at the next node, and a
+// pre-cancelled context processes nothing.
+func TestRunCtxCancellation(t *testing.T) {
+	g := graph.Cycle(50)
+	ctx, cancel := context.WithCancel(context.Background())
+	processed := 0
+	_, err := RunCtx(ctx, g, IdentityOrder(g.N()), func(v int32, view *View) any {
+		processed++
+		if processed == 10 {
+			cancel()
+		}
+		return true
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error = %v, want context.Canceled", err)
+	}
+	if processed != 10 {
+		t.Errorf("processed %d nodes after cancellation, want 10", processed)
+	}
+
+	pre, precancel := context.WithCancel(context.Background())
+	precancel()
+	if _, err := RunCtx(pre, g, IdentityOrder(g.N()), func(int32, *View) any { return true }); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-cancelled error = %v, want context.Canceled", err)
+	}
+}
+
+// TestCarvingCtxCancellation checks CarvingOptions.Ctx stops the carve
+// loop between balls.
+func TestCarvingCtxCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := BallCarvingMaxIS(graph.Cycle(20), CarvingOptions{Ctx: ctx}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("error = %v, want context.Canceled", err)
 	}
 }

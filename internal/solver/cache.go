@@ -1,13 +1,15 @@
-package main
+package solver
 
-// cache.go implements the instance cache: parsed graphs and hypergraphs
-// keyed by a content hash of the raw request body, so repeated
-// submissions of a hot instance skip parsing and CSR construction
-// entirely. Instances are immutable after construction (see
+// cache.go implements the Solver's instance cache: parsed graphs and
+// hypergraphs keyed by a content hash of the raw instance bytes, so
+// repeated submissions of a hot instance skip parsing and CSR
+// construction entirely. The cache moved here from cmd/cfserve so every
+// Solver owner — the HTTP service, the CLIs, library callers — shares one
+// implementation. Instances are immutable after construction (see
 // internal/graph and internal/hypergraph), which is what makes handing
 // the same parsed value to concurrent requests safe. Eviction is plain
-// LRU over an entry-count bound; DESIGN.md ("Reduction service") records
-// the keying and eviction rationale.
+// LRU over an entry-count bound; DESIGN.md ("Solver and instance cache")
+// records the keying and eviction rationale.
 
 import (
 	"container/list"
@@ -16,7 +18,7 @@ import (
 	"sync"
 )
 
-// cacheKey derives the cache key for a request body: the substrate kind
+// cacheKey derives the cache key for an instance body: the substrate kind
 // and requested format are part of the key because the same bytes could
 // in principle parse differently under different format directives.
 func cacheKey(kind, format string, body []byte) string {
@@ -93,8 +95,10 @@ func (c *instanceCache) put(key string, val any) {
 	}
 }
 
-// cacheStats is the /statz snapshot of the cache.
-type cacheStats struct {
+// CacheStats is a point-in-time snapshot of the Solver's instance cache;
+// cmd/cfserve embeds it verbatim in its /statz response, hence the JSON
+// tags.
+type CacheStats struct {
 	Capacity  int    `json:"capacity"`
 	Entries   int    `json:"entries"`
 	Hits      uint64 `json:"hits"`
@@ -103,10 +107,10 @@ type cacheStats struct {
 }
 
 // snapshot returns a consistent view of the cache counters.
-func (c *instanceCache) snapshot() cacheStats {
+func (c *instanceCache) snapshot() CacheStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return cacheStats{
+	return CacheStats{
 		Capacity:  c.capacity,
 		Entries:   c.order.Len(),
 		Hits:      c.hits,

@@ -1,0 +1,541 @@
+// Package solver implements the context-first entry point of the
+// repository: a Solver constructed once via functional options that owns
+// the execution engine configuration, the oracle selection, a bounded
+// admission gate, and a content-hash-keyed cache of parsed instances.
+// Every method takes a per-call context.Context and cancels
+// cooperatively; cancellation surfaces as ErrCancelled.
+//
+// The Solver is what the public facade re-exports as pslocal.Solver and
+// what cmd/cfserve serves requests through; the previous flat facade
+// functions remain as deprecated wrappers. DESIGN.md ("Solver and
+// instance cache") records the design.
+package solver
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+
+	"pslocal/internal/core"
+	"pslocal/internal/engine"
+	"pslocal/internal/graph"
+	"pslocal/internal/graphio"
+	"pslocal/internal/hypergraph"
+	"pslocal/internal/maxis"
+	"pslocal/internal/slocal"
+)
+
+// ErrCancelled reports a solve abandoned through its context. Errors
+// returned by Solver methods after a cancellation match both ErrCancelled
+// and the underlying context error under errors.Is.
+var ErrCancelled = errors.New("solver: solve cancelled")
+
+// ErrReadInstance reports that SolveReader/MaxISReader failed reading the
+// instance bytes (as opposed to parsing them): the cause — an
+// http.MaxBytesError, a broken pipe — stays reachable through
+// errors.As/Is, and cmd/cfserve maps it to a client-side status.
+var ErrReadInstance = errors.New("solver: reading instance")
+
+// cancelledError tags a context failure with ErrCancelled while keeping
+// the original cause (context.Canceled or context.DeadlineExceeded)
+// reachable for errors.Is.
+type cancelledError struct{ cause error }
+
+func (e *cancelledError) Error() string {
+	return ErrCancelled.Error() + ": " + e.cause.Error()
+}
+
+func (e *cancelledError) Unwrap() []error { return []error{ErrCancelled, e.cause} }
+
+// wrapCancelled converts a context-driven failure into ErrCancelled and
+// passes every other error through unchanged.
+func wrapCancelled(ctx context.Context, err error) error {
+	if err == nil || errors.Is(err, ErrCancelled) {
+		return err
+	}
+	if (ctx != nil && ctx.Err() != nil) ||
+		errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return &cancelledError{cause: err}
+	}
+	return err
+}
+
+// carvingBranchBudget bounds the exact solve inside each carved ball of
+// the MaxIS carving path. A dense instance would otherwise pin its
+// admission slot on an unbounded branch-and-bound; when the budget trips,
+// the solver's anytime set is used instead — the output is still a
+// verified independent set, only the (1+δ) quality bound degrades.
+const carvingBranchBudget = 1 << 20
+
+// config is the immutable option set of a Solver.
+type config struct {
+	// workers follows the shared -workers CLI convention: 0 selects
+	// GOMAXPROCS, any other value is the literal pool width (1 = serial).
+	workers int
+	// oracleName selects the per-phase MaxIS strategy by registry name;
+	// the spellings "exact" and "implicit" select the built-in
+	// ModeExactHinted / ModeImplicitFirstFit reduction modes. Empty defers
+	// to mode.
+	oracleName string
+	// mode is the explicit built-in reduction mode; 0 means
+	// ModeImplicitFirstFit (the scalable default).
+	mode core.Mode
+	// k is the per-phase palette size of Solve.
+	k int
+	// seed feeds randomized oracles; deterministic oracles ignore it.
+	seed int64
+	// maxPhases bounds the reduction loop; 0 keeps the core default.
+	maxPhases int
+	// carving switches MaxIS onto the SLOCAL ball-carving
+	// (1+δ)-approximation instead of a registry oracle.
+	carving bool
+	// delta is the carving growth slack; 0 selects the slocal default 1.0.
+	delta float64
+	// cacheEntries bounds the parsed-instance LRU; 0 disables caching.
+	cacheEntries int
+	// maxInflight bounds concurrently admitted solves; 0 means unbounded,
+	// negative selects GOMAXPROCS.
+	maxInflight int
+}
+
+// defaults returns the zero-configuration Solver: serial, implicit
+// first-fit, k=3, seed 1, no cache, no admission bound.
+func defaults() config {
+	return config{workers: 1, k: 3, seed: 1}
+}
+
+// Option configures a Solver at construction (New) or derivation (With).
+type Option func(*config)
+
+// WithWorkers sets the worker-pool width shared by conflict-graph
+// construction, portfolio racing and SolveBatch fan-out, following the
+// CLI -workers convention: 0 selects GOMAXPROCS, 1 is serial, any other
+// positive value is the literal width.
+func WithWorkers(n int) Option { return func(c *config) { c.workers = n } }
+
+// WithOracle selects the per-phase MaxIS strategy by name: "implicit"
+// (first-fit on the implicit conflict graph), "exact" (the hinted exact
+// solver, λ = 1), any registered oracle name, or a
+// "portfolio:<a>,<b>,..." composite. Resolution happens per call, so an
+// unknown name surfaces from Solve/MaxIS as maxis.ErrUnknownOracle.
+func WithOracle(name string) Option { return func(c *config) { c.oracleName = name } }
+
+// WithPortfolio selects a portfolio racing the named registry oracles
+// per phase; it is shorthand for WithOracle("portfolio:<a>,<b>,...").
+func WithPortfolio(members ...string) Option {
+	name := "portfolio:"
+	for i, m := range members {
+		if i > 0 {
+			name += ","
+		}
+		name += m
+	}
+	return func(c *config) { c.oracleName = name }
+}
+
+// WithMode selects a built-in reduction mode explicitly; WithOracle wins
+// when both are set.
+func WithMode(m core.Mode) Option { return func(c *config) { c.mode = m } }
+
+// WithK sets the per-phase palette size of Solve (default 3).
+func WithK(k int) Option { return func(c *config) { c.k = k } }
+
+// WithSeed seeds randomized oracles (default 1); deterministic oracles
+// ignore it.
+func WithSeed(seed int64) Option { return func(c *config) { c.seed = seed } }
+
+// WithMaxPhases bounds the reduction loop defensively; 0 keeps the core
+// default of 4·m + 16.
+func WithMaxPhases(n int) Option { return func(c *config) { c.maxPhases = n } }
+
+// WithCarving switches MaxIS onto the SLOCAL ball-carving
+// (1+δ)-approximation (the containment direction of Theorem 1.1); delta
+// is the growth slack, 0 selecting the default 1.0. The per-ball exact
+// solves are branch-budgeted and observe the call context.
+func WithCarving(delta float64) Option {
+	return func(c *config) {
+		c.carving = true
+		c.delta = delta
+	}
+}
+
+// WithCache bounds the parsed-instance LRU used by SolveReader and
+// MaxISReader to n entries; 0 (the default) disables caching. The cache
+// is created at New and shared by every solver derived through With.
+func WithCache(n int) Option { return func(c *config) { c.cacheEntries = n } }
+
+// WithMaxInflight bounds the number of concurrently admitted solves;
+// excess calls queue at the gate, honouring their contexts. 0 (the
+// default) means unbounded, negative selects GOMAXPROCS. Like the cache,
+// the gate is created at New and shared by derived solvers.
+func WithMaxInflight(n int) Option { return func(c *config) { c.maxInflight = n } }
+
+// Solver is the configurable entry point to the reduction pipeline. It is
+// safe for concurrent use: configuration is immutable after New, oracles
+// are instantiated per call, and the cache and gate are internally
+// synchronised.
+type Solver struct {
+	cfg   config
+	cache *instanceCache // nil when caching is disabled
+	gate  *engine.Gate   // nil when admission is unbounded
+}
+
+// New constructs a Solver from the given options over the serial,
+// implicit-first-fit defaults.
+func New(opts ...Option) *Solver {
+	cfg := defaults()
+	for _, o := range opts {
+		o(&cfg)
+	}
+	s := &Solver{cfg: cfg}
+	if cfg.cacheEntries > 0 {
+		s.cache = newInstanceCache(cfg.cacheEntries)
+	}
+	if cfg.maxInflight != 0 {
+		n := cfg.maxInflight
+		if n < 0 {
+			n = engine.Parallel().WorkerCount()
+		}
+		s.gate = engine.NewGate(n)
+	}
+	return s
+}
+
+// With returns a Solver with the given options applied over s's
+// configuration. The derived solver shares s's instance cache and
+// admission gate — WithCache and WithMaxInflight are construction-time
+// options and have no effect here — which is how one server-wide Solver
+// serves per-request oracle, seed, palette and worker choices.
+func (s *Solver) With(opts ...Option) *Solver {
+	cfg := s.cfg
+	for _, o := range opts {
+		o(&cfg)
+	}
+	cfg.cacheEntries = s.cfg.cacheEntries
+	cfg.maxInflight = s.cfg.maxInflight
+	return &Solver{cfg: cfg, cache: s.cache, gate: s.gate}
+}
+
+// CacheStats snapshots the shared instance cache (zero when caching is
+// disabled).
+func (s *Solver) CacheStats() CacheStats {
+	if s.cache == nil {
+		return CacheStats{}
+	}
+	return s.cache.snapshot()
+}
+
+// InFlight returns the number of currently admitted solves (0 when
+// admission is unbounded).
+func (s *Solver) InFlight() int {
+	if s.gate == nil {
+		return 0
+	}
+	return s.gate.InUse()
+}
+
+// MaxInFlight returns the admission bound (0 when unbounded).
+func (s *Solver) MaxInFlight() int {
+	if s.gate == nil {
+		return 0
+	}
+	return s.gate.Capacity()
+}
+
+// acquire admits one solve, queueing at the gate when one is configured.
+func (s *Solver) acquire(ctx context.Context) error {
+	if s.gate == nil {
+		if ctx != nil {
+			return wrapCancelled(ctx, ctx.Err())
+		}
+		return nil
+	}
+	return wrapCancelled(ctx, s.gate.Acquire(ctx))
+}
+
+// release frees the slot taken by acquire.
+func (s *Solver) release() {
+	if s.gate != nil {
+		s.gate.Release()
+	}
+}
+
+// engineOpts resolves the execution options for one call under ctx.
+func (s *Solver) engineOpts(ctx context.Context) engine.Options {
+	eng := engine.FromWorkersFlag(s.cfg.workers)
+	eng.Ctx = ctx
+	return eng
+}
+
+// reduceOptions resolves the configured strategy into core options,
+// instantiating the oracle fresh per call so concurrent Solves never
+// share oracle state.
+func (s *Solver) reduceOptions(ctx context.Context) (core.Options, error) {
+	opts := core.Options{K: s.cfg.k, MaxPhases: s.cfg.maxPhases, Engine: s.engineOpts(ctx)}
+	switch s.cfg.oracleName {
+	case "":
+		if s.cfg.mode != 0 {
+			opts.Mode = s.cfg.mode
+		} else {
+			opts.Mode = core.ModeImplicitFirstFit
+		}
+	case "implicit":
+		opts.Mode = core.ModeImplicitFirstFit
+	case "exact":
+		opts.Mode = core.ModeExactHinted
+	default:
+		oracle, err := maxis.Lookup(s.cfg.oracleName, s.cfg.seed)
+		if err != nil {
+			return opts, err
+		}
+		opts.Mode = core.ModeOracle
+		opts.Oracle = oracle
+	}
+	return opts, nil
+}
+
+// Solve runs the Theorem 1.1 reduction — conflict-free multicolouring via
+// iterated approximate MaxIS — on h under the configured strategy. ctx
+// cancels cooperatively; an abandoned call returns ErrCancelled.
+func (s *Solver) Solve(ctx context.Context, h *hypergraph.Hypergraph) (*core.Result, error) {
+	if err := s.acquire(ctx); err != nil {
+		return nil, err
+	}
+	defer s.release()
+	return s.solve(ctx, h)
+}
+
+// solve is Solve past the admission gate (SolveReader and SolveBatch hold
+// their own slot).
+func (s *Solver) solve(ctx context.Context, h *hypergraph.Hypergraph) (*core.Result, error) {
+	opts, err := s.reduceOptions(ctx)
+	if err != nil {
+		return nil, err
+	}
+	res, err := core.Reduce(ctx, h, opts)
+	return res, wrapCancelled(ctx, err)
+}
+
+// SolveBatch reduces every hypergraph of hs, fanning the instances out
+// over the configured worker pool (engine.ForEachShard); each instance
+// solves serially so the batch does not oversubscribe the pool. The
+// result slice is index-aligned with hs. The first failing instance
+// aborts the batch.
+func (s *Solver) SolveBatch(ctx context.Context, hs []*hypergraph.Hypergraph) ([]*core.Result, error) {
+	if err := s.acquire(ctx); err != nil {
+		return nil, err
+	}
+	defer s.release()
+	results := make([]*core.Result, len(hs))
+	inner := s.With(WithWorkers(1))
+	err := s.engineOpts(ctx).ForEachShard(len(hs), func(_ int, sh engine.Shard) error {
+		for i := sh.Lo; i < sh.Hi; i++ {
+			res, err := inner.solve(ctx, hs[i])
+			if err != nil {
+				return fmt.Errorf("solver: batch instance %d: %w", i, err)
+			}
+			results[i] = res
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, wrapCancelled(ctx, err)
+	}
+	return results, nil
+}
+
+// ISResult is the outcome of MaxIS.
+type ISResult struct {
+	// Set is the independent set found, ascending.
+	Set []int32
+	// Oracle is the registry name that solved ("" on the carving path).
+	Oracle string
+	// Locality and RadiusBound report the carving path's measured and
+	// theoretical locality; both are 0 on the oracle path.
+	Locality    int
+	RadiusBound int
+}
+
+// MaxIS solves maximum independent set on g through the configured
+// registry oracle (default "greedy-mindeg"), or through the SLOCAL
+// ball-carving (1+δ)-approximation when WithCarving is set.
+func (s *Solver) MaxIS(ctx context.Context, g *graph.Graph) (*ISResult, error) {
+	if err := s.acquire(ctx); err != nil {
+		return nil, err
+	}
+	defer s.release()
+	return s.maxIS(ctx, g)
+}
+
+// maxIS is MaxIS past the admission gate.
+func (s *Solver) maxIS(ctx context.Context, g *graph.Graph) (*ISResult, error) {
+	if s.cfg.carving {
+		res, err := slocal.BallCarvingMaxIS(g, slocal.CarvingOptions{
+			Delta: s.cfg.delta,
+			Ctx:   ctx,
+			Inner: func(ball *graph.Graph) ([]int32, error) {
+				set, err := maxis.ExactOpts(ball, maxis.ExactOptions{
+					MaxBranchNodes: carvingBranchBudget,
+					Ctx:            ctx,
+				})
+				if errors.Is(err, maxis.ErrBudgetExceeded) {
+					return set, nil
+				}
+				return set, err
+			},
+		})
+		if err != nil {
+			return nil, wrapCancelled(ctx, err)
+		}
+		return &ISResult{Set: res.Set, Locality: res.Locality, RadiusBound: res.RadiusBound}, nil
+	}
+	name := s.cfg.oracleName
+	if name == "" {
+		name = "greedy-mindeg"
+	}
+	oracle, err := maxis.Lookup(name, s.cfg.seed)
+	if err != nil {
+		return nil, err
+	}
+	if es, ok := oracle.(maxis.EngineSetter); ok {
+		es.SetEngine(s.engineOpts(ctx))
+	}
+	set, err := maxis.OracleSolve(ctx, oracle, g)
+	if err != nil {
+		return nil, wrapCancelled(ctx, err)
+	}
+	return &ISResult{Set: set, Oracle: name}, nil
+}
+
+// Instance describes a parsed instance and its cache disposition.
+type Instance struct {
+	// Kind is "graph" or "hypergraph".
+	Kind string
+	// Key is the full sha256 content hash (hex) keying the cache; empty
+	// when caching is disabled (the body then streams straight into the
+	// parser, unbuffered and unhashed).
+	Key string
+	// CacheHit reports whether parsing was skipped.
+	CacheHit bool
+	// N and M are the instance's vertex and (hyper)edge counts.
+	N, M int
+
+	// value is the parsed instance, exposed through Hypergraph/Graph so
+	// callers (cfserve's verification pass) reach it without a re-parse.
+	value any
+}
+
+// Hypergraph returns the parsed hypergraph behind a SolveReader instance
+// (nil for graph instances).
+func (i *Instance) Hypergraph() *hypergraph.Hypergraph {
+	h, _ := i.value.(*hypergraph.Hypergraph)
+	return h
+}
+
+// Graph returns the parsed graph behind a MaxISReader instance (nil for
+// hypergraph instances).
+func (i *Instance) Graph() *graph.Graph {
+	g, _ := i.value.(*graph.Graph)
+	return g
+}
+
+// SolveReader reads a hypergraph from r in the given graphio format
+// (FormatAuto sniffs), consults the instance cache by content hash, and
+// runs Solve on the result. Admission happens before the body is read, so
+// parsing and CSR construction are bounded by the gate too.
+func (s *Solver) SolveReader(ctx context.Context, r io.Reader, f graphio.Format) (*core.Result, *Instance, error) {
+	if err := s.acquire(ctx); err != nil {
+		return nil, nil, err
+	}
+	defer s.release()
+	h, inst, err := s.readHypergraph(r, f)
+	if err != nil {
+		return nil, nil, wrapCancelled(ctx, err)
+	}
+	res, err := s.solve(ctx, h)
+	if err != nil {
+		return nil, inst, err
+	}
+	return res, inst, nil
+}
+
+// MaxISReader is MaxIS over a serialized graph, with the same caching and
+// admission behaviour as SolveReader.
+func (s *Solver) MaxISReader(ctx context.Context, r io.Reader, f graphio.Format) (*ISResult, *Instance, error) {
+	if err := s.acquire(ctx); err != nil {
+		return nil, nil, err
+	}
+	defer s.release()
+	g, inst, err := s.readGraph(r, f)
+	if err != nil {
+		return nil, nil, wrapCancelled(ctx, err)
+	}
+	res, err := s.maxIS(ctx, g)
+	if err != nil {
+		return nil, inst, err
+	}
+	return res, inst, nil
+}
+
+// readInstance funnels both substrates through one cache flow. With a
+// cache the body is buffered and hashed (the key is the whole point);
+// without one the reader streams straight into graphio and Instance.Key
+// stays empty — no buffering, no hashing.
+func (s *Solver) readInstance(r io.Reader, f graphio.Format, kind string,
+	parse func(io.Reader, graphio.Format) (any, error),
+	dims func(any) (int, int)) (any, *Instance, error) {
+	inst := &Instance{Kind: kind}
+	fill := func(v any) {
+		inst.N, inst.M = dims(v)
+		inst.value = v
+	}
+	if s.cache == nil {
+		v, err := parse(r, f)
+		if err != nil {
+			return nil, nil, err
+		}
+		fill(v)
+		return v, inst, nil
+	}
+	body, err := io.ReadAll(r)
+	if err != nil {
+		return nil, nil, fmt.Errorf("%w: %w", ErrReadInstance, err)
+	}
+	inst.Key = cacheKey(kind, f.String(), body)
+	if cached, ok := s.cache.get(inst.Key); ok {
+		inst.CacheHit = true
+		fill(cached)
+		return cached, inst, nil
+	}
+	v, err := parse(bytes.NewReader(body), f)
+	if err != nil {
+		return nil, nil, err
+	}
+	s.cache.put(inst.Key, v)
+	fill(v)
+	return v, inst, nil
+}
+
+// readHypergraph parses a hypergraph through the cache.
+func (s *Solver) readHypergraph(r io.Reader, f graphio.Format) (*hypergraph.Hypergraph, *Instance, error) {
+	v, inst, err := s.readInstance(r, f, "hypergraph",
+		func(r io.Reader, f graphio.Format) (any, error) { return graphio.ReadHypergraph(r, f) },
+		func(v any) (int, int) { h := v.(*hypergraph.Hypergraph); return h.N(), h.M() })
+	if err != nil {
+		return nil, nil, err
+	}
+	return v.(*hypergraph.Hypergraph), inst, nil
+}
+
+// readGraph parses a graph through the cache.
+func (s *Solver) readGraph(r io.Reader, f graphio.Format) (*graph.Graph, *Instance, error) {
+	v, inst, err := s.readInstance(r, f, "graph",
+		func(r io.Reader, f graphio.Format) (any, error) { return graphio.ReadGraph(r, f) },
+		func(v any) (int, int) { g := v.(*graph.Graph); return g.N(), g.M() })
+	if err != nil {
+		return nil, nil, err
+	}
+	return v.(*graph.Graph), inst, nil
+}

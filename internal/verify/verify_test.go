@@ -92,7 +92,7 @@ func TestReductionResult(t *testing.T) {
 	if err != nil {
 		t.Fatalf("PlantedCF error: %v", err)
 	}
-	res, err := core.Reduce(h, core.Options{K: 3, Mode: core.ModeImplicitFirstFit})
+	res, err := core.Reduce(nil, h, core.Options{K: 3, Mode: core.ModeImplicitFirstFit})
 	if err != nil {
 		t.Fatalf("Reduce error: %v", err)
 	}

@@ -15,12 +15,20 @@
 //     algorithms, including the ball-carving (1+δ)-approximation that
 //     realises the containment direction.
 //
-// Quick start (see examples/quickstart for a runnable version):
+// The entry point is the Solver (solver.go): constructed once via
+// functional options, it owns the engine configuration, the oracle
+// selection, a bounded admission gate and an instance cache, and every
+// method takes a per-call context. Quick start (see examples/quickstart
+// for a runnable version):
 //
 //	h, planted, _ := pslocal.PlantedCF(60, 24, 3, 3, 5, rng)
-//	res, _ := pslocal.Reduce(h, pslocal.ReduceOptions{K: 3, Mode: pslocal.ModeImplicitFirstFit})
+//	sv := pslocal.NewSolver(pslocal.WithK(3))
+//	res, _ := sv.Solve(ctx, h)
 //	err := pslocal.VerifyReduction(h, res) // nil: conflict-free multicolouring
 //	_ = planted
+//
+// The flat solve functions (Reduce, ExactMaxIS, BallCarvingMaxIS, ...)
+// predate the Solver and remain as thin deprecated wrappers.
 package pslocal
 
 import (
@@ -220,7 +228,13 @@ const (
 )
 
 // Reduce runs conflict-free multicolouring via iterated approximate MaxIS.
-func Reduce(h *Hypergraph, opts ReduceOptions) (*ReduceResult, error) { return core.Reduce(h, opts) }
+//
+// Deprecated: construct a Solver and call [Solver.Solve] — it carries the
+// configuration once, admits a per-call context, and shares the instance
+// cache: NewSolver(WithK(3)).Solve(ctx, h).
+func Reduce(h *Hypergraph, opts ReduceOptions) (*ReduceResult, error) {
+	return core.Reduce(nil, h, opts)
+}
 
 // PhaseBound returns the paper's ρ = λ·ln(m)+1 phase bound.
 func PhaseBound(lambda float64, m int) int { return core.PhaseBound(lambda, m) }
@@ -233,7 +247,7 @@ type LocalReduceResult = core.LocalResult
 // randomized) reduction: Luby's MIS over the implicit conflict graph,
 // simulated on H's incidence structure, phase by phase.
 func ReduceLocalRandomized(h *Hypergraph, k int, seed int64) (*LocalReduceResult, error) {
-	return core.ReduceLocalRandomized(h, k, seed)
+	return core.ReduceLocalRandomized(nil, h, k, seed)
 }
 
 // MaxIS oracles (substrate S5).
@@ -271,12 +285,21 @@ func LookupOracle(name string, seed int64) (Oracle, error) { return maxis.Lookup
 func OracleNames() []string { return maxis.Names() }
 
 // ExactMaxIS returns a maximum independent set.
+//
+// Deprecated: use NewSolver(WithOracle("exact")).MaxIS(ctx, g) — the
+// Solver path admits a context, so the branch-and-bound cancels
+// cooperatively.
 func ExactMaxIS(g *Graph) ([]int32, error) { return maxis.Exact(g) }
 
 // GreedyMaxIS returns the min-degree greedy independent set.
+//
+// Deprecated: use NewSolver().MaxIS(ctx, g) — "greedy-mindeg" is the
+// Solver's default MaxIS oracle.
 func GreedyMaxIS(g *Graph) []int32 { return maxis.GreedyMinDegree(g) }
 
 // CliqueRemovalMaxIS returns the Boppana–Halldórsson independent set.
+//
+// Deprecated: use NewSolver(WithOracle("clique-removal")).MaxIS(ctx, g).
 func CliqueRemovalMaxIS(g *Graph) []int32 { return maxis.CliqueRemoval(g) }
 
 // Model simulators (substrates S3, S4, S6, S7).
@@ -306,6 +329,11 @@ func SLOCALGreedyMIS(g *Graph, order []int32) ([]int32, *slocal.Result, error) {
 
 // BallCarvingMaxIS runs the SLOCAL (1+δ)-approximation (containment
 // direction of Theorem 1.1).
+//
+// Deprecated: use NewSolver(WithCarving(delta)).MaxIS(ctx, g) — the same
+// algorithm behind the Solver handle, with budgeted per-ball exact solves
+// and cooperative cancellation. Direct slocal access via this wrapper
+// remains for callers that need a custom Inner solver or Order.
 func BallCarvingMaxIS(g *Graph, opts CarvingOptions) (*CarvingResult, error) {
 	return slocal.BallCarvingMaxIS(g, opts)
 }

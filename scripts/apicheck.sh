@@ -1,0 +1,27 @@
+#!/bin/sh
+# Guards the exported facade surface: api.txt is the checked-in golden
+# listing of the pslocal package's exported API (go doc -short), and CI
+# fails when the surface drifts without the golden being regenerated —
+# an apidiff-style tripwire making API changes an explicit, reviewed act.
+#
+# Usage:
+#   scripts/apicheck.sh           # compare the live surface against api.txt
+#   scripts/apicheck.sh -update   # regenerate api.txt from the source
+set -eu
+cd "$(dirname "$0")/.."
+
+gen() { go doc -short .; }
+
+if [ "${1:-}" = "-update" ]; then
+  gen > api.txt
+  echo "wrote api.txt"
+  exit 0
+fi
+
+if ! gen | diff -u api.txt -; then
+  echo "" >&2
+  echo "exported API surface changed: review the diff above and run" >&2
+  echo "  scripts/apicheck.sh -update" >&2
+  echo "to bless the new surface (api.txt)." >&2
+  exit 1
+fi

@@ -26,7 +26,7 @@ fi
 # failure must not record a partial trajectory entry.
 # shellcheck disable=SC2086  # benchtime is intentionally word-split
 go test -run '^$' \
-  -bench 'ConflictGraphBuild|ImplicitFirstFit|FirstFitScratch|ReduceImplicit|PortfolioOracle|BallCarving|NetworkDecomposition|SLOCALGreedyMIS' \
+  -bench 'ConflictGraphBuild|ImplicitFirstFit|FirstFitScratch|ReduceImplicit|PortfolioOracle|BallCarving|NetworkDecomposition|SLOCALGreedyMIS|SolverReduce' \
   -benchmem -count=1 $benchtime . > "$tmp"
 go test -run '^$' -bench 'MoserTardosLongResampling' -benchmem -count=1 $benchtime \
   ./internal/splitting/ >> "$tmp"
