@@ -70,6 +70,7 @@ func run() error {
 		seed     = flag.Int64("seed", 1, "random seed (instance generation and randomized oracles)")
 		workers  = flag.Int("workers", 1, "construction/portfolio workers (0 = GOMAXPROCS)")
 		printCol = flag.Bool("print-coloring", false, "dump the multicolouring")
+		timeout  = flag.Duration("timeout", 0, "abandon the reduction after this long, e.g. 30s (0 = unbounded)")
 	)
 	flag.Parse()
 
@@ -93,6 +94,14 @@ func run() error {
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	if *timeout > 0 {
+		// An expired -timeout surfaces from the Solver as ErrCancelled
+		// (matching context.DeadlineExceeded), the same cooperative path
+		// Ctrl-C takes — no mid-write kill, no unbounded run.
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	rng := rand.New(rand.NewSource(*seed))
 	h, err := makeInstance(*inFile, *genName, *n, *m, *k, *sizeLo, *sizeHi, rng)

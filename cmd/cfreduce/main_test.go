@@ -7,6 +7,7 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+	"time"
 
 	"pslocal"
 	"pslocal/internal/core"
@@ -86,6 +87,29 @@ func TestModeSpellings(t *testing.T) {
 	sv := pslocal.NewSolver(pslocal.WithOracle("nope"))
 	if _, err := sv.Solve(context.Background(), h); !errors.Is(err, pslocal.ErrUnknownOracle) {
 		t.Errorf("unknown mode error = %v, want ErrUnknownOracle", err)
+	}
+}
+
+// TestTimeoutSurfacesErrCancelled pins the -timeout contract: an expired
+// context.WithTimeout deadline surfaces from the Solver as the typed
+// ErrCancelled (also matching context.DeadlineExceeded), so the CLI
+// reports a clean cancellation instead of running unbounded.
+func TestTimeoutSurfacesErrCancelled(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	h, _, err := hypergraph.PlantedCF(20, 8, 2, 2, 3, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Nanosecond)
+	defer cancel()
+	<-ctx.Done() // the deadline has certainly expired
+	sv := pslocal.NewSolver(pslocal.WithK(2))
+	_, err = sv.Solve(ctx, h)
+	if !errors.Is(err, pslocal.ErrCancelled) {
+		t.Errorf("error = %v, want ErrCancelled", err)
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("error = %v, want to also match context.DeadlineExceeded", err)
 	}
 }
 

@@ -5,12 +5,26 @@
 //
 // Endpoints:
 //
-//	POST /v1/reduce  conflict-free multicolouring of the posted hypergraph
-//	                 ?k=3&oracle=implicit|exact|<registry name>&workers=N&seed=S&format=auto|edgelist|dimacs|json
-//	POST /v1/maxis   independent set of the posted graph
-//	                 ?oracle=<registry name>&algorithm=oracle|carving&delta=1.0&workers=N&seed=S&format=...
-//	GET  /healthz    liveness
-//	GET  /statz      request/cache/inflight counters as JSON
+//	POST   /v1/reduce       conflict-free multicolouring of the posted hypergraph
+//	                        ?k=3&oracle=implicit|exact|<registry name>&workers=N&seed=S&format=auto|edgelist|dimacs|json
+//	POST   /v1/maxis        independent set of the posted graph
+//	                        ?oracle=<registry name>&algorithm=oracle|carving&delta=1.0&workers=N&seed=S&format=...
+//	POST   /v1/jobs         enqueue the posted hypergraph as an async job, returns the id immediately
+//	                        (same parameters as /v1/reduce, plus priority=low|normal|high,
+//	                        deadline_ms=N, max_retries=N, label=...)
+//	GET    /v1/jobs/{id}    job state; embeds the result document once done
+//	GET    /v1/jobs         job list, ?state=queued|running|done|failed|cancelled&label=...&limit=N
+//	DELETE /v1/jobs/{id}    cooperative cancellation
+//	GET    /v1/jobs/{id}/events  state transitions as server-sent events
+//	GET    /healthz         liveness
+//	GET    /statz           request/cache/inflight/job counters as JSON
+//
+// With -jobs-dir set, jobs persist their results there as graphio result
+// documents named by the job's content hash; on restart the directory is
+// rescanned, so completed jobs survive reboots and identical
+// resubmissions dedupe onto the stored result. The store assumes a
+// single writer: give every cfserve instance its own directory. Without
+// -jobs-dir, jobs live in memory only.
 //
 // Quick start (the same instance ships in testdata/quickstart.json and is
 // smoke-tested by CI):
@@ -54,16 +68,27 @@ func run() error {
 		cacheEntries = flag.Int("cache-entries", 128, "parsed-instance cache capacity")
 		maxBodyMB    = flag.Int64("max-body-mb", 64, "request body cap in MiB")
 		seed         = flag.Int64("seed", 1, "default oracle seed when the request has none")
+		jobsDir      = flag.String("jobs-dir", "",
+			"persistent job store directory, rescanned on restart (empty = in-memory only; each instance needs its own directory)")
+		jobWorkers = flag.Int("job-workers", 0, "job worker pool width (0 = GOMAXPROCS)")
+		jobQueue   = flag.Int("job-queue", 1024, "job queue capacity across priority lanes")
 	)
 	flag.Parse()
 
-	s := newServer(config{
+	s, err := newServer(config{
 		maxWorkers:   *maxWorkers,
 		maxInflight:  *maxInflight,
 		cacheEntries: *cacheEntries,
 		maxBodyBytes: *maxBodyMB << 20,
 		seed:         *seed,
+		jobsDir:      *jobsDir,
+		jobWorkers:   *jobWorkers,
+		jobQueueCap:  *jobQueue,
 	})
+	if err != nil {
+		return err
+	}
+	defer s.Close()
 	httpServer := &http.Server{
 		Addr:              *addr,
 		Handler:           s,
@@ -72,7 +97,11 @@ func run() error {
 
 	errc := make(chan error, 1)
 	go func() {
-		log.Printf("cfserve: listening on %s (POST /v1/reduce, POST /v1/maxis, GET /healthz, GET /statz)", *addr)
+		store := *jobsDir
+		if store == "" {
+			store = "in-memory"
+		}
+		log.Printf("cfserve: listening on %s (POST /v1/reduce, POST /v1/maxis, /v1/jobs..., GET /healthz, GET /statz; job store %s)", *addr, store)
 		errc <- httpServer.ListenAndServe()
 	}()
 

@@ -1,10 +1,12 @@
 package main
 
 // server.go implements the HTTP surface of the reduction service. Two
-// POST endpoints expose the pipeline — /v1/reduce runs the Theorem 1.1
-// reduction on a hypergraph, /v1/maxis solves MaxIS on a graph — with
-// the instance format, oracle selection, worker count and seed chosen
-// per request through query parameters.
+// POST endpoints expose the pipeline synchronously — /v1/reduce runs the
+// Theorem 1.1 reduction on a hypergraph, /v1/maxis solves MaxIS on a
+// graph — with the instance format, oracle selection, worker count and
+// seed chosen per request through query parameters; the asynchronous
+// /v1/jobs endpoints (jobs.go) run the same reductions through the job
+// subsystem's queue instead of holding the connection open.
 //
 // Both endpoints are served through one shared pslocal.Solver: the server
 // owns no cache or gate of its own. The base Solver (built in newServer)
@@ -23,6 +25,7 @@ import (
 	"fmt"
 	"net/http"
 	"strconv"
+	"strings"
 	"sync/atomic"
 	"time"
 
@@ -41,12 +44,19 @@ type config struct {
 	maxBodyBytes int64
 	// seed is the default oracle seed when a request carries none.
 	seed int64
+	// jobsDir is the persistent job store directory ("" = memory only).
+	jobsDir string
+	// jobWorkers is the job pool width; < 1 selects GOMAXPROCS.
+	jobWorkers int
+	// jobQueueCap bounds the job queue across lanes; < 1 selects 1024.
+	jobQueueCap int
 }
 
 // server is the HTTP handler plus its shared state.
 type server struct {
 	cfg    config
-	solver *pslocal.Solver // owns the instance cache and admission gate
+	solver *pslocal.Solver     // owns the instance cache and admission gate
+	jobs   *pslocal.JobManager // owns the job queue, pool and store
 	mux    *http.ServeMux
 	start  time.Time
 
@@ -58,8 +68,9 @@ type server struct {
 }
 
 // newServer wires the routes, resolves config defaults, and builds the
-// shared Solver.
-func newServer(cfg config) *server {
+// shared Solver plus the job manager driving it. The error is the job
+// store directory failing to materialize.
+func newServer(cfg config) (*server, error) {
 	if cfg.maxWorkers < 1 {
 		cfg.maxWorkers = pslocal.ParallelEngine().WorkerCount()
 	}
@@ -82,17 +93,77 @@ func newServer(cfg config) *server {
 		mux:   http.NewServeMux(),
 		start: time.Now(),
 	}
+	jm, err := pslocal.NewJobManager(pslocal.JobConfig{
+		Solver:   s.solver, // jobs share the instance cache and admission gate
+		Dir:      cfg.jobsDir,
+		Workers:  cfg.jobWorkers,
+		QueueCap: cfg.jobQueueCap,
+	})
+	if err != nil {
+		return nil, err
+	}
+	s.jobs = jm
 	s.mux.HandleFunc("POST /v1/reduce", s.handleReduce)
 	s.mux.HandleFunc("POST /v1/maxis", s.handleMaxIS)
+	s.mux.HandleFunc("POST /v1/jobs", s.handleJobSubmit)
+	s.mux.HandleFunc("GET /v1/jobs", s.handleJobList)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleJobEvents)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /statz", s.handleStatz)
-	return s
+	return s, nil
 }
 
-// ServeHTTP implements http.Handler.
+// Close stops the job manager (queued jobs cancel, running jobs unwind
+// cooperatively).
+func (s *server) Close() {
+	s.jobs.Close()
+}
+
+// ServeHTTP implements http.Handler. Requests no route matches — 404s
+// and wrong-method 405s — go through a rewriting writer that turns the
+// mux's plain-text error into the same JSON envelope every other error
+// response uses.
 func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.requests.Add(1)
+	if _, pattern := s.mux.Handler(r); pattern == "" {
+		s.failures.Add(1)
+		s.mux.ServeHTTP(&jsonErrorRewriter{w: w}, r)
+		return
+	}
 	s.mux.ServeHTTP(w, r)
+}
+
+// jsonErrorRewriter wraps a ResponseWriter so the ServeMux's built-in
+// plain-text 404/405 bodies come out as the service's JSON error
+// envelope, preserving the status and the 405's Allow header.
+type jsonErrorRewriter struct {
+	w     http.ResponseWriter
+	wrote bool
+}
+
+func (j *jsonErrorRewriter) Header() http.Header { return j.w.Header() }
+
+func (j *jsonErrorRewriter) WriteHeader(status int) {
+	j.w.Header().Set("Content-Type", "application/json")
+	j.w.WriteHeader(status)
+}
+
+func (j *jsonErrorRewriter) Write(p []byte) (int, error) {
+	if !j.wrote {
+		j.wrote = true
+		body, err := json.Marshal(map[string]string{"error": strings.TrimSpace(string(p))})
+		if err != nil {
+			return 0, err
+		}
+		if _, err := j.w.Write(append(body, '\n')); err != nil {
+			return 0, err
+		}
+	}
+	// Report the caller's bytes as consumed either way: the envelope
+	// replaces the text body rather than appending to it.
+	return len(p), nil
 }
 
 // instanceInfo describes the parsed instance and its cache disposition in
@@ -302,7 +373,8 @@ func (s *server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	})
 }
 
-// statzResponse is the /statz metrics snapshot.
+// statzResponse is the /statz metrics snapshot; Jobs merges in the job
+// subsystem's counters (queue depth, running, outcomes, latency sums).
 type statzResponse struct {
 	UptimeS     float64                  `json:"uptime_s"`
 	Requests    uint64                   `json:"requests"`
@@ -314,10 +386,11 @@ type statzResponse struct {
 	MaxInflight int                      `json:"max_inflight"`
 	MaxWorkers  int                      `json:"max_workers"`
 	Cache       pslocal.SolverCacheStats `json:"cache"`
+	Jobs        pslocal.JobStats         `json:"jobs"`
 }
 
-// handleStatz reports the service counters and the Solver's cache and
-// admission statistics.
+// handleStatz reports the service counters, the Solver's cache and
+// admission statistics, and the job subsystem's counters.
 func (s *server) handleStatz(w http.ResponseWriter, _ *http.Request) {
 	s.writeJSON(w, http.StatusOK, statzResponse{
 		UptimeS:     time.Since(s.start).Seconds(),
@@ -330,6 +403,7 @@ func (s *server) handleStatz(w http.ResponseWriter, _ *http.Request) {
 		MaxInflight: s.solver.MaxInFlight(),
 		MaxWorkers:  s.cfg.maxWorkers,
 		Cache:       s.solver.CacheStats(),
+		Jobs:        s.jobs.Stats(),
 	})
 }
 

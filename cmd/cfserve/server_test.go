@@ -20,10 +20,21 @@ import (
 )
 
 // newTestServer returns a started httptest server over a fresh service
-// instance with small, deterministic limits.
+// instance with small, deterministic limits (in-memory job store).
 func newTestServer(t *testing.T) (*server, *httptest.Server) {
 	t.Helper()
-	s := newServer(config{maxWorkers: 2, maxInflight: 2, cacheEntries: 4, seed: 1})
+	return newTestServerConfig(t, config{maxWorkers: 2, maxInflight: 2, cacheEntries: 4, seed: 1, jobWorkers: 2})
+}
+
+// newTestServerConfig is newTestServer with an explicit config (jobs
+// persistence tests point jobsDir at a temp directory).
+func newTestServerConfig(t *testing.T, cfg config) (*server, *httptest.Server) {
+	t.Helper()
+	s, err := newServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
 	ts := httptest.NewServer(s)
 	t.Cleanup(ts.Close)
 	return s, ts
@@ -349,9 +360,7 @@ func TestREADMECurlBodyStaysExecutable(t *testing.T) {
 
 // TestBodyTooLargeReturns413 pins the over-limit status distinction.
 func TestBodyTooLargeReturns413(t *testing.T) {
-	s := newServer(config{maxWorkers: 1, maxInflight: 1, maxBodyBytes: 64, seed: 1})
-	ts := httptest.NewServer(s)
-	t.Cleanup(ts.Close)
+	_, ts := newTestServerConfig(t, config{maxWorkers: 1, maxInflight: 1, maxBodyBytes: 64, seed: 1})
 	big := bytes.Repeat([]byte{'a'}, 256)
 	var got map[string]any
 	resp := postInstance(t, ts.URL+"/v1/reduce", big, &got)

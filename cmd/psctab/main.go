@@ -46,6 +46,7 @@ func run() (err error) {
 		oracle  = flag.String("oracle", "",
 			"portfolio oracle raced by E13, portfolio:<a>,<b>,... (empty = E13 default)")
 		outFile = flag.String("out", "", "write the rendered tables to this file instead of stdout")
+		timeout = flag.Duration("timeout", 0, "abandon the run after this long, e.g. 5m (0 = unbounded)")
 	)
 	flag.Parse()
 	var w io.Writer = os.Stdout
@@ -65,9 +66,15 @@ func run() (err error) {
 		return err
 	}
 	// The grids run under a signal context, so Ctrl-C cancels the current
-	// experiment's construction and portfolio solves cooperatively.
+	// experiment's construction and portfolio solves cooperatively;
+	// -timeout bounds the whole run through the same path.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 	eng := engine.FromWorkersFlag(*workers)
 	eng.Ctx = ctx
 	cfg := experiments.Config{

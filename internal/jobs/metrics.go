@@ -1,0 +1,70 @@
+package jobs
+
+// metrics.go carries the subsystem's counters: submissions, terminal
+// outcomes, retries, queue/running gauges and latency sums. cfserve's
+// /statz merges a Stats snapshot in, and cfbatch prints one as its final
+// summary.
+
+import "sync/atomic"
+
+// metrics is the internal atomic counter set.
+type metrics struct {
+	submitted atomic.Uint64
+	deduped   atomic.Uint64
+	completed atomic.Uint64
+	failed    atomic.Uint64
+	cancelled atomic.Uint64
+	retries   atomic.Uint64
+	recovered atomic.Uint64
+	running   atomic.Int64
+	waitNS    atomic.Int64
+	runNS     atomic.Int64
+}
+
+// Stats is a point-in-time snapshot of the manager's counters.
+type Stats struct {
+	// Submitted counts accepted Submit calls (dedupe hits excluded).
+	Submitted uint64 `json:"submitted"`
+	// Deduped counts Submits answered by an existing job with the same
+	// content hash.
+	Deduped uint64 `json:"deduped"`
+	// Completed/Failed/Cancelled count terminal transitions in this
+	// process (recovered jobs are counted separately).
+	Completed uint64 `json:"completed"`
+	Failed    uint64 `json:"failed"`
+	Cancelled uint64 `json:"cancelled"`
+	// Retries counts transient re-runs across all jobs.
+	Retries uint64 `json:"retries"`
+	// Recovered counts jobs restored from the store at construction.
+	Recovered uint64 `json:"recovered"`
+	// QueueDepth and Running are gauges; QueueCap and Workers are the
+	// configured bounds.
+	QueueDepth int `json:"queue_depth"`
+	QueueCap   int `json:"queue_cap"`
+	Running    int `json:"running"`
+	Workers    int `json:"workers"`
+	// WaitSumMS and RunSumMS accumulate queue-wait and run latency over
+	// every job that started / finished here; divide by the matching
+	// counters for means.
+	WaitSumMS float64 `json:"wait_sum_ms"`
+	RunSumMS  float64 `json:"run_sum_ms"`
+}
+
+// snapshot assembles a Stats from the counters plus the live gauges.
+func (m *metrics) snapshot(queueDepth, queueCap, workers int) Stats {
+	return Stats{
+		Submitted:  m.submitted.Load(),
+		Deduped:    m.deduped.Load(),
+		Completed:  m.completed.Load(),
+		Failed:     m.failed.Load(),
+		Cancelled:  m.cancelled.Load(),
+		Retries:    m.retries.Load(),
+		Recovered:  m.recovered.Load(),
+		QueueDepth: queueDepth,
+		QueueCap:   queueCap,
+		Running:    int(m.running.Load()),
+		Workers:    workers,
+		WaitSumMS:  float64(m.waitNS.Load()) / 1e6,
+		RunSumMS:   float64(m.runNS.Load()) / 1e6,
+	}
+}

@@ -1,0 +1,183 @@
+package jobs
+
+// store.go persists jobs under one directory, named by content hash:
+//
+//	<id>.result.json   the graphio reduction-result document (done jobs)
+//	<id>.job.json      the job metadata document (all terminal states)
+//
+// Writes are atomic (temp file + rename), the result document lands
+// before the metadata document, and recovery rescans the directory on
+// manager construction — so a restart finds every job that reached a
+// terminal state before the crash, and an interrupted write leaves at
+// worst an orphan result document, which recovery adopts as a done job.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"pslocal/internal/core"
+	"pslocal/internal/graphio"
+)
+
+const (
+	resultSuffix = ".result.json"
+	jobSuffix    = ".job.json"
+	// jobDocType tags persisted job documents, mirroring the graphio
+	// result document's "type" discriminator.
+	jobDocType = "job"
+)
+
+// validJobID reports whether s has the shape of a job id: the 64-digit
+// lowercase hex SHA-256 content hash.
+func validJobID(s string) bool {
+	if len(s) != 64 {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// jobDoc is the persisted metadata shape: the Info snapshot plus a type
+// tag so mixed-up files fail loudly.
+type jobDoc struct {
+	Type string `json:"type"`
+	Info
+}
+
+// store owns the directory. Methods are safe for concurrent use as long
+// as no two writers target the same id, which the manager guarantees (a
+// job is persisted once, at its terminal transition).
+type store struct{ dir string }
+
+// newStore creates dir (and parents) and returns the store.
+func newStore(dir string) (*store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("jobs: creating store: %w", err)
+	}
+	return &store{dir: dir}, nil
+}
+
+// atomicWrite writes data next to path and renames it into place.
+func (st *store) atomicWrite(path string, write func(*os.File) error) error {
+	tmp, err := os.CreateTemp(st.dir, ".tmp-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if err := write(tmp); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// writeResult persists res as the job's graphio result document.
+func (st *store) writeResult(id string, res *core.Result) error {
+	return st.atomicWrite(filepath.Join(st.dir, id+resultSuffix), func(f *os.File) error {
+		return graphio.WriteResult(f, res)
+	})
+}
+
+// readResult loads the job's result document back.
+func (st *store) readResult(id string) (*core.Result, error) {
+	f, err := os.Open(filepath.Join(st.dir, id+resultSuffix))
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return graphio.ReadResult(f)
+}
+
+// resultPath returns the path GET responses and the CLI report for a
+// done job's document.
+func (st *store) resultPath(id string) string {
+	return filepath.Join(st.dir, id+resultSuffix)
+}
+
+// writeJob persists the terminal metadata snapshot.
+func (st *store) writeJob(info Info) error {
+	return st.atomicWrite(filepath.Join(st.dir, info.ID+jobSuffix), func(f *os.File) error {
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		return enc.Encode(jobDoc{Type: jobDocType, Info: info})
+	})
+}
+
+// readJob loads one metadata document.
+func (st *store) readJob(path string) (Info, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return Info{}, err
+	}
+	var doc jobDoc
+	if err := json.Unmarshal(b, &doc); err != nil {
+		return Info{}, fmt.Errorf("jobs: parsing %s: %w", filepath.Base(path), err)
+	}
+	if doc.Type != jobDocType {
+		return Info{}, fmt.Errorf("jobs: %s: document type %q, want %q", filepath.Base(path), doc.Type, jobDocType)
+	}
+	return doc.Info, nil
+}
+
+// recover rescans the store: every readable job document yields its Info,
+// and result documents without metadata (a crash between the two writes)
+// are adopted as done jobs. Unreadable files are skipped — recovery
+// restores what it can rather than refusing to start.
+func (st *store) recover() ([]Info, error) {
+	entries, err := os.ReadDir(st.dir)
+	if err != nil {
+		return nil, fmt.Errorf("jobs: rescanning store: %w", err)
+	}
+	var infos []Info
+	seen := make(map[string]bool)
+	var orphans []string
+	for _, e := range entries {
+		name := e.Name()
+		switch {
+		case strings.HasSuffix(name, jobSuffix):
+			info, err := st.readJob(filepath.Join(st.dir, name))
+			if err != nil || info.ID != strings.TrimSuffix(name, jobSuffix) {
+				continue
+			}
+			infos = append(infos, info)
+			seen[info.ID] = true
+		case strings.HasSuffix(name, resultSuffix):
+			orphans = append(orphans, strings.TrimSuffix(name, resultSuffix))
+		}
+	}
+	for _, id := range orphans {
+		if seen[id] {
+			continue
+		}
+		// Validate before adopting: the stem must look like a job id (the
+		// 64-hex content hash — a stray renamed file must not resurface
+		// as a phantom job) and a truncated write must not come back as a
+		// done job with an unreadable result.
+		if !validJobID(id) {
+			continue
+		}
+		res, err := st.readResult(id)
+		if err != nil {
+			continue
+		}
+		infos = append(infos, Info{
+			ID:          id,
+			State:       StateDone,
+			Priority:    PriorityNormal,
+			TotalColors: res.TotalColors,
+			PhaseCount:  len(res.Phases),
+		})
+	}
+	return infos, nil
+}

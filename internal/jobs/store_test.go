@@ -1,0 +1,153 @@
+package jobs
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"pslocal/internal/core"
+)
+
+// sampleResult builds a small real reduction result to persist.
+func sampleResult(t *testing.T) *core.Result {
+	t.Helper()
+	h := testHypergraph(t, 1)
+	res, err := core.Reduce(nil, h, core.Options{K: 2, Mode: core.ModeImplicitFirstFit})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestStoreResultRoundTrip(t *testing.T) {
+	st, err := newStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := sampleResult(t)
+	const id = "deadbeef"
+	if err := st.writeResult(id, res); err != nil {
+		t.Fatal(err)
+	}
+	back, err := st.readResult(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.K != res.K || back.TotalColors != res.TotalColors || len(back.Phases) != len(res.Phases) {
+		t.Errorf("round trip changed the result: %+v vs %+v", back, res)
+	}
+	if got := st.resultPath(id); !strings.HasSuffix(got, id+resultSuffix) {
+		t.Errorf("resultPath = %q", got)
+	}
+}
+
+func TestStoreJobDocRoundTrip(t *testing.T) {
+	st, err := newStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := Info{
+		ID:       "cafe01",
+		Label:    "batch/x.hg",
+		State:    StateFailed,
+		Priority: PriorityHigh,
+		Params:   Params{K: 2, Oracle: "greedy-mindeg", Seed: 7, Workers: 2},
+		Format:   "auto",
+		N:        24, M: 10,
+		Error:       "boom",
+		Retries:     2,
+		SubmittedAt: time.Now().Truncate(time.Millisecond),
+	}
+	if err := st.writeJob(info); err != nil {
+		t.Fatal(err)
+	}
+	back, err := st.readJob(filepath.Join(st.dir, info.ID+jobSuffix))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.State != StateFailed || back.Priority != PriorityHigh || back.Error != "boom" ||
+		back.Params != info.Params || back.Retries != 2 || back.Label != info.Label {
+		t.Errorf("job doc round trip changed the snapshot: %+v", back)
+	}
+}
+
+func TestStoreRecover(t *testing.T) {
+	dir := t.TempDir()
+	st, err := newStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := sampleResult(t)
+	// A complete done job: result + metadata.
+	if err := st.writeResult("jobdone", res); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.writeJob(Info{ID: "jobdone", State: StateDone, Priority: PriorityNormal,
+		TotalColors: res.TotalColors, PhaseCount: len(res.Phases)}); err != nil {
+		t.Fatal(err)
+	}
+	// A failed job: metadata only.
+	if err := st.writeJob(Info{ID: "jobfail", State: StateFailed, Priority: PriorityLow, Error: "x"}); err != nil {
+		t.Fatal(err)
+	}
+	// An orphan result (crash between the two writes) is adopted as done —
+	// but only under a name shaped like a real content hash.
+	orphanID := strings.Repeat("ab", 32)
+	if err := st.writeResult(orphanID, res); err != nil {
+		t.Fatal(err)
+	}
+	// Garbage that must be skipped, not fatal: unparsable docs, a
+	// non-hash orphan name (a stray copied file), a wrong-type result.
+	if err := os.WriteFile(filepath.Join(dir, "junk.job.json"), []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.writeResult("backup copy", res); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, strings.Repeat("cd", 32)+".result.json"), []byte(`{"type":"nope"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	infos, err := st.recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	byID := map[string]Info{}
+	for _, info := range infos {
+		byID[info.ID] = info
+	}
+	if len(byID) != 3 {
+		t.Fatalf("recovered %d jobs (%v), want 3", len(byID), byID)
+	}
+	if byID["jobdone"].State != StateDone || byID["jobdone"].TotalColors != res.TotalColors {
+		t.Errorf("jobdone = %+v", byID["jobdone"])
+	}
+	if byID["jobfail"].State != StateFailed || byID["jobfail"].Error != "x" {
+		t.Errorf("jobfail = %+v", byID["jobfail"])
+	}
+	if byID[orphanID].State != StateDone || byID[orphanID].PhaseCount != len(res.Phases) {
+		t.Errorf("orphan = %+v", byID[orphanID])
+	}
+}
+
+func TestStoreAtomicWriteLeavesNoTemp(t *testing.T) {
+	dir := t.TempDir()
+	st, err := newStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.writeResult("x", sampleResult(t)); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), ".tmp-") {
+			t.Errorf("temp file %s left behind", e.Name())
+		}
+	}
+}

@@ -192,6 +192,39 @@ func TestWithSharesCacheAndGate(t *testing.T) {
 	if base.CacheStats().Hits != 1 {
 		t.Errorf("base cache stats = %+v, want the derived hit recorded", base.CacheStats())
 	}
+
+	// Gate slots are counted jointly: a solve held open on the derived
+	// solver occupies the base solver's gate (and vice versa), which is
+	// what lets one server-wide admission bound govern every per-request
+	// derivation.
+	h, _ := testInstance(t, 5)
+	blocked := base.With(WithOracle(blockingName()), WithWorkers(2))
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() {
+		_, err := blocked.Solve(ctx, h)
+		errc <- err
+	}()
+	select {
+	case <-blockInstance.started:
+	case <-time.After(5 * time.Second):
+		t.Fatal("derived solve never started")
+	}
+	if base.InFlight() != 1 || derived.InFlight() != 1 || blocked.InFlight() != 1 {
+		t.Errorf("in-flight counts base=%d derived=%d blocked=%d, want 1 everywhere (one shared gate)",
+			base.InFlight(), derived.InFlight(), blocked.InFlight())
+	}
+	cancel()
+	if err := <-errc; !errors.Is(err, ErrCancelled) {
+		t.Errorf("blocked solve error = %v, want ErrCancelled", err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for base.InFlight() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("gate slot never released after cancellation")
+		}
+		time.Sleep(time.Millisecond)
+	}
 }
 
 // blockingOracle parks Solve until its context (delivered through

@@ -1,0 +1,44 @@
+// Command resultcheck verifies that a persisted reduction-result
+// document round-trips through graphio.ReadResult: it parses the file,
+// checks the document is non-degenerate, and prints a one-line summary.
+// The CI jobs-smoke job runs it against the result document a cfserve
+// job persisted, pinning the store format end to end.
+//
+//	go run ./scripts/resultcheck <path/to/id.result.json>
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"pslocal/internal/graphio"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "resultcheck:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	if len(os.Args) != 2 {
+		return fmt.Errorf("usage: resultcheck <result-document.json>")
+	}
+	f, err := os.Open(os.Args[1])
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	res, err := graphio.ReadResult(f)
+	if err != nil {
+		return err
+	}
+	if res.TotalColors < 1 || len(res.Phases) < 1 || len(res.Multicoloring) < 1 {
+		return fmt.Errorf("degenerate result document: colors=%d phases=%d vertices=%d",
+			res.TotalColors, len(res.Phases), len(res.Multicoloring))
+	}
+	fmt.Printf("ok: k=%d colors=%d phases=%d vertices=%d\n",
+		res.K, res.TotalColors, len(res.Phases), len(res.Multicoloring))
+	return nil
+}
