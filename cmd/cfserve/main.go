@@ -47,6 +47,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -72,8 +73,28 @@ func run() error {
 			"persistent job store directory, rescanned on restart (empty = in-memory only; each instance needs its own directory)")
 		jobWorkers = flag.Int("job-workers", 0, "job worker pool width (0 = GOMAXPROCS)")
 		jobQueue   = flag.Int("job-queue", 1024, "job queue capacity across priority lanes")
+		pprofAddr  = flag.String("pprof", "",
+			"pprof listen address, e.g. localhost:6060 (empty = disabled; served on its own mux, never on -addr)")
 	)
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		// Profiling gets its own mux on its own listener: the service mux
+		// stays free of debug handlers, and binding -pprof to localhost
+		// keeps profiles off the public address entirely.
+		go func() {
+			mux := http.NewServeMux()
+			mux.HandleFunc("/debug/pprof/", pprof.Index)
+			mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+			mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+			mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+			mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+			log.Printf("cfserve: pprof on http://%s/debug/pprof/", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, mux); err != nil {
+				log.Printf("cfserve: pprof server: %v", err)
+			}
+		}()
+	}
 
 	s, err := newServer(config{
 		maxWorkers:   *maxWorkers,

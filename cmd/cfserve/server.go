@@ -26,11 +26,43 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
 	"pslocal"
 )
+
+// encodeBuf is one pooled response encoder: a reusable buffer with a
+// json.Encoder permanently bound to it, so steady-state responses reuse
+// both the encode buffer and the encoder instead of allocating fresh ones
+// per request. Buffers that ballooned past maxRetainedEncodeBuf on a
+// one-off giant response are dropped instead of pooled.
+type encodeBuf struct {
+	buf bytes.Buffer
+	enc *json.Encoder
+}
+
+const maxRetainedEncodeBuf = 1 << 20
+
+var encodePool = sync.Pool{New: func() any {
+	e := new(encodeBuf)
+	e.enc = json.NewEncoder(&e.buf)
+	e.enc.SetIndent("", "  ")
+	return e
+}}
+
+func grabEncodeBuf() *encodeBuf {
+	e := encodePool.Get().(*encodeBuf)
+	e.buf.Reset()
+	return e
+}
+
+func releaseEncodeBuf(e *encodeBuf) {
+	if e.buf.Cap() <= maxRetainedEncodeBuf {
+		encodePool.Put(e)
+	}
+}
 
 // config carries the server-wide limits set by the flags in main.go.
 type config struct {
@@ -259,8 +291,12 @@ func (s *server) handleReduce(w http.ResponseWriter, r *http.Request) {
 			pslocal.VerifyConflictFreeMulti(hg, res.Multicoloring) == nil
 	}
 
-	var doc bytes.Buffer
-	if err := pslocal.WriteResult(&doc, res); err != nil {
+	// The result document lands in a pooled buffer too; the RawMessage
+	// below aliases it, so it is released only after writeJSON has
+	// serialised the response (the deferred release runs last).
+	docBuf := grabEncodeBuf()
+	defer releaseEncodeBuf(docBuf)
+	if err := pslocal.WriteResult(&docBuf.buf, res); err != nil {
 		s.fail(w, http.StatusInternalServerError, err)
 		return
 	}
@@ -271,7 +307,7 @@ func (s *server) handleReduce(w http.ResponseWriter, r *http.Request) {
 		Workers:   workers,
 		Verified:  verified,
 		ElapsedMS: msSince(started),
-		Result:    json.RawMessage(doc.Bytes()),
+		Result:    json.RawMessage(docBuf.buf.Bytes()),
 	})
 }
 
@@ -435,6 +471,10 @@ func (s *server) failSolve(w http.ResponseWriter, err error) {
 		errors.Is(err, pslocal.ErrBadK),
 		errors.Is(err, pslocal.ErrBadDelta):
 		s.fail(w, http.StatusBadRequest, err)
+	case errors.Is(err, pslocal.ErrOracleInapplicable):
+		// The instance parsed fine but lies outside the requested partial
+		// oracle's class — the client's pairing, not a server fault.
+		s.fail(w, http.StatusUnprocessableEntity, err)
 	default:
 		s.fail(w, http.StatusInternalServerError, err)
 	}
@@ -452,13 +492,20 @@ func (s *server) abandon(error) {
 	s.canceled.Add(1)
 }
 
-// writeJSON writes v with the given status.
+// writeJSON encodes v into a pooled buffer and writes it with the given
+// status. Encoding before WriteHeader means an encode failure can still
+// surface as a 500 instead of a truncated 200.
 func (s *server) writeJSON(w http.ResponseWriter, status int, v any) {
+	e := grabEncodeBuf()
+	defer releaseEncodeBuf(e)
+	if err := e.enc.Encode(v); err != nil {
+		s.failures.Add(1)
+		http.Error(w, `{"error":"response encoding failed"}`, http.StatusInternalServerError)
+		return
+	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	_ = enc.Encode(v)
+	_, _ = w.Write(e.buf.Bytes())
 }
 
 // intParam parses an optional integer query parameter.

@@ -170,6 +170,28 @@ func TestReduceRejectsBadRequests(t *testing.T) {
 	}
 }
 
+// TestMaxISInapplicableOracleIs422 pins the status for a partial oracle
+// declining an instance outside its class: the body parsed fine, so it
+// is neither a 400 nor a server fault.
+func TestMaxISInapplicableOracleIs422(t *testing.T) {
+	_, ts := newTestServer(t)
+	triangle := []byte(`{"type":"graph","n":3,"edges":[[0,1],[1,2],[0,2]]}`)
+	var got map[string]any
+	resp := postInstance(t, ts.URL+"/v1/maxis?oracle=bipartite-exact", triangle, &got)
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("status = %d, want 422 (%v)", resp.StatusCode, got)
+	}
+	if got["error"] == "" {
+		t.Error("422 response carries no error message")
+	}
+	// Inside a portfolio the same instance succeeds: the member drops.
+	var ok maxisResponse
+	resp = postInstance(t, ts.URL+"/v1/maxis?oracle=portfolio:bipartite-exact,greedy-mindeg", triangle, &ok)
+	if resp.StatusCode != http.StatusOK || !ok.Verified {
+		t.Fatalf("portfolio with inapplicable member: status %d, verified %v", resp.StatusCode, ok.Verified)
+	}
+}
+
 // TestMaxISAllFormats posts the same graph in every supported format,
 // with and without an explicit format directive.
 func TestMaxISAllFormats(t *testing.T) {

@@ -50,6 +50,11 @@ var (
 	// ErrBudgetExceeded reports an exact solve that ran out of its branch
 	// budget; the returned set is the best found so far.
 	ErrBudgetExceeded = maxis.ErrBudgetExceeded
+	// ErrOracleInapplicable reports a partial oracle declining an
+	// instance outside its class (bipartite-exact on a non-bipartite
+	// graph). Inside a portfolio the member just drops out of the race;
+	// standalone it surfaces here.
+	ErrOracleInapplicable = maxis.ErrInapplicable
 	// ErrBadDelta reports a non-positive carving growth slack.
 	ErrBadDelta = slocal.ErrBadDelta
 	// ErrBadOrder reports a processing order that is not a permutation of

@@ -15,12 +15,19 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 
 	"pslocal/internal/cfcolor"
 	"pslocal/internal/engine"
 	"pslocal/internal/hypergraph"
 	"pslocal/internal/maxis"
 )
+
+// ffScratchPool recycles FirstFitScratch buffers across Reduce calls, so
+// a solver serving many small implicit-mode reductions reaches steady
+// state without per-call scratch growth. Each Reduce holds one scratch
+// exclusively for its whole phase loop.
+var ffScratchPool = sync.Pool{New: func() any { return new(FirstFitScratch) }}
 
 // Reduction errors.
 var (
@@ -143,7 +150,8 @@ func Reduce(ctx context.Context, h *hypergraph.Hypergraph, opts Options) (*Resul
 		K:             opts.K,
 	}
 	cur := h
-	var ff FirstFitScratch // shared across phases (implicit mode)
+	ff := ffScratchPool.Get().(*FirstFitScratch) // shared across phases (implicit mode)
+	defer ffScratchPool.Put(ff)
 	for phase := 1; cur.M() > 0; phase++ {
 		if phase > maxPhases {
 			return nil, fmt.Errorf("%w: %d phases with %d edges left", ErrPhaseBudget, maxPhases, cur.M())
@@ -161,7 +169,7 @@ func Reduce(ctx context.Context, h *hypergraph.Hypergraph, opts Options) (*Resul
 			ConflictNodes: ix.NumNodes(),
 			ConflictEdges: -1,
 		}
-		triples, conflictEdges, err := solvePhase(ix, opts, &ff)
+		triples, conflictEdges, err := solvePhase(ix, opts, ff)
 		if err != nil {
 			return nil, fmt.Errorf("core: phase %d: %w", phase, err)
 		}

@@ -1,0 +1,227 @@
+package maxis
+
+// bipartite.go implements the exact-on-bipartite oracle: 2-colour every
+// component; when the whole graph is bipartite, a maximum independent set
+// follows from König's theorem — max matching (Hopcroft–Karp) → minimum
+// vertex cover → complement. Non-bipartite inputs are not approximated:
+// the oracle reports ErrNotBipartite, which wraps ErrInapplicable so a
+// Portfolio racing it simply drops the member and keeps the best of the
+// rest. The construction follows the independence-system literature
+// (König/Hopcroft–Karp per component, cf. SNIPPETS.md); conflict graphs
+// G_k contain per-edge cliques and are essentially never bipartite, so
+// inside the reduction loop this member only ever contributes through a
+// portfolio on degenerate instances — its real workload is the /v1/maxis
+// serve path on structurally bipartite graphs, where it is exact (λ = 1)
+// at matching cost instead of branch-and-bound cost.
+
+import (
+	"errors"
+	"fmt"
+
+	"pslocal/internal/graph"
+)
+
+// ErrInapplicable reports an oracle that cannot run on the given instance
+// at all (as opposed to failing while running). Portfolio drops members
+// whose error wraps ErrInapplicable instead of aborting the race.
+var ErrInapplicable = errors.New("maxis: oracle inapplicable to this instance")
+
+// ErrNotBipartite reports a BipartiteExact input with an odd cycle; it
+// wraps ErrInapplicable, so portfolios drop the member silently.
+var ErrNotBipartite = fmt.Errorf("%w: graph is not bipartite", ErrInapplicable)
+
+// hkInfinity is the unreached BFS distance of the Hopcroft–Karp phase.
+const hkInfinity = int32(1 << 30)
+
+// BipartiteExact returns a maximum independent set of g when g is
+// bipartite (every component 2-colourable) and ErrNotBipartite otherwise.
+//
+// The construction is König's theorem end to end: a maximum matching M of
+// a bipartite graph has a vertex cover of size |M| (the minimum), and the
+// complement of a minimum vertex cover is a maximum independent set, so
+// α(g) = n − |M|. The matching is Hopcroft–Karp (O(E·√V)); the cover is
+// recovered from the alternating-reachability set Z of the final matching
+// as (L \ Z) ∪ (R ∩ Z), giving the independent set (L ∩ Z) ∪ (R \ Z).
+func BipartiteExact(g *graph.Graph) ([]int32, error) {
+	n := g.N()
+	if n == 0 {
+		return nil, nil
+	}
+	side, err := twoColor(g)
+	if err != nil {
+		return nil, err
+	}
+	pairU, pairV := hopcroftKarp(g, side)
+	// Z: vertices reachable from unmatched left vertices by alternating
+	// paths (left→right over non-matching edges, right→left over matching
+	// edges). BFS over the whole graph at once — components do not mix.
+	inZ := make([]bool, n)
+	queue := make([]int32, 0, n)
+	for v := int32(0); int(v) < n; v++ {
+		if side[v] == 0 && pairU[v] < 0 {
+			inZ[v] = true
+			queue = append(queue, v)
+		}
+	}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		if side[v] == 0 {
+			// Left: every edge except the matching edge is non-matching;
+			// the matching partner (if any) is only reachable over the
+			// matching edge from the right side, handled below.
+			g.ForEachNeighbor(v, func(u int32) bool {
+				if u != pairU[v] && !inZ[u] {
+					inZ[u] = true
+					queue = append(queue, u)
+				}
+				return true
+			})
+		} else if w := pairV[v]; w >= 0 && !inZ[w] {
+			inZ[w] = true
+			queue = append(queue, w)
+		}
+	}
+	// Independent set = (L ∩ Z) ∪ (R \ Z).
+	var out []int32
+	for v := int32(0); int(v) < n; v++ {
+		if (side[v] == 0) == inZ[v] {
+			out = append(out, v)
+		}
+	}
+	return out, nil
+}
+
+// twoColor BFS-2-colours every component, returning side ∈ {0, 1} per
+// vertex or ErrNotBipartite (with the offending edge) on an odd cycle.
+func twoColor(g *graph.Graph) ([]int8, error) {
+	n := g.N()
+	side := make([]int8, n)
+	for i := range side {
+		side[i] = -1
+	}
+	queue := make([]int32, 0, n)
+	for start := int32(0); int(start) < n; start++ {
+		if side[start] >= 0 {
+			continue
+		}
+		side[start] = 0
+		queue = append(queue[:0], start)
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			var oddU int32 = -1
+			g.ForEachNeighbor(v, func(u int32) bool {
+				switch side[u] {
+				case -1:
+					side[u] = 1 - side[v]
+					queue = append(queue, u)
+				case side[v]:
+					oddU = u
+					return false
+				}
+				return true
+			})
+			if oddU >= 0 {
+				return nil, fmt.Errorf("%w (odd cycle through edge {%d,%d})", ErrNotBipartite, v, oddU)
+			}
+		}
+	}
+	return side, nil
+}
+
+// hopcroftKarp computes a maximum matching of the 2-coloured graph:
+// pairU[v] is the partner of left vertex v, pairV[u] of right vertex u,
+// −1 when unmatched (and for vertices of the other side). Phases of
+// shortest augmenting paths double the matched size logarithmically,
+// giving the O(E·√V) bound.
+func hopcroftKarp(g *graph.Graph, side []int8) (pairU, pairV []int32) {
+	n := g.N()
+	pairU = make([]int32, n)
+	pairV = make([]int32, n)
+	dist := make([]int32, n)
+	for i := range pairU {
+		pairU[i], pairV[i] = -1, -1
+	}
+	queue := make([]int32, 0, n)
+	// distFree is the shortest-path layer at which this phase first
+	// reaches a free right vertex; the DFS only accepts free vertices at
+	// exactly that layer, keeping augmenting paths phase-shortest.
+	var distFree int32
+	var augment func(v int32) bool
+	augment = func(v int32) bool {
+		found := false
+		g.ForEachNeighbor(v, func(u int32) bool {
+			w := pairV[u]
+			if w < 0 {
+				if dist[v]+1 != distFree {
+					return true
+				}
+			} else if dist[w] != dist[v]+1 || !augment(w) {
+				return true
+			}
+			pairV[u] = v
+			pairU[v] = u
+			found = true
+			return false
+		})
+		if !found {
+			dist[v] = hkInfinity // dead end for the rest of this phase
+		}
+		return found
+	}
+	for {
+		// BFS layering from unmatched left vertices.
+		queue = queue[:0]
+		for v := int32(0); int(v) < n; v++ {
+			if side[v] != 0 {
+				continue
+			}
+			if pairU[v] < 0 {
+				dist[v] = 0
+				queue = append(queue, v)
+			} else {
+				dist[v] = hkInfinity
+			}
+		}
+		distFree = hkInfinity
+		for qi := 0; qi < len(queue); qi++ {
+			v := queue[qi]
+			if dist[v]+1 >= distFree {
+				continue // deeper layers cannot shorten the phase
+			}
+			g.ForEachNeighbor(v, func(u int32) bool {
+				w := pairV[u]
+				if w < 0 {
+					distFree = dist[v] + 1 // first free right vertex: phase length
+				} else if dist[w] == hkInfinity {
+					dist[w] = dist[v] + 1
+					queue = append(queue, w)
+				}
+				return true
+			})
+		}
+		if distFree == hkInfinity {
+			return pairU, pairV
+		}
+		// DFS phase: vertex-disjoint shortest augmenting paths.
+		for v := int32(0); int(v) < n; v++ {
+			if side[v] == 0 && pairU[v] < 0 && dist[v] == 0 {
+				augment(v)
+			}
+		}
+	}
+}
+
+// BipartiteOracle adapts BipartiteExact to the Oracle interface; it is
+// registered as "bipartite-exact" and portfolio-eligible (non-bipartite
+// instances drop it from the race via ErrInapplicable).
+type BipartiteOracle struct{}
+
+// Name implements Oracle.
+func (BipartiteOracle) Name() string { return "bipartite-exact" }
+
+// Solve implements Oracle.
+func (BipartiteOracle) Solve(g *graph.Graph) ([]int32, error) {
+	return BipartiteExact(g)
+}

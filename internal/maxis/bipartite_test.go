@@ -1,0 +1,174 @@
+package maxis
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"pslocal/internal/graph"
+)
+
+// randomBipartite builds a random bipartite graph: vertices with even ids
+// on the left, odd on the right, random left–right edges.
+func randomBipartite(n int, p float64, rng *rand.Rand) *graph.Graph {
+	b := graph.NewBuilder(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if (u+v)%2 == 1 && rng.Float64() < p {
+				b.AddEdge(int32(u), int32(v))
+			}
+		}
+	}
+	return b.MustBuild()
+}
+
+func TestBipartiteExactOddCycle(t *testing.T) {
+	for _, n := range []int{3, 5, 7, 21} {
+		_, err := BipartiteExact(graph.Cycle(n))
+		if !errors.Is(err, ErrNotBipartite) {
+			t.Errorf("C%d: err = %v, want ErrNotBipartite", n, err)
+		}
+		if !errors.Is(err, ErrInapplicable) {
+			t.Errorf("C%d: ErrNotBipartite must wrap ErrInapplicable", n)
+		}
+	}
+}
+
+func TestBipartiteExactEvenCyclesAndPaths(t *testing.T) {
+	for _, n := range []int{2, 4, 6, 30} {
+		g := graph.Cycle(n)
+		set, err := BipartiteExact(g)
+		if err != nil {
+			t.Fatalf("C%d: %v", n, err)
+		}
+		if !IsIndependentSet(g, set) || len(set) != n/2 {
+			t.Errorf("C%d: got %d, want α = %d (set %v)", n, len(set), n/2, set)
+		}
+	}
+	// Path P5: 0-1-2-3-4, α = 3.
+	b := graph.NewBuilder(5)
+	for i := int32(0); i < 4; i++ {
+		b.AddEdge(i, i+1)
+	}
+	g := b.MustBuild()
+	set, err := BipartiteExact(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !IsIndependentSet(g, set) || len(set) != 3 {
+		t.Errorf("P5: got %v, want a maximum IS of size 3", set)
+	}
+}
+
+func TestBipartiteExactCompleteBipartite(t *testing.T) {
+	// K_{3,5}: left = 0..2, right = 3..7, α = 5 (the larger side).
+	b := graph.NewBuilder(8)
+	for l := int32(0); l < 3; l++ {
+		for r := int32(3); r < 8; r++ {
+			b.AddEdge(l, r)
+		}
+	}
+	g := b.MustBuild()
+	set, err := BipartiteExact(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !IsIndependentSet(g, set) || len(set) != 5 {
+		t.Errorf("K_{3,5}: got %v, want the size-5 side", set)
+	}
+}
+
+// TestBipartiteExactMixedComponents covers a graph whose components are a
+// path, an even cycle, and isolated vertices — α adds up per component.
+func TestBipartiteExactMixedComponents(t *testing.T) {
+	// 0-1-2 (path, α=2) | 3-4-5-6-3 (C4, α=2) | 7, 8 isolated (α=2).
+	b := graph.NewBuilder(9)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	b.AddEdge(3, 4)
+	b.AddEdge(4, 5)
+	b.AddEdge(5, 6)
+	b.AddEdge(6, 3)
+	g := b.MustBuild()
+	set, err := BipartiteExact(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !IsIndependentSet(g, set) || len(set) != 6 {
+		t.Errorf("mixed components: got %d (%v), want 6", len(set), set)
+	}
+	// One odd-cycle component poisons the whole instance.
+	b2 := graph.NewBuilder(8)
+	b2.AddEdge(0, 1)
+	b2.AddEdge(5, 6)
+	b2.AddEdge(6, 7)
+	b2.AddEdge(7, 5) // triangle
+	if _, err := BipartiteExact(b2.MustBuild()); !errors.Is(err, ErrInapplicable) {
+		t.Errorf("triangle component: err = %v, want ErrInapplicable", err)
+	}
+}
+
+// TestBipartiteExactMatchesExact pins König against branch-and-bound on
+// random bipartite graphs: same α, and the output verifies.
+func TestBipartiteExactMatchesExact(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(40)
+		g := randomBipartite(n, 0.05+0.4*rng.Float64(), rng)
+		set, err := BipartiteExact(g)
+		if err != nil {
+			return false
+		}
+		exact, err := Exact(g)
+		if err != nil {
+			return false
+		}
+		return IsIndependentSet(g, set) && len(set) == len(exact)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBipartiteExactEmpty(t *testing.T) {
+	set, err := BipartiteExact(graph.NewBuilder(0).MustBuild())
+	if err != nil || len(set) != 0 {
+		t.Errorf("empty graph: set %v, err %v", set, err)
+	}
+}
+
+// TestPortfolioDropsInapplicableMembers is the racer contract: a member
+// declining via ErrInapplicable silently leaves the race, any other error
+// still aborts, and a race with no survivors is an error.
+func TestPortfolioDropsInapplicableMembers(t *testing.T) {
+	odd := graph.Cycle(7)
+	p, err := NewPortfolio(BipartiteOracle{}, MinDegreeOracle{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	set, err := p.Solve(odd)
+	if err != nil {
+		t.Fatalf("portfolio with one inapplicable member: %v", err)
+	}
+	if !IsIndependentSet(odd, set) || len(set) == 0 {
+		t.Errorf("portfolio on C7 returned %v", set)
+	}
+	// On a bipartite instance the exact member must win the race outright.
+	even := graph.Cycle(8)
+	set, err = p.Solve(even)
+	if err != nil {
+		t.Fatalf("portfolio on C8: %v", err)
+	}
+	if len(set) != 4 {
+		t.Errorf("portfolio on C8 returned size %d, want the exact member's 4", len(set))
+	}
+	// Every member inapplicable -> error.
+	all, err := NewPortfolio(BipartiteOracle{}, BipartiteOracle{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := all.Solve(odd); err == nil {
+		t.Error("all-dropped portfolio succeeded, want error")
+	}
+}

@@ -44,6 +44,17 @@ func (b bitset) andNotInPlace(x bitset) {
 	}
 }
 
+// intersects reports whether b and x share a set bit, with first-hit
+// early exit; the dense greedy kernels use it as their blocking test.
+func intersects(b, x bitset) bool {
+	for i := range b {
+		if b[i]&x[i] != 0 {
+			return true
+		}
+	}
+	return false
+}
+
 // countAnd returns |b ∩ x| without allocating.
 func countAnd(b, x bitset) int {
 	total := 0

@@ -1,0 +1,192 @@
+package maxis
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"pslocal/internal/graph"
+)
+
+// refGreedyMinDegreeDeterministic is the list-based twin of the dense
+// min-degree kernel: it selects the smallest (residual degree, id) pair by
+// a plain scan, the same tie-break greedyMinDegreeDense uses, so the two
+// must match element for element on every graph.
+func refGreedyMinDegreeDeterministic(g *graph.Graph) []int32 {
+	n := g.N()
+	removed := make([]bool, n)
+	deg := make([]int32, n)
+	for v := 0; v < n; v++ {
+		deg[v] = int32(g.Degree(int32(v)))
+	}
+	var out []int32
+	for {
+		best, bestDeg := int32(-1), int32(0)
+		for v := int32(0); int(v) < n; v++ {
+			if !removed[v] && (best < 0 || deg[v] < bestDeg) {
+				best, bestDeg = v, deg[v]
+			}
+		}
+		if best < 0 {
+			break
+		}
+		out = append(out, best)
+		drop := []int32{best}
+		removed[best] = true
+		g.ForEachNeighbor(best, func(u int32) bool {
+			if !removed[u] {
+				removed[u] = true
+				drop = append(drop, u)
+			}
+			return true
+		})
+		for _, u := range drop {
+			g.ForEachNeighbor(u, func(w int32) bool {
+				if !removed[w] {
+					deg[w]--
+				}
+				return true
+			})
+		}
+	}
+	sortNodes(out)
+	return out
+}
+
+func equalSets(a, b []int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestGreedyOrderDenseMatchesList(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(60)
+		g := graph.GnP(n, rng.Float64(), rng)
+		order := make([]int32, n)
+		for i, p := range rng.Perm(n) {
+			order[i] = int32(p)
+		}
+		dense := greedyOrderDense(packDense(g), order)
+		list := greedyOrderList(g, order)
+		return equalSets(dense, list) && IsIndependentSet(g, dense)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGreedyMinDegreeDenseMatchesReference(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(60)
+		g := graph.GnP(n, rng.Float64(), rng)
+		dense := greedyMinDegreeDense(packDense(g))
+		ref := refGreedyMinDegreeDeterministic(g)
+		return equalSets(dense, ref) && IsIndependentSet(g, dense)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGreedyMinDegreeBitsetMeetsListOnFallback(t *testing.T) {
+	// Below the density cutoff the bitset oracle IS GreedyMinDegree; the
+	// outputs must be bit-identical.
+	rng := rand.New(rand.NewSource(11))
+	g := graph.GnP(400, 0.005, rng)
+	if NewDense(g) != nil {
+		t.Fatalf("G(400, 0.005) unexpectedly cleared the density cutoff")
+	}
+	if !equalSets(GreedyMinDegreeBitset(g), GreedyMinDegree(g)) {
+		t.Error("sparse fallback diverged from GreedyMinDegree")
+	}
+}
+
+func TestDenseEligibility(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	dense := graph.GnP(128, 0.5, rng)
+	if NewDense(dense) == nil {
+		t.Error("G(128, 0.5) should clear the density cutoff")
+	}
+	sparse := graph.GnP(512, 0.002, rng)
+	if NewDense(sparse) != nil {
+		t.Error("G(512, 0.002) should fall below the density cutoff")
+	}
+	if NewDense(graph.GnP(1, 0, rng)) != nil {
+		t.Error("a single vertex should never pack")
+	}
+}
+
+// TestDenseInjectionMatchesSelfPack pins the DenseSetter contract: an
+// oracle given the pre-packed adjacency returns exactly what it returns
+// when packing (or CSR-walking) on its own.
+func TestDenseInjectionMatchesSelfPack(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	g := graph.GnP(96, 0.4, rng)
+	d := NewDense(g)
+	if d == nil {
+		t.Fatalf("G(96, 0.4) should pack")
+	}
+	oracles := []struct {
+		name            string
+		plain, injected Oracle
+	}{
+		{"greedy-firstfit", &FirstFitOracle{}, &FirstFitOracle{}},
+		{"greedy-mindeg-bitset", &MinDegreeBitsetOracle{}, &MinDegreeBitsetOracle{}},
+		{"greedy-random", &RandomOrderOracle{Seed: 5}, &RandomOrderOracle{Seed: 5}},
+		{"exact", &ExactOracle{}, &ExactOracle{}},
+	}
+	for _, tt := range oracles {
+		tt.injected.(DenseSetter).SetDense(d)
+		want, err1 := tt.plain.Solve(g)
+		got, err2 := tt.injected.Solve(g)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("%s: errors %v / %v", tt.name, err1, err2)
+		}
+		if !equalSets(want, got) {
+			t.Errorf("%s: injected dense changed the output: %v vs %v", tt.name, got, want)
+		}
+	}
+}
+
+// TestPortfolioForwardsDense covers the Portfolio fan-out of SetDense.
+func TestPortfolioForwardsDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	g := graph.GnP(64, 0.5, rng)
+	p, err := NewPortfolio(&FirstFitOracle{}, &MinDegreeBitsetOracle{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.SetDense(NewDense(g))
+	set, err := p.Solve(g)
+	if err != nil {
+		t.Fatalf("portfolio Solve: %v", err)
+	}
+	if !IsIndependentSet(g, set) {
+		t.Errorf("portfolio returned a dependent set %v", set)
+	}
+}
+
+func TestExactWithDenseOption(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(13)
+		g := graph.GnP(n, 0.1+0.7*rng.Float64(), rng)
+		set, err := ExactOpts(g, ExactOptions{Dense: &Dense{dg: packDense(g)}})
+		if err != nil {
+			return false
+		}
+		return IsIndependentSet(g, set) && len(set) == bruteForceAlpha(g)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -33,6 +33,11 @@ type ExactOptions struct {
 	// ctxPollInterval branch nodes and the search returns ctx's error with
 	// the best set found so far. Nil never cancels.
 	Ctx context.Context
+	// Dense optionally supplies a pre-packed adjacency (NewDense) for the
+	// same graph, saving the solver its packing pass; owners with an
+	// instance cache inject it via ExactOracle.SetDense. A Dense for a
+	// different graph is ignored.
+	Dense *Dense
 }
 
 // ctxPollInterval is how many branch nodes pass between context polls: a
@@ -68,13 +73,15 @@ func ExactOpts(g *graph.Graph, opts ExactOptions) ([]int32, error) {
 		budget: opts.MaxBranchNodes,
 		ctx:    opts.Ctx,
 	}
+	// Row bitsets are views into one contiguous pack — one backing
+	// allocation instead of n, reused outright when the caller injected the
+	// instance-cached Dense for this graph.
+	d := denseFor(opts.Dense, g)
+	if d == nil {
+		d = packDense(g)
+	}
 	for v := 0; v < n; v++ {
-		row := newBitset(n)
-		g.ForEachNeighbor(int32(v), func(u int32) bool {
-			row.set(u)
-			return true
-		})
-		s.adj[v] = row
+		s.adj[v] = d.row(int32(v))
 	}
 	if opts.CliqueHint != nil {
 		if len(opts.CliqueHint) != n {
@@ -154,6 +161,18 @@ type exactState struct {
 	hintGen   int64
 	scratch   bitset
 	scratch2  bitset
+	scratch3  bitset
+}
+
+// borrowCopy copies src into the reusable scratch3 buffer and returns it.
+// The bound helpers consume the copy fully before the next borrowCopy, so
+// one buffer serves them all — they used to clone() per branch node.
+func (s *exactState) borrowCopy(src bitset) bitset {
+	if s.scratch3 == nil {
+		s.scratch3 = newBitset(s.n)
+	}
+	copy(s.scratch3, src)
+	return s.scratch3
 }
 
 // solve explores the branch rooted at the given active set. It owns
@@ -181,7 +200,7 @@ func (s *exactState) solve(active bitset) {
 	curMark := len(s.cur)
 	defer func() { s.cur = s.cur[:curMark] }()
 
-	s.reduce(active)
+	maxV, maxDeg := s.reduceAndMaxDegree(active)
 
 	if !active.any() {
 		s.maybeRecord()
@@ -191,7 +210,6 @@ func (s *exactState) solve(active bitset) {
 	// After reduction every active node has active-degree >= 2. If the max
 	// active degree is 2 the residue is a disjoint union of cycles; solve
 	// it directly.
-	maxV, maxDeg := s.maxDegree(active)
 	if maxDeg <= 2 {
 		s.solveCycles(active)
 		s.maybeRecord()
@@ -230,11 +248,16 @@ func (s *exactState) solve(active bitset) {
 	s.solve(exclude)
 }
 
-// reduce applies the degree-0 and degree-1 rules until none fires,
-// extending s.cur with the forced inclusions and shrinking active in place.
-func (s *exactState) reduce(active bitset) {
-	for changed := true; changed; {
-		changed = false
+// reduceAndMaxDegree applies the degree-0 and degree-1 rules until none
+// fires, extending s.cur with the forced inclusions and shrinking active
+// in place. The returned vertex and degree are the active maximum, taken
+// from the final sweep — the one where no rule fired, so every degree it
+// computed is still current. Fusing the two saves a whole popcount sweep
+// per branch node over separate reduce + maxDegree passes.
+func (s *exactState) reduceAndMaxDegree(active bitset) (maxV int32, maxDeg int) {
+	for {
+		changed := false
+		maxV, maxDeg = -1, -1
 		active.forEach(func(v int32) bool {
 			if !active.has(v) {
 				// forEach snapshots one word at a time; v may have been
@@ -253,29 +276,23 @@ func (s *exactState) reduce(active bitset) {
 				u := firstAnd(s.adj[v], active)
 				active.clear(u)
 				changed = true
+			default:
+				if d > maxDeg {
+					maxDeg, maxV = d, v
+				}
 			}
 			return true
 		})
-	}
-}
-
-// maxDegree returns the active vertex with the largest active degree.
-func (s *exactState) maxDegree(active bitset) (v int32, deg int) {
-	v, deg = -1, -1
-	active.forEach(func(u int32) bool {
-		if d := countAnd(s.adj[u], active); d > deg {
-			deg = d
-			v = u
+		if !changed {
+			return maxV, maxDeg
 		}
-		return true
-	})
-	return v, deg
+	}
 }
 
 // solveCycles optimally solves the all-degrees-2 residue (disjoint cycles):
 // a cycle of length L contributes floor(L/2) alternate vertices.
 func (s *exactState) solveCycles(active bitset) {
-	remaining := active.clone()
+	remaining := s.borrowCopy(active)
 	for {
 		start := remaining.first()
 		if start < 0 {
@@ -314,7 +331,7 @@ func (s *exactState) solveCycles(active bitset) {
 // greedyMatchingSize returns the size of a maximal matching of the active
 // subgraph; α ≤ |active| − matching size.
 func (s *exactState) greedyMatchingSize(active bitset) int {
-	unmatched := active.clone()
+	unmatched := s.borrowCopy(active)
 	size := 0
 	for {
 		v := unmatched.first()
@@ -335,7 +352,7 @@ func (s *exactState) greedyMatchingSize(active bitset) int {
 // independent set takes at most one node per clique. Each node is
 // processed exactly once, so the cost is O(n) bitset operations.
 func (s *exactState) greedyCliqueCoverSize(active bitset) int {
-	remaining := active.clone()
+	remaining := s.borrowCopy(active)
 	cand := s.scratch2
 	if cand == nil {
 		cand = newBitset(s.n)

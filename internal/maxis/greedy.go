@@ -87,18 +87,26 @@ func GreedyMinDegree(g *graph.Graph) []int32 {
 // algorithm for MIS described in the paper's introduction. The order must
 // be a permutation of 0..n-1; violations are reported via error.
 func GreedyOrder(g *graph.Graph, order []int32) ([]int32, error) {
-	n := g.N()
-	if len(order) != n {
-		return nil, fmt.Errorf("maxis: order length %d, graph has %d nodes", len(order), n)
+	return greedyOrderAuto(nil, g, order)
+}
+
+// greedyOrderAuto validates the order and scans it with the dense kernel
+// when the graph clears the density cutoff (or a pack was injected), the
+// CSR walk otherwise. Both paths produce the identical set for any order.
+func greedyOrderAuto(injected *Dense, g *graph.Graph, order []int32) ([]int32, error) {
+	if err := validateOrder(g, order); err != nil {
+		return nil, err
 	}
-	seen := make([]bool, n)
-	for _, v := range order {
-		if v < 0 || int(v) >= n || seen[v] {
-			return nil, fmt.Errorf("maxis: order is not a permutation (offender %d)", v)
-		}
-		seen[v] = true
+	if d := denseFor(injected, g); d != nil {
+		return greedyOrderDense(d, order), nil
 	}
-	inSet := make([]bool, n)
+	return greedyOrderList(g, order), nil
+}
+
+// greedyOrderList is the CSR-walking order scan; callers have validated
+// the order.
+func greedyOrderList(g *graph.Graph, order []int32) []int32 {
+	inSet := make([]bool, g.N())
 	var out []int32
 	for _, v := range order {
 		blocked := false
@@ -115,7 +123,23 @@ func GreedyOrder(g *graph.Graph, order []int32) ([]int32, error) {
 		}
 	}
 	sortNodes(out)
-	return out, nil
+	return out
+}
+
+// validateOrder checks that order is a permutation of 0..n-1.
+func validateOrder(g *graph.Graph, order []int32) error {
+	n := g.N()
+	if len(order) != n {
+		return fmt.Errorf("maxis: order length %d, graph has %d nodes", len(order), n)
+	}
+	seen := make([]bool, n)
+	for _, v := range order {
+		if v < 0 || int(v) >= n || seen[v] {
+			return fmt.Errorf("maxis: order is not a permutation (offender %d)", v)
+		}
+		seen[v] = true
+	}
+	return nil
 }
 
 // GreedyRandomOrder runs GreedyOrder on a uniformly random permutation.
@@ -148,49 +172,91 @@ func (MinDegreeOracle) Solve(g *graph.Graph) ([]int32, error) {
 // deterministic per-call seed sequence.
 type RandomOrderOracle struct {
 	// Seed initialises the oracle's private random stream.
-	Seed int64
-	rng  *rand.Rand
+	Seed  int64
+	rng   *rand.Rand
+	dense *Dense
 }
 
 // Name implements Oracle.
 func (o *RandomOrderOracle) Name() string { return "greedy-random" }
+
+// SetDense implements DenseSetter.
+func (o *RandomOrderOracle) SetDense(d *Dense) { o.dense = d }
 
 // Solve implements Oracle.
 func (o *RandomOrderOracle) Solve(g *graph.Graph) ([]int32, error) {
 	if o.rng == nil {
 		o.rng = rand.New(rand.NewSource(o.Seed))
 	}
-	return GreedyRandomOrder(g, o.rng), nil
+	order := make([]int32, g.N())
+	for i, p := range o.rng.Perm(g.N()) {
+		order[i] = int32(p)
+	}
+	return greedyOrderAuto(o.dense, g, order)
 }
 
 // FirstFitOracle runs GreedyOrder on the identity permutation; it is the
 // weakest reasonable oracle and a useful adversarial baseline.
-type FirstFitOracle struct{}
+type FirstFitOracle struct {
+	dense *Dense
+}
 
 // Name implements Oracle.
 func (FirstFitOracle) Name() string { return "greedy-firstfit" }
 
+// SetDense implements DenseSetter.
+func (o *FirstFitOracle) SetDense(d *Dense) { o.dense = d }
+
 // Solve implements Oracle.
-func (FirstFitOracle) Solve(g *graph.Graph) ([]int32, error) {
+func (o FirstFitOracle) Solve(g *graph.Graph) ([]int32, error) {
 	order := make([]int32, g.N())
 	for i := range order {
 		order[i] = int32(i)
 	}
-	return GreedyOrder(g, order)
+	return greedyOrderAuto(o.dense, g, order)
+}
+
+// MinDegreeBitsetOracle adapts the dense min-degree kernel to the Oracle
+// interface; it is registered as "greedy-mindeg-bitset". Its selection
+// tie-break (smallest id among minimum-residual-degree vertices) differs
+// from MinDegreeOracle's bucket queue, so the two are distinct registry
+// members rather than one auto-routing oracle — both meet the Caro–Wei
+// bound, and racing them in a portfolio is free diversity.
+type MinDegreeBitsetOracle struct {
+	dense *Dense
+}
+
+// Name implements Oracle.
+func (MinDegreeBitsetOracle) Name() string { return "greedy-mindeg-bitset" }
+
+// SetDense implements DenseSetter.
+func (o *MinDegreeBitsetOracle) SetDense(d *Dense) { o.dense = d }
+
+// Solve implements Oracle.
+func (o MinDegreeBitsetOracle) Solve(g *graph.Graph) ([]int32, error) {
+	return greedyMinDegreeAuto(o.dense, g), nil
 }
 
 // ExactOracle adapts the exact solver to the Oracle interface (λ = 1).
 type ExactOracle struct {
 	// Options forwards solver options, e.g. a clique hint or budget.
 	Options ExactOptions
+	dense   *Dense
 }
 
 // Name implements Oracle.
 func (ExactOracle) Name() string { return "exact" }
 
+// SetDense implements DenseSetter.
+func (o *ExactOracle) SetDense(d *Dense) { o.dense = d }
+
 // Solve implements Oracle.
 func (o ExactOracle) Solve(g *graph.Graph) ([]int32, error) {
-	return ExactOpts(g, o.Options)
+	opts := o.Options
+	if opts.Dense == nil {
+		opts.Dense = o.dense
+	}
+	return ExactOpts(g, opts)
 }
 
 // SolveContext implements ContextSolver: the branch-and-bound polls ctx
@@ -200,6 +266,9 @@ func (o ExactOracle) SolveContext(ctx context.Context, g *graph.Graph) ([]int32,
 	opts := o.Options
 	if opts.Ctx == nil {
 		opts.Ctx = ctx
+	}
+	if opts.Dense == nil {
+		opts.Dense = o.dense
 	}
 	return ExactOpts(g, opts)
 }

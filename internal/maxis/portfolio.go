@@ -10,6 +10,7 @@ package maxis
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"strings"
 
@@ -72,9 +73,23 @@ func (p *Portfolio) Members() []Oracle { return p.members }
 // serially in order, which yields the same result as any parallel run.
 func (p *Portfolio) SetEngine(opts engine.Options) { p.eng = opts }
 
+// SetDense implements DenseSetter by forwarding the packed adjacency to
+// every member that can use it, so a portfolio race on a cached instance
+// packs zero times.
+func (p *Portfolio) SetDense(d *Dense) {
+	for _, m := range p.members {
+		if ds, ok := m.(DenseSetter); ok {
+			ds.SetDense(d)
+		}
+	}
+}
+
 // Solve implements Oracle: every member solves g (concurrently when the
 // engine options select more than one worker), and the largest returned
-// set wins. The first member error aborts the portfolio.
+// set wins. Members whose error wraps ErrInapplicable (e.g.
+// bipartite-exact on a non-bipartite instance) are dropped from the race;
+// any other member error aborts the portfolio. A race in which every
+// member was dropped is an error.
 func (p *Portfolio) Solve(g *graph.Graph) ([]int32, error) {
 	return p.solve(p.eng, g)
 }
@@ -96,6 +111,7 @@ func (p *Portfolio) solve(eng engine.Options, g *graph.Graph) ([]int32, error) {
 		return OracleSolve(eng.Ctx, p.members[0], g)
 	}
 	results := make([][]int32, len(p.members))
+	dropped := make([]error, len(p.members))
 	err := eng.ForEachShard(len(p.members), func(_ int, s engine.Shard) error {
 		for i := s.Lo; i < s.Hi; i++ {
 			if err := eng.Err(); err != nil {
@@ -103,6 +119,10 @@ func (p *Portfolio) solve(eng engine.Options, g *graph.Graph) ([]int32, error) {
 			}
 			set, err := OracleSolve(eng.Ctx, p.members[i], g)
 			if err != nil {
+				if errors.Is(err, ErrInapplicable) {
+					dropped[i] = err
+					continue
+				}
 				return fmt.Errorf("maxis: portfolio member %s: %w", p.members[i].Name(), err)
 			}
 			results[i] = set
@@ -112,11 +132,17 @@ func (p *Portfolio) solve(eng engine.Options, g *graph.Graph) ([]int32, error) {
 	if err != nil {
 		return nil, err
 	}
-	best := 0
-	for i := 1; i < len(results); i++ {
-		if len(results[i]) > len(results[best]) {
+	best := -1
+	for i := range results {
+		if dropped[i] != nil {
+			continue
+		}
+		if best < 0 || len(results[i]) > len(results[best]) {
 			best = i
 		}
+	}
+	if best < 0 {
+		return nil, fmt.Errorf("maxis: every portfolio member was inapplicable: %w", dropped[0])
 	}
 	return results[best], nil
 }

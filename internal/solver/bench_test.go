@@ -1,0 +1,107 @@
+package solver
+
+// bench_test.go proves the zero-allocation serve path: a cache-hit
+// read — body buffering, content hashing, key lookup, Instance fill —
+// allocates nothing. BenchmarkSolverCacheHitAllocs is recorded into
+// BENCH_gk.json by scripts/bench.sh and guarded by the benchmerge
+// allocation gate; TestCacheHitReadAllocatesNothing enforces the same
+// line in every `go test` run.
+
+import (
+	"bytes"
+	"context"
+	"math/rand"
+	"testing"
+
+	"pslocal/internal/graph"
+	"pslocal/internal/graphio"
+)
+
+// benchGraphBody serialises a moderately dense graph as edge-list bytes.
+func benchGraphBody(tb testing.TB, n int, p float64) []byte {
+	tb.Helper()
+	rng := rand.New(rand.NewSource(9))
+	var buf bytes.Buffer
+	if err := graphio.WriteGraph(&buf, graph.GnP(n, p, rng), graphio.FormatEdgeList); err != nil {
+		tb.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func BenchmarkSolverCacheHitAllocs(b *testing.B) {
+	s := New(WithCache(8))
+	body := benchGraphBody(b, 256, 0.3)
+	r := bytes.NewReader(body)
+	var inst Instance
+	if _, _, err := s.readGraphInto(r, graphio.FormatEdgeList, &inst); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Reset(body)
+		if _, _, err := s.readGraphInto(r, graphio.FormatEdgeList, &inst); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if !inst.CacheHit {
+		b.Fatal("expected a cache hit")
+	}
+}
+
+// BenchmarkSolverMaxISReaderHot is the end-to-end serve path on a hot
+// instance — read, hash, hit, inject the cached dense pack, solve. The
+// solve itself allocates (the result set), so this tracks total per-hit
+// cost rather than the zero line.
+func BenchmarkSolverMaxISReaderHot(b *testing.B) {
+	s := New(WithCache(8), WithOracle("greedy-mindeg-bitset"))
+	body := benchGraphBody(b, 256, 0.3)
+	ctx := context.Background()
+	if _, _, err := s.MaxISReader(ctx, bytes.NewReader(body), graphio.FormatEdgeList); err != nil {
+		b.Fatal(err)
+	}
+	r := bytes.NewReader(body)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Reset(body)
+		if _, _, err := s.MaxISReader(ctx, r, graphio.FormatEdgeList); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// TestCacheHitReadAllocatesNothing pins the zero-alloc contract with
+// AllocsPerRun, so a regression fails `go test` rather than waiting for a
+// benchmark diff.
+func TestCacheHitReadAllocatesNothing(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; the zero line is checked in the non-race run")
+	}
+	s := New(WithCache(8))
+	body := benchGraphBody(t, 64, 0.3)
+	r := bytes.NewReader(body)
+	var inst Instance
+	if _, _, err := s.readGraphInto(r, graphio.FormatEdgeList, &inst); err != nil {
+		t.Fatal(err)
+	}
+	// Warm the scratch pool so steady state, not first touch, is measured.
+	for i := 0; i < 4; i++ {
+		r.Reset(body)
+		if _, _, err := s.readGraphInto(r, graphio.FormatEdgeList, &inst); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		r.Reset(body)
+		if _, _, err := s.readGraphInto(r, graphio.FormatEdgeList, &inst); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("cache-hit read allocates %.1f objects per op, want 0", allocs)
+	}
+	if !inst.CacheHit {
+		t.Error("expected a cache hit")
+	}
+}

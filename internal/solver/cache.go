@@ -64,16 +64,26 @@ func newInstanceCache(capacity int) *instanceCache {
 // get returns the cached instance for key, promoting it to
 // most-recently-used, and records the hit or miss.
 func (c *instanceCache) get(key string) (any, bool) {
+	v, _, ok := c.getBytes([]byte(key))
+	return v, ok
+}
+
+// getBytes is get keyed by raw bytes: the map access compiles without
+// materialising a key string, and a hit returns the entry's canonical key
+// so the caller never allocates one either — the cache-hit serve path
+// stays at 0 allocs/op.
+func (c *instanceCache) getBytes(key []byte) (val any, canonical string, ok bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	el, ok := c.items[key]
+	el, ok := c.items[string(key)]
 	if !ok {
 		c.misses++
-		return nil, false
+		return nil, "", false
 	}
 	c.hits++
 	c.order.MoveToFront(el)
-	return el.Value.(*cacheEntry).val, true
+	e := el.Value.(*cacheEntry)
+	return e.val, e.key, true
 }
 
 // put inserts (or refreshes) key → val and evicts the least recently

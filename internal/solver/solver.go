@@ -366,11 +366,13 @@ func (s *Solver) MaxIS(ctx context.Context, g *graph.Graph) (*ISResult, error) {
 		return nil, err
 	}
 	defer s.release()
-	return s.maxIS(ctx, g)
+	return s.maxIS(ctx, g, nil)
 }
 
-// maxIS is MaxIS past the admission gate.
-func (s *Solver) maxIS(ctx context.Context, g *graph.Graph) (*ISResult, error) {
+// maxIS is MaxIS past the admission gate. A non-nil cg supplies the
+// cached instance's lazily packed bitset adjacency, injected into
+// kernel-capable oracles so cache-hit requests never re-pack.
+func (s *Solver) maxIS(ctx context.Context, g *graph.Graph, cg *cachedGraph) (*ISResult, error) {
 	if s.cfg.carving {
 		res, err := slocal.BallCarvingMaxIS(g, slocal.CarvingOptions{
 			Delta: s.cfg.delta,
@@ -401,6 +403,13 @@ func (s *Solver) maxIS(ctx context.Context, g *graph.Graph) (*ISResult, error) {
 	}
 	if es, ok := oracle.(maxis.EngineSetter); ok {
 		es.SetEngine(s.engineOpts(ctx))
+	}
+	if cg != nil {
+		if ds, ok := oracle.(maxis.DenseSetter); ok {
+			if d := cg.densePack(); d != nil {
+				ds.SetDense(d)
+			}
+		}
 	}
 	set, err := maxis.OracleSolve(ctx, oracle, g)
 	if err != nil {
@@ -437,8 +446,11 @@ func (i *Instance) Hypergraph() *hypergraph.Hypergraph {
 // Graph returns the parsed graph behind a MaxISReader instance (nil for
 // hypergraph instances).
 func (i *Instance) Graph() *graph.Graph {
-	g, _ := i.value.(*graph.Graph)
-	return g
+	cg, _ := i.value.(*cachedGraph)
+	if cg == nil {
+		return nil
+	}
+	return cg.g
 }
 
 // SolveReader reads a hypergraph from r in the given graphio format
@@ -450,7 +462,8 @@ func (s *Solver) SolveReader(ctx context.Context, r io.Reader, f graphio.Format)
 		return nil, nil, err
 	}
 	defer s.release()
-	h, inst, err := s.readHypergraph(r, f)
+	inst := new(Instance)
+	h, err := s.readHypergraphInto(r, f, inst)
 	if err != nil {
 		return nil, nil, wrapCancelled(ctx, err)
 	}
@@ -468,74 +481,104 @@ func (s *Solver) MaxISReader(ctx context.Context, r io.Reader, f graphio.Format)
 		return nil, nil, err
 	}
 	defer s.release()
-	g, inst, err := s.readGraph(r, f)
+	inst := new(Instance)
+	g, cg, err := s.readGraphInto(r, f, inst)
 	if err != nil {
 		return nil, nil, wrapCancelled(ctx, err)
 	}
-	res, err := s.maxIS(ctx, g)
+	res, err := s.maxIS(ctx, g, cg)
 	if err != nil {
 		return nil, inst, err
 	}
 	return res, inst, nil
 }
 
-// readInstance funnels both substrates through one cache flow. With a
-// cache the body is buffered and hashed (the key is the whole point);
-// without one the reader streams straight into graphio and Instance.Key
-// stays empty — no buffering, no hashing.
-func (s *Solver) readInstance(r io.Reader, f graphio.Format, kind string,
-	parse func(io.Reader, graphio.Format) (any, error),
-	dims func(any) (int, int)) (any, *Instance, error) {
-	inst := &Instance{Kind: kind}
-	fill := func(v any) {
-		inst.N, inst.M = dims(v)
-		inst.value = v
+// parseGraphEntry/dimsGraphEntry and their hypergraph twins are the
+// readInstance plumbing, named (not closures) so the cache-hit path
+// carries no per-call closure values.
+
+func parseGraphEntry(r io.Reader, f graphio.Format) (any, error) {
+	g, err := graphio.ReadGraph(r, f)
+	if err != nil {
+		return nil, err
 	}
+	return &cachedGraph{g: g}, nil
+}
+
+func dimsGraphEntry(v any) (int, int) {
+	cg := v.(*cachedGraph)
+	return cg.g.N(), cg.g.M()
+}
+
+func parseHypergraphEntry(r io.Reader, f graphio.Format) (any, error) {
+	return graphio.ReadHypergraph(r, f)
+}
+
+func dimsHypergraphEntry(v any) (int, int) {
+	h := v.(*hypergraph.Hypergraph)
+	return h.N(), h.M()
+}
+
+// readInstance funnels both substrates through one cache flow, filling
+// the caller-owned inst in place. With a cache the body lands in pooled
+// scratch and is hashed through pooled sha256 state (the key is the whole
+// point), and a hit borrows the entry's canonical key string — the whole
+// hit path allocates nothing. Without a cache the reader streams straight
+// into graphio and Instance.Key stays empty — no buffering, no hashing.
+func (s *Solver) readInstance(r io.Reader, f graphio.Format, kind string, inst *Instance,
+	parse func(io.Reader, graphio.Format) (any, error),
+	dims func(any) (int, int)) (any, error) {
+	*inst = Instance{Kind: kind}
 	if s.cache == nil {
 		v, err := parse(r, f)
 		if err != nil {
-			return nil, nil, err
+			return nil, err
 		}
-		fill(v)
-		return v, inst, nil
+		inst.N, inst.M = dims(v)
+		inst.value = v
+		return v, nil
 	}
-	body, err := io.ReadAll(r)
+	sc := grabServeScratch()
+	defer releaseServeScratch(sc)
+	body, err := sc.readAll(r)
 	if err != nil {
-		return nil, nil, fmt.Errorf("%w: %w", ErrReadInstance, err)
+		return nil, fmt.Errorf("%w: %w", ErrReadInstance, err)
 	}
-	inst.Key = cacheKey(kind, f.String(), body)
-	if cached, ok := s.cache.get(inst.Key); ok {
+	keyHex := sc.key(kind, f.String(), body)
+	if cached, canonical, ok := s.cache.getBytes(keyHex); ok {
+		inst.Key = canonical
 		inst.CacheHit = true
-		fill(cached)
-		return cached, inst, nil
+		inst.N, inst.M = dims(cached)
+		inst.value = cached
+		return cached, nil
 	}
+	inst.Key = string(keyHex)
 	v, err := parse(bytes.NewReader(body), f)
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
 	s.cache.put(inst.Key, v)
-	fill(v)
-	return v, inst, nil
+	inst.N, inst.M = dims(v)
+	inst.value = v
+	return v, nil
 }
 
-// readHypergraph parses a hypergraph through the cache.
-func (s *Solver) readHypergraph(r io.Reader, f graphio.Format) (*hypergraph.Hypergraph, *Instance, error) {
-	v, inst, err := s.readInstance(r, f, "hypergraph",
-		func(r io.Reader, f graphio.Format) (any, error) { return graphio.ReadHypergraph(r, f) },
-		func(v any) (int, int) { h := v.(*hypergraph.Hypergraph); return h.N(), h.M() })
+// readHypergraphInto parses a hypergraph through the cache.
+func (s *Solver) readHypergraphInto(r io.Reader, f graphio.Format, inst *Instance) (*hypergraph.Hypergraph, error) {
+	v, err := s.readInstance(r, f, "hypergraph", inst, parseHypergraphEntry, dimsHypergraphEntry)
+	if err != nil {
+		return nil, err
+	}
+	return v.(*hypergraph.Hypergraph), nil
+}
+
+// readGraphInto parses a graph through the cache, returning both the CSR
+// and the cache entry that lazily owns its packed bitset adjacency.
+func (s *Solver) readGraphInto(r io.Reader, f graphio.Format, inst *Instance) (*graph.Graph, *cachedGraph, error) {
+	v, err := s.readInstance(r, f, "graph", inst, parseGraphEntry, dimsGraphEntry)
 	if err != nil {
 		return nil, nil, err
 	}
-	return v.(*hypergraph.Hypergraph), inst, nil
-}
-
-// readGraph parses a graph through the cache.
-func (s *Solver) readGraph(r io.Reader, f graphio.Format) (*graph.Graph, *Instance, error) {
-	v, inst, err := s.readInstance(r, f, "graph",
-		func(r io.Reader, f graphio.Format) (any, error) { return graphio.ReadGraph(r, f) },
-		func(v any) (int, int) { g := v.(*graph.Graph); return g.N(), g.M() })
-	if err != nil {
-		return nil, nil, err
-	}
-	return v.(*graph.Graph), inst, nil
+	cg := v.(*cachedGraph)
+	return cg.g, cg, nil
 }

@@ -30,12 +30,19 @@ go test -run '^$' \
   -benchmem -count=1 $benchtime . > "$tmp"
 go test -run '^$' -bench 'MoserTardosLongResampling' -benchmem -count=1 $benchtime \
   ./internal/splitting/ >> "$tmp"
+go test -run '^$' -bench 'OracleKernels|BipartiteExact' -benchmem -count=1 $benchtime \
+  ./internal/maxis/ >> "$tmp"
+go test -run '^$' -bench 'SolverCacheHitAllocs|SolverMaxISReaderHot' -benchmem -count=1 $benchtime \
+  ./internal/solver/ >> "$tmp"
 cat "$tmp"
 
 sha="$(git rev-parse HEAD 2>/dev/null || echo unknown)"
 if ! git diff-index --quiet HEAD -- 2>/dev/null; then
   sha="${sha}-dirty"
 fi
+# The alloc gate holds the zero-allocation serve line: if allocs/op on a
+# serve-path benchmark grows vs the recorded trajectory, the merge fails.
 # shellcheck disable=SC2086  # quickflag is intentionally word-split
-go run ./scripts/benchmerge -out "$out" -sha "$sha" $quickflag < "$tmp"
+go run ./scripts/benchmerge -out "$out" -sha "$sha" $quickflag \
+  -alloc-gate 'SolverCacheHitAllocs|SolverMaxISReaderHot' < "$tmp"
 echo "wrote $out"

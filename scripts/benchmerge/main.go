@@ -55,15 +55,17 @@ func main() {
 		sha   = flag.String("sha", "unknown", "git SHA keying this run's entry")
 		unix  = flag.Int64("time", 0, "unix seconds of the run (0 = now)")
 		quick = flag.Bool("quick", false, "mark the entry as a 1-iteration quick run")
+		gate  = flag.String("alloc-gate", "",
+			"regexp of benchmark names whose allocs_per_op must not grow vs the last recorded entry; a regression fails the merge")
 	)
 	flag.Parse()
-	if err := run(*out, *sha, *unix, *quick, os.Stdin); err != nil {
+	if err := run(*out, *sha, *unix, *quick, *gate, os.Stdin); err != nil {
 		fmt.Fprintln(os.Stderr, "benchmerge:", err)
 		os.Exit(1)
 	}
 }
 
-func run(out, sha string, unix int64, quick bool, in io.Reader) error {
+func run(out, sha string, unix int64, quick bool, gate string, in io.Reader) error {
 	results, err := parseBench(in)
 	if err != nil {
 		return err
@@ -78,12 +80,66 @@ func run(out, sha string, unix int64, quick bool, in io.Reader) error {
 	if err != nil {
 		return err
 	}
+	if gate != "" {
+		if err := checkAllocGate(traj, sha, results, gate); err != nil {
+			return err
+		}
+	}
 	merge(traj, Entry{SHA: sha, UnixTime: unix, Quick: quick, Results: results})
 	data, err := json.MarshalIndent(traj, "", "  ")
 	if err != nil {
 		return err
 	}
 	return os.WriteFile(out, append(data, '\n'), 0o644)
+}
+
+// baseName strips the -<GOMAXPROCS> suffix from a benchmark name so runs
+// from machines with different core counts stay comparable.
+var procSuffix = regexp.MustCompile(`-\d+$`)
+
+func baseName(name string) string { return procSuffix.ReplaceAllString(name, "") }
+
+// checkAllocGate enforces the serve-path allocation line: every new
+// result whose name matches the gate pattern must not allocate more
+// objects per op than the most recent prior entry (skipping entries for
+// the same SHA, which this run replaces) that measured the same
+// benchmark. Allocation counts are deterministic, so the gate is stable
+// even under 1-iteration quick runs.
+func checkAllocGate(traj *Trajectory, sha string, results []Result, gate string) error {
+	re, err := regexp.Compile(gate)
+	if err != nil {
+		return fmt.Errorf("alloc-gate pattern: %w", err)
+	}
+	// Most recent recorded alloc count per gated benchmark base name.
+	baseline := map[string]int64{}
+	for _, e := range traj.History {
+		if e.SHA == sha {
+			continue
+		}
+		for _, r := range e.Results {
+			if r.AllocsPerOp != nil && re.MatchString(r.Name) {
+				baseline[baseName(r.Name)] = *r.AllocsPerOp
+			}
+		}
+	}
+	var regressions []string
+	for _, r := range results {
+		if r.AllocsPerOp == nil || !re.MatchString(r.Name) {
+			continue
+		}
+		if prev, ok := baseline[baseName(r.Name)]; ok && *r.AllocsPerOp > prev {
+			regressions = append(regressions,
+				fmt.Sprintf("%s: %d allocs/op, was %d", baseName(r.Name), *r.AllocsPerOp, prev))
+		}
+	}
+	if len(regressions) > 0 {
+		msg := "ALLOCATION GATE FAILED — serve-path allocs/op grew vs the recorded trajectory:\n"
+		for _, s := range regressions {
+			msg += "  " + s + "\n"
+		}
+		return errors.New(msg + "fix the regression (or update the trajectory deliberately without -alloc-gate)")
+	}
+	return nil
 }
 
 // benchLine matches `go test -bench` result lines, e.g.

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
@@ -42,15 +43,15 @@ func TestParseBench(t *testing.T) {
 
 func TestRunAppendsAndReplacesBySHA(t *testing.T) {
 	out := filepath.Join(t.TempDir(), "BENCH.json")
-	if err := run(out, "sha1", 100, false, strings.NewReader(sample)); err != nil {
+	if err := run(out, "sha1", 100, false, "", strings.NewReader(sample)); err != nil {
 		t.Fatalf("first run: %v", err)
 	}
-	if err := run(out, "sha2", 200, true, strings.NewReader(sample)); err != nil {
+	if err := run(out, "sha2", 200, true, "", strings.NewReader(sample)); err != nil {
 		t.Fatalf("second run: %v", err)
 	}
 	// Same SHA again with a full run: the quick entry is upgraded in
 	// place, not duplicated.
-	if err := run(out, "sha2", 300, false, strings.NewReader(sample)); err != nil {
+	if err := run(out, "sha2", 300, false, "", strings.NewReader(sample)); err != nil {
 		t.Fatalf("third run: %v", err)
 	}
 	traj, err := loadTrajectory(out)
@@ -67,7 +68,7 @@ func TestRunAppendsAndReplacesBySHA(t *testing.T) {
 		t.Errorf("full rerun kept %+v, want time 300 quick=false (upgraded)", traj.History[1])
 	}
 	// A quick run must never replace a full measurement for the same SHA.
-	if err := run(out, "sha1", 500, true, strings.NewReader(sample)); err != nil {
+	if err := run(out, "sha1", 500, true, "", strings.NewReader(sample)); err != nil {
 		t.Fatalf("quick-over-full run: %v", err)
 	}
 	traj, err = loadTrajectory(out)
@@ -87,7 +88,7 @@ func TestLoadTrajectoryMigratesLegacyArray(t *testing.T) {
 	if err := os.WriteFile(out, []byte(legacy), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(out, "new", 400, false, strings.NewReader(sample)); err != nil {
+	if err := run(out, "new", 400, false, "", strings.NewReader(sample)); err != nil {
 		t.Fatalf("run over legacy: %v", err)
 	}
 	traj, err := loadTrajectory(out)
@@ -102,9 +103,56 @@ func TestLoadTrajectoryMigratesLegacyArray(t *testing.T) {
 	}
 }
 
+// allocSample renders bench output for one -benchmem benchmark with the
+// given allocs/op, under the GOMAXPROCS suffix of the caller's choosing.
+func allocSample(name string, allocs int64) string {
+	return fmt.Sprintf("Benchmark%s   \t     100\t   5000 ns/op\t     128 B/op\t       %d allocs/op\nPASS\n",
+		name, allocs)
+}
+
+func TestAllocGate(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "BENCH.json")
+	gate := "SolverCacheHitAllocs"
+	// Baseline entry: zero allocs on the gated benchmark.
+	if err := run(out, "base", 100, false, gate, strings.NewReader(allocSample("SolverCacheHitAllocs-8", 0))); err != nil {
+		t.Fatalf("baseline run: %v", err)
+	}
+	// Equal count passes, and a different GOMAXPROCS suffix still matches
+	// the recorded baseline.
+	if err := run(out, "next", 200, false, gate, strings.NewReader(allocSample("SolverCacheHitAllocs-16", 0))); err != nil {
+		t.Fatalf("equal-alloc run rejected: %v", err)
+	}
+	// A regression fails and leaves the trajectory unwritten.
+	err := run(out, "bad", 300, false, gate, strings.NewReader(allocSample("SolverCacheHitAllocs-8", 3)))
+	if err == nil || !strings.Contains(err.Error(), "ALLOCATION GATE FAILED") {
+		t.Fatalf("regressed run: err = %v, want gate failure", err)
+	}
+	traj, err := loadTrajectory(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range traj.History {
+		if e.SHA == "bad" {
+			t.Error("gate failure still wrote the regressed entry")
+		}
+	}
+	// Ungated benchmarks regress freely.
+	if err := run(out, "other", 400, false, gate, strings.NewReader(allocSample("SomethingElse-8", 999))); err != nil {
+		t.Fatalf("ungated benchmark tripped the gate: %v", err)
+	}
+	// Re-running the baseline SHA compares against other entries, not the
+	// entry this run replaces — so a same-SHA rerun with more allocs than
+	// its own old entry but within the rest of history still fails here
+	// (history has zero-alloc entries from other SHAs).
+	err = run(out, "base", 500, false, gate, strings.NewReader(allocSample("SolverCacheHitAllocs-8", 1)))
+	if err == nil {
+		t.Error("regression on same-SHA rerun slipped past the gate")
+	}
+}
+
 func TestRunRejectsEmptyInput(t *testing.T) {
 	out := filepath.Join(t.TempDir(), "BENCH.json")
-	if err := run(out, "sha", 1, false, strings.NewReader("no benchmarks here\n")); err == nil {
+	if err := run(out, "sha", 1, false, "", strings.NewReader("no benchmarks here\n")); err == nil {
 		t.Error("empty benchmark input accepted")
 	}
 	if _, err := os.Stat(out); !os.IsNotExist(err) {
