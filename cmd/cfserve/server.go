@@ -201,20 +201,22 @@ func (j *jsonErrorRewriter) Write(p []byte) (int, error) {
 // instanceInfo describes the parsed instance and its cache disposition in
 // every response.
 type instanceInfo struct {
-	Kind  string `json:"kind"`
-	N     int    `json:"n"`
-	M     int    `json:"m"`
-	Cache string `json:"cache"` // "hit" or "miss"
-	Key   string `json:"key"`   // "sha256:" + first 16 hex digits
+	Kind     string `json:"kind"`
+	N        int    `json:"n"`
+	M        int    `json:"m"`
+	Weighted bool   `json:"weighted,omitempty"`
+	Cache    string `json:"cache"` // "hit" or "miss"
+	Key      string `json:"key"`   // "sha256:" + first 16 hex digits
 }
 
 // describe maps the Solver's instance report onto the response schema.
 func describe(inst *pslocal.InstanceInfo) instanceInfo {
 	info := instanceInfo{
-		Kind:  inst.Kind,
-		N:     inst.N,
-		M:     inst.M,
-		Cache: "miss",
+		Kind:     inst.Kind,
+		N:        inst.N,
+		M:        inst.M,
+		Weighted: inst.Weighted(),
+		Cache:    "miss",
 	}
 	// The key is empty only when the Solver runs cacheless, which this
 	// server never configures — but do not let a future config change
@@ -319,6 +321,7 @@ type maxisResponse struct {
 	Oracle         string       `json:"oracle,omitempty"`
 	Workers        int          `json:"workers"`
 	Size           int          `json:"size"`
+	TotalWeight    int64        `json:"total_weight"`
 	IndependentSet []int32      `json:"independent_set"`
 	Verified       bool         `json:"verified"`
 	Locality       int          `json:"locality,omitempty"`
@@ -389,6 +392,7 @@ func (s *server) handleMaxIS(w http.ResponseWriter, r *http.Request) {
 		Oracle:         oracleName,
 		Workers:        workers,
 		Size:           len(res.Set),
+		TotalWeight:    res.TotalWeight,
 		IndependentSet: res.Set,
 		Locality:       res.Locality,
 		RadiusBound:    res.RadiusBound,

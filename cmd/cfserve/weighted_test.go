@@ -1,0 +1,129 @@
+package main
+
+// weighted_test.go covers vertex-weighted instances over the HTTP
+// surface: the weighted instance flag, the total_weight field on /v1/maxis
+// responses, and the weight fields of the /v1/reduce result document.
+
+import (
+	"bytes"
+	"net/http"
+	"testing"
+
+	"pslocal/internal/graph"
+	"pslocal/internal/graphio"
+	"pslocal/internal/hypergraph"
+)
+
+// weightedStarBody encodes a 5-vertex star whose centre outweighs all
+// leaves together, so a weight-aware oracle must pick the centre alone.
+func weightedStarBody(t *testing.T) []byte {
+	t.Helper()
+	b := graph.NewBuilder(5)
+	for leaf := int32(1); leaf < 5; leaf++ {
+		b.AddEdge(0, leaf)
+	}
+	b.SetWeight(0, 100)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := graphio.WriteGraph(&buf, g, graphio.FormatJSON); err != nil {
+		t.Fatalf("WriteGraph: %v", err)
+	}
+	return buf.Bytes()
+}
+
+func TestMaxISWeightedInstance(t *testing.T) {
+	_, ts := newTestServer(t)
+	var got maxisResponse
+	resp := postInstance(t, ts.URL+"/v1/maxis?oracle=greedy-mindeg&format=json", weightedStarBody(t), &got)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if !got.Instance.Weighted {
+		t.Error("instance not flagged weighted")
+	}
+	if !got.Verified {
+		t.Error("result not verified")
+	}
+	if got.TotalWeight != 100 || len(got.IndependentSet) != 1 || got.IndependentSet[0] != 0 {
+		t.Errorf("weighted solve returned set %v with total_weight %d, want [0] at 100",
+			got.IndependentSet, got.TotalWeight)
+	}
+
+	// The unweighted twin reports cardinality as total_weight and no flag.
+	var buf bytes.Buffer
+	b := graph.NewBuilder(5)
+	for leaf := int32(1); leaf < 5; leaf++ {
+		b.AddEdge(0, leaf)
+	}
+	if err := graphio.WriteGraph(&buf, b.MustBuild(), graphio.FormatJSON); err != nil {
+		t.Fatalf("WriteGraph: %v", err)
+	}
+	var ugot maxisResponse
+	resp = postInstance(t, ts.URL+"/v1/maxis?oracle=greedy-mindeg&format=json", buf.Bytes(), &ugot)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if ugot.Instance.Weighted {
+		t.Error("unweighted instance flagged weighted")
+	}
+	if ugot.TotalWeight != int64(len(ugot.IndependentSet)) {
+		t.Errorf("unweighted total_weight %d != size %d", ugot.TotalWeight, len(ugot.IndependentSet))
+	}
+}
+
+func TestMaxISWeightedBipartiteExactIs422(t *testing.T) {
+	_, ts := newTestServer(t)
+	var got map[string]any
+	resp := postInstance(t, ts.URL+"/v1/maxis?oracle=bipartite-exact&format=json", weightedStarBody(t), &got)
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("status %d, want 422 for a weighted instance on bipartite-exact", resp.StatusCode)
+	}
+}
+
+func TestReduceWeightedHypergraph(t *testing.T) {
+	_, ts := newTestServer(t)
+	h, err := hypergraph.NewWeighted(6,
+		[][]int32{{0, 1, 2}, {2, 3, 4}, {4, 5, 0}},
+		[]int64{10, 1, 1, 20, 1, 1})
+	if err != nil {
+		t.Fatalf("NewWeighted: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := graphio.WriteHypergraph(&buf, h, graphio.FormatJSON); err != nil {
+		t.Fatalf("WriteHypergraph: %v", err)
+	}
+	var got struct {
+		Instance instanceInfo `json:"instance"`
+		Verified bool         `json:"verified"`
+		Result   struct {
+			Weighted    bool  `json:"weighted"`
+			TotalWeight int64 `json:"total_weight"`
+			Phases      []struct {
+				ISSize   int   `json:"is_size"`
+				ISWeight int64 `json:"is_weight"`
+			} `json:"phases"`
+		} `json:"result"`
+	}
+	resp := postInstance(t, ts.URL+"/v1/reduce?k=2&format=json", buf.Bytes(), &got)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if !got.Instance.Weighted {
+		t.Error("instance not flagged weighted")
+	}
+	if !got.Verified {
+		t.Error("result not verified")
+	}
+	if !got.Result.Weighted || got.Result.TotalWeight <= 0 || got.Result.TotalWeight > h.TotalWeight() {
+		t.Errorf("result weight fields: weighted=%v total_weight=%d (instance total %d)",
+			got.Result.Weighted, got.Result.TotalWeight, h.TotalWeight())
+	}
+	for i, ph := range got.Result.Phases {
+		if ph.ISWeight < int64(ph.ISSize) {
+			t.Errorf("phase %d: is_weight %d < is_size %d", i, ph.ISWeight, ph.ISSize)
+		}
+	}
+}

@@ -1,5 +1,5 @@
 // Command psctab regenerates the reproduction's experiment tables
-// (E1–E14), figure-equivalents (F1–F3) and ablations (A1–A3) — the
+// (E1–E15), figure-equivalents (F1–F3) and ablations (A1–A3) — the
 // DESIGN.md Section 4 index. A non-zero exit status means a paper claim
 // failed on the generated grid.
 //
@@ -122,7 +122,7 @@ type gen struct {
 }
 
 // generators returns the DESIGN.md Section 4 index in rendering order:
-// E1–E14, F1–F3, A1–A3.
+// E1–E15, F1–F3, A1–A3.
 func generators() []gen {
 	return []gen{
 		{"E1", experiments.E1ConflictGraphSize},
@@ -139,6 +139,7 @@ func generators() []gen {
 		{"E12", experiments.E12CompleteSiblings},
 		{"E13", experiments.E13PortfolioPhases},
 		{"E14", experiments.E14BitsetKernels},
+		{"E15", experiments.E15WeightedOracles},
 		{"F1", experiments.F1DecayCurve},
 		{"F2", experiments.F2LocalityHistogram},
 		{"F3", experiments.F3LambdaVsDensity},

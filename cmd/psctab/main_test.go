@@ -55,12 +55,12 @@ func TestValidateOracleFailsFast(t *testing.T) {
 	}
 }
 
-// TestGeneratorIndexCoversE1ToE14 pins the doc-comment claim: the suite
-// runs E1–E14, F1–F3 and A1–A3 (the DESIGN.md Section 4 index).
-func TestGeneratorIndexCoversE1ToE14(t *testing.T) {
+// TestGeneratorIndexCoversE1ToE15 pins the doc-comment claim: the suite
+// runs E1–E15, F1–F3 and A1–A3 (the DESIGN.md Section 4 index).
+func TestGeneratorIndexCoversE1ToE15(t *testing.T) {
 	want := []string{
 		"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10",
-		"E11", "E12", "E13", "E14", "F1", "F2", "F3", "A1", "A2", "A3",
+		"E11", "E12", "E13", "E14", "E15", "F1", "F2", "F3", "A1", "A2", "A3",
 	}
 	got := generatorIDs()
 	if !reflect.DeepEqual(got, want) {

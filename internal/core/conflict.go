@@ -28,6 +28,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 
 	"pslocal/internal/engine"
 	"pslocal/internal/graph"
@@ -66,6 +67,20 @@ func BuildOpts(ix *Index, opts engine.Options) (*graph.Graph, error) {
 	g, err := sb.ParallelBuild(opts)
 	if err != nil {
 		return nil, fmt.Errorf("core: conflict graph assembly: %w", err)
+	}
+	if h.Weighted() {
+		// Triple (e, v, c) inherits w_H(v), so a maximum-weight independent
+		// set of G_k colours the heaviest vertices first — the weighted
+		// conflict-free objective rides the unchanged reduction loop.
+		ws := make([]int64, ix.NumNodes())
+		ix.ForEachTriple(func(id int32, t Triple) bool {
+			ws[id] = h.Weight(t.Vertex)
+			return true
+		})
+		g, err = graph.WithWeights(g, ws)
+		if err != nil {
+			return nil, fmt.Errorf("core: conflict graph weights: %w", err)
+		}
 	}
 	return g, nil
 }
@@ -183,13 +198,15 @@ func Adjacent(ix *Index, t1, t2 Triple) (bool, error) {
 }
 
 // FirstFitTriples runs the first-fit greedy independent set directly on
-// the implicit conflict graph: triples are scanned in dense id order and
-// kept when compatible with everything kept so far. The blocking tests use
-// only H-local information, so the scan runs in O(Σ_e |e| · k · (|e| +
-// deg_H)) time without building G_k. The result equals first-fit greedy on
-// the explicit graph (asserted by tests) and powers the reduction's
-// large-instance mode. For repeated scans (one per reduction phase) use
-// FirstFitScratch, which reuses its buffers across calls.
+// the implicit conflict graph: triples are scanned in dense id order —
+// descending vertex weight (stable, so dense id order within equal
+// weights) on weighted hypergraphs — and kept when compatible with
+// everything kept so far. The blocking tests use only H-local
+// information, so the scan runs in O(Σ_e |e| · k · (|e| + deg_H)) time
+// without building G_k. On unweighted inputs the result equals first-fit
+// greedy on the explicit graph (asserted by tests) and powers the
+// reduction's large-instance mode. For repeated scans (one per reduction
+// phase) use FirstFitScratch, which reuses its buffers across calls.
 func FirstFitTriples(ix *Index) []Triple {
 	var s FirstFitScratch
 	return s.FirstFit(ix)
@@ -208,58 +225,83 @@ type FirstFitScratch struct {
 	// uniqueness; 0 = none).
 	vertexColor []int32
 	out         []Triple
+	order       []Triple // weighted-scan ordering buffer
 }
 
-// FirstFit runs the first-fit scan on ix, reusing the scratch buffers. The
-// returned slice is owned by the scratch and valid until the next call;
-// callers that retain it across calls must copy it.
+// FirstFit runs the first-fit scan on ix, reusing the scratch buffers. On
+// weighted hypergraphs the scan visits triples by descending vertex
+// weight (stable within equal weights), so heavy vertices claim their
+// colours first; first-fit over any order yields a maximal independent
+// set of G_k, so the accept logic is unchanged. The returned slice is
+// owned by the scratch and valid until the next call; callers that retain
+// it across calls must copy it.
 func (s *FirstFitScratch) FirstFit(ix *Index) []Triple {
 	h := ix.h
 	s.edgeChoice = resize(s.edgeChoice, h.M())
 	s.hasChoice = resize(s.hasChoice, h.M())
 	s.vertexColor = resize(s.vertexColor, h.N())
 	s.out = s.out[:0]
+	if h.Weighted() {
+		s.order = s.order[:0]
+		ix.ForEachTriple(func(_ int32, t Triple) bool {
+			s.order = append(s.order, t)
+			return true
+		})
+		sort.SliceStable(s.order, func(a, b int) bool {
+			return h.Weight(s.order[a].Vertex) > h.Weight(s.order[b].Vertex)
+		})
+		for _, t := range s.order {
+			s.tryAccept(ix, t)
+		}
+		return s.out
+	}
 	ix.ForEachTriple(func(_ int32, t Triple) bool {
-		if s.hasChoice[t.Edge] {
-			return true // E_edge block
-		}
-		if vc := s.vertexColor[t.Vertex]; vc != 0 && vc != t.Color {
-			return true // E_vertex block
-		}
-		// E_color, container e: some chosen triple with colour t.Color at
-		// another vertex of t.Edge.
-		blocked := false
-		h.ForEachEdgeVertex(int(t.Edge), func(u int32) bool {
-			if u != t.Vertex && s.vertexColor[u] == t.Color {
-				blocked = true
-				return false
-			}
-			return true
-		})
-		if blocked {
-			return true
-		}
-		// E_color, container g: a chosen triple (g, u, t.Color) with u
-		// different from t.Vertex on an edge g containing t.Vertex.
-		h.ForEachIncidentEdge(t.Vertex, func(g int32) bool {
-			if s.hasChoice[g] {
-				if ch := s.edgeChoice[g]; ch.Color == t.Color && ch.Vertex != t.Vertex {
-					blocked = true
-					return false
-				}
-			}
-			return true
-		})
-		if blocked {
-			return true
-		}
-		s.edgeChoice[t.Edge] = t
-		s.hasChoice[t.Edge] = true
-		s.vertexColor[t.Vertex] = t.Color
-		s.out = append(s.out, t)
+		s.tryAccept(ix, t)
 		return true
 	})
 	return s.out
+}
+
+// tryAccept adds t to the chosen set when no chosen triple blocks it.
+func (s *FirstFitScratch) tryAccept(ix *Index, t Triple) {
+	h := ix.h
+	if s.hasChoice[t.Edge] {
+		return // E_edge block
+	}
+	if vc := s.vertexColor[t.Vertex]; vc != 0 && vc != t.Color {
+		return // E_vertex block
+	}
+	// E_color, container e: some chosen triple with colour t.Color at
+	// another vertex of t.Edge.
+	blocked := false
+	h.ForEachEdgeVertex(int(t.Edge), func(u int32) bool {
+		if u != t.Vertex && s.vertexColor[u] == t.Color {
+			blocked = true
+			return false
+		}
+		return true
+	})
+	if blocked {
+		return
+	}
+	// E_color, container g: a chosen triple (g, u, t.Color) with u
+	// different from t.Vertex on an edge g containing t.Vertex.
+	h.ForEachIncidentEdge(t.Vertex, func(g int32) bool {
+		if s.hasChoice[g] {
+			if ch := s.edgeChoice[g]; ch.Color == t.Color && ch.Vertex != t.Vertex {
+				blocked = true
+				return false
+			}
+		}
+		return true
+	})
+	if blocked {
+		return
+	}
+	s.edgeChoice[t.Edge] = t
+	s.hasChoice[t.Edge] = true
+	s.vertexColor[t.Vertex] = t.Color
+	s.out = append(s.out, t)
 }
 
 // resize returns buf with length n and every element zeroed, reallocating

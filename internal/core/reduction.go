@@ -89,8 +89,13 @@ type PhaseStat struct {
 	ConflictEdges int
 	// ISSize is |I_i|.
 	ISSize int
+	// ISWeight is the total hypergraph-vertex weight of I_i (each triple
+	// counts w_H(v)); 0 on unweighted inputs, where it carries no
+	// information beyond ISSize.
+	ISWeight int64
 	// HappyRemoved is the number of edges removed after this phase; by
-	// Lemma 2.1(b) it is at least ISSize.
+	// Lemma 2.1(b) it is at least ISSize. The lemma counts edges for any
+	// independent set, so it holds unchanged under weighted objectives.
 	HappyRemoved int
 }
 
@@ -104,6 +109,12 @@ type Result struct {
 	TotalColors int
 	// K echoes the palette size.
 	K int
+	// Weighted reports a vertex-weighted input; the weight fields below
+	// are populated only when it is set.
+	Weighted bool
+	// TotalWeight is the total weight of vertices that received at least
+	// one colour; 0 on unweighted inputs.
+	TotalWeight int64
 }
 
 // PhaseBound returns the paper's phase bound ρ = λ·ln(m) + 1 (at least 1).
@@ -148,6 +159,11 @@ func Reduce(ctx context.Context, h *hypergraph.Hypergraph, opts Options) (*Resul
 	res := &Result{
 		Multicoloring: cfcolor.NewMulticoloring(h.N()),
 		K:             opts.K,
+		Weighted:      h.Weighted(),
+	}
+	var colored []bool // weighted inputs: vertices holding >= 1 colour
+	if res.Weighted {
+		colored = make([]bool, h.N())
 	}
 	cur := h
 	ff := ffScratchPool.Get().(*FirstFitScratch) // shared across phases (implicit mode)
@@ -175,6 +191,11 @@ func Reduce(ctx context.Context, h *hypergraph.Hypergraph, opts Options) (*Resul
 		}
 		stat.ConflictEdges = conflictEdges
 		stat.ISSize = len(triples)
+		if res.Weighted {
+			for _, t := range triples {
+				stat.ISWeight += cur.Weight(t.Vertex)
+			}
+		}
 
 		f, err := ISToColoring(ix, triples)
 		if err != nil {
@@ -196,6 +217,9 @@ func Reduce(ctx context.Context, h *hypergraph.Hypergraph, opts Options) (*Resul
 		for v := int32(0); int(v) < cur.N(); v++ {
 			if f[v] != cfcolor.Uncolored {
 				res.Multicoloring.Add(v, f[v]+offset)
+				if colored != nil {
+					colored[v] = true
+				}
 			}
 		}
 		res.Phases = append(res.Phases, stat)
@@ -205,6 +229,11 @@ func Reduce(ctx context.Context, h *hypergraph.Hypergraph, opts Options) (*Resul
 		}
 	}
 	res.TotalColors = opts.K * len(res.Phases)
+	for v, c := range colored {
+		if c {
+			res.TotalWeight += h.Weight(int32(v))
+		}
+	}
 	return res, nil
 }
 

@@ -1,0 +1,193 @@
+package core
+
+// weighted_test.go covers the weighted reduction path: conflict-graph
+// weight inheritance, the weight-ordered implicit first fit, and the
+// contract that unit weights are the same instance as no weights.
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"pslocal/internal/cfcolor"
+	"pslocal/internal/hypergraph"
+	"pslocal/internal/maxis"
+)
+
+// weightedPlanted returns a planted CF instance with skewed weights.
+func weightedPlanted(t *testing.T, rng *rand.Rand, n, m, k int) *hypergraph.Hypergraph {
+	t.Helper()
+	h, _, err := hypergraph.PlantedCF(n, m, k, 2, 4, rng)
+	if err != nil {
+		t.Fatalf("PlantedCF: %v", err)
+	}
+	ws := make([]int64, h.N())
+	for i := range ws {
+		ws[i] = 1 + rng.Int63n(100)
+	}
+	wh, err := hypergraph.WithWeights(h, ws)
+	if err != nil {
+		t.Fatalf("WithWeights: %v", err)
+	}
+	return wh
+}
+
+// TestBuildOptsWeightedConflictGraph checks every conflict-graph node
+// (e, v, c) inherits the hypergraph weight of v, so oracles maximising
+// set weight on G_k maximise hypergraph vertex weight.
+func TestBuildOptsWeightedConflictGraph(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	h := weightedPlanted(t, rng, 16, 8, 2)
+	ix, err := NewIndex(h, 2)
+	if err != nil {
+		t.Fatalf("NewIndex: %v", err)
+	}
+	g, err := Build(ix)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if !g.Weighted() {
+		t.Fatal("conflict graph of a weighted hypergraph is unweighted")
+	}
+	ix.ForEachTriple(func(id int32, tr Triple) bool {
+		if got, want := g.Weight(id), h.Weight(tr.Vertex); got != want {
+			t.Errorf("triple %d (v=%d): weight %d, want %d", id, tr.Vertex, got, want)
+		}
+		return true
+	})
+	// The unweighted projection of the same instance must stay unweighted.
+	uh, err := hypergraph.WithWeights(h, nil)
+	if err != nil {
+		t.Fatalf("WithWeights(nil): %v", err)
+	}
+	uix, err := NewIndex(uh, 2)
+	if err != nil {
+		t.Fatalf("NewIndex: %v", err)
+	}
+	ug, err := Build(uix)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if ug.Weighted() {
+		t.Error("conflict graph of an unweighted hypergraph carries weights")
+	}
+}
+
+// TestFirstFitWeightedValid checks the weight-ordered implicit first fit
+// still returns an independent set of triples on weighted instances.
+func TestFirstFitWeightedValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 8; trial++ {
+		h := weightedPlanted(t, rng, 12+trial, 6+trial, 2+trial%2)
+		ix, err := NewIndex(h, 2+trial%2)
+		if err != nil {
+			t.Fatalf("NewIndex: %v", err)
+		}
+		ts := FirstFitTriples(ix)
+		if len(ts) == 0 && ix.NumNodes() > 0 {
+			t.Fatalf("trial %d: empty first-fit set on %d nodes", trial, ix.NumNodes())
+		}
+		if ok, err := IsIndependentTriples(ix, ts); err != nil || !ok {
+			t.Errorf("trial %d: first-fit set not independent (ok=%v err=%v)", trial, ok, err)
+		}
+	}
+}
+
+// TestFirstFitWeightedPrefersHeavyVertices pins the ordering: with one
+// vertex vastly heavier than the rest, the first-fit set must colour it.
+func TestFirstFitWeightedPrefersHeavyVertices(t *testing.T) {
+	// Two overlapping edges over 4 vertices; vertex 3 is the heavy one.
+	h, err := hypergraph.NewWeighted(4, [][]int32{{0, 1, 2}, {1, 2, 3}},
+		[]int64{1, 1, 1, 1000})
+	if err != nil {
+		t.Fatalf("NewWeighted: %v", err)
+	}
+	ix, err := NewIndex(h, 2)
+	if err != nil {
+		t.Fatalf("NewIndex: %v", err)
+	}
+	ts := FirstFitTriples(ix)
+	found := false
+	for _, tr := range ts {
+		if tr.Vertex == 3 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("first fit skipped the weight-1000 vertex: %v", ts)
+	}
+}
+
+// TestReduceWeighted runs all three modes on weighted instances and
+// checks the result is conflict-free with consistent weight accounting.
+func TestReduceWeighted(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	oracle, err := maxis.Lookup("greedy-mindeg", 1)
+	if err != nil {
+		t.Fatalf("Lookup: %v", err)
+	}
+	modes := []Options{
+		{K: 2, Mode: ModeImplicitFirstFit},
+		{K: 2, Mode: ModeExactHinted},
+		{K: 2, Mode: ModeOracle, Oracle: oracle},
+	}
+	for mi, opts := range modes {
+		h := weightedPlanted(t, rng, 14, 7, 2)
+		res, err := Reduce(nil, h, opts)
+		if err != nil {
+			t.Fatalf("mode %d: Reduce: %v", mi, err)
+		}
+		if !res.Weighted {
+			t.Errorf("mode %d: result not marked weighted", mi)
+		}
+		if !cfcolor.IsConflictFreeMulti(h, res.Multicoloring) {
+			t.Errorf("mode %d: result not conflict-free", mi)
+		}
+		// TotalWeight is the weight of coloured vertices, so it is bounded
+		// by the instance total and positive whenever anything is coloured.
+		if res.TotalWeight <= 0 || res.TotalWeight > h.TotalWeight() {
+			t.Errorf("mode %d: TotalWeight %d outside (0, %d]", mi, res.TotalWeight, h.TotalWeight())
+		}
+		for _, ph := range res.Phases {
+			// Each phase's IS weight counts ISSize vertices of weight >= 1.
+			if ph.ISWeight < int64(ph.ISSize) {
+				t.Errorf("mode %d phase %d: ISWeight %d < ISSize %d", mi, ph.Phase, ph.ISWeight, ph.ISSize)
+			}
+		}
+	}
+}
+
+// TestReduceUnitWeightEquivalence pins the acceptance contract: reducing
+// an instance with an explicit all-ones weight vector is bit-identical
+// to reducing it with no weights at all.
+func TestReduceUnitWeightEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	h, _, err := hypergraph.PlantedCF(16, 8, 2, 2, 4, rng)
+	if err != nil {
+		t.Fatalf("PlantedCF: %v", err)
+	}
+	ones := make([]int64, h.N())
+	for i := range ones {
+		ones[i] = 1
+	}
+	uh, err := hypergraph.WithWeights(h, ones)
+	if err != nil {
+		t.Fatalf("WithWeights: %v", err)
+	}
+	if uh.Weighted() {
+		t.Fatal("all-ones weight vector left the hypergraph weighted")
+	}
+	for _, mode := range []Mode{ModeImplicitFirstFit, ModeExactHinted} {
+		a, err := Reduce(nil, h, Options{K: 2, Mode: mode})
+		if err != nil {
+			t.Fatalf("mode %d: Reduce(plain): %v", mode, err)
+		}
+		b, err := Reduce(nil, uh, Options{K: 2, Mode: mode})
+		if err != nil {
+			t.Fatalf("mode %d: Reduce(unit): %v", mode, err)
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Errorf("mode %d: unit-weight reduction diverged:\n%+v\nvs\n%+v", mode, a, b)
+		}
+	}
+}

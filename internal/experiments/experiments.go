@@ -563,12 +563,13 @@ func E10IntervalCF(cfg Config) (*Table, error) {
 	return t, firstErr
 }
 
-// AllTables runs E1..E14 in order.
+// AllTables runs E1..E15 in order.
 func AllTables(cfg Config) ([]*Table, error) {
 	funcs := []func(Config) (*Table, error){
 		E1ConflictGraphSize, E2Lemma21a, E3Lemma21b, E4PhaseDecay, E5ColorBudget,
 		E6Containment, E7OracleQuality, E8ModelBaselines, E9NetDecomp, E10IntervalCF,
 		E11DistributedPipeline, E12CompleteSiblings, E13PortfolioPhases, E14BitsetKernels,
+		E15WeightedOracles,
 	}
 	tables := make([]*Table, 0, len(funcs))
 	for _, f := range funcs {

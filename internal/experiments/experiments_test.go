@@ -36,8 +36,8 @@ func TestAllExperimentsHoldOnQuickGrid(t *testing.T) {
 	if err != nil {
 		t.Fatalf("a paper claim failed: %v", err)
 	}
-	if len(tables) != 14 {
-		t.Fatalf("got %d tables, want 14", len(tables))
+	if len(tables) != 15 {
+		t.Fatalf("got %d tables, want 15", len(tables))
 	}
 	ids := map[string]bool{}
 	for _, tab := range tables {

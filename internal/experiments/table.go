@@ -1,6 +1,6 @@
 // Package experiments regenerates the paper's quantitative claims. The
 // paper (a theory paper) has no tables or figures, so DESIGN.md Section 4
-// defines the experiment suite E1–E14 and figure-equivalents F1–F3 from
+// defines the experiment suite E1–E15 and figure-equivalents F1–F3 from
 // the numbered lemmas and theorems; every function here both produces a
 // human-readable table and verifies the underlying claim, returning an
 // error when the measured behaviour contradicts the paper.

@@ -37,6 +37,7 @@ var (
 type Graph struct {
 	offsets []int32 // len N()+1; adjacency of v is targets[offsets[v]:offsets[v+1]]
 	targets []int32 // concatenated sorted neighbour lists, both directions
+	weights []int64 // optional per-vertex weights; nil means all-unit (see weights.go)
 }
 
 // N returns the number of nodes.
@@ -147,6 +148,16 @@ func (g *Graph) Validate() error {
 	if len(g.offsets) > 0 && g.offsets[0] != 0 {
 		return fmt.Errorf("graph: offsets[0] = %d, want 0", g.offsets[0])
 	}
+	if g.weights != nil {
+		if len(g.weights) != n {
+			return fmt.Errorf("%w: %d weights for %d nodes", ErrWeightLength, len(g.weights), n)
+		}
+		for v, w := range g.weights {
+			if w < 0 || w > MaxWeight {
+				return fmt.Errorf("%w: weight %d of node %d", ErrBadWeight, w, v)
+			}
+		}
+	}
 	for v := 0; v < n; v++ {
 		lo, hi := g.offsets[v], g.offsets[v+1]
 		if lo > hi {
@@ -176,12 +187,16 @@ func (g *Graph) String() string {
 	return fmt.Sprintf("graph(n=%d, m=%d)", g.N(), g.M())
 }
 
-// Equal reports whether a and b are the same graph: the same node count
-// and identical adjacency. Builder canonicalises the CSR (sorted,
-// duplicate-free neighbour lists), so structural equality is exactly
+// Equal reports whether a and b are the same graph: the same node count,
+// identical adjacency, and identical vertex weights. Builder canonicalises
+// the CSR (sorted, duplicate-free neighbour lists) and the weight vector
+// (all-unit collapses to nil), so structural equality is exactly
 // representation equality; the I/O round-trip tests rely on this.
 func Equal(a, b *Graph) bool {
 	if a.N() != b.N() {
+		return false
+	}
+	if !slices.Equal(a.weights, b.weights) {
 		return false
 	}
 	if a.N() == 0 {
@@ -190,14 +205,17 @@ func Equal(a, b *Graph) bool {
 	return slices.Equal(a.offsets, b.offsets) && slices.Equal(a.targets, b.targets)
 }
 
-// Builder accumulates edges and produces an immutable Graph. Parallel edges
-// are merged silently; self loops and out-of-range endpoints surface as
-// errors from Build. A Builder must be created with NewBuilder.
+// Builder accumulates edges (and optional vertex weights, see weights.go)
+// and produces an immutable Graph. Parallel edges are merged silently;
+// self loops, out-of-range endpoints and bad weights surface as errors
+// from Build. A Builder must be created with NewBuilder.
 type Builder struct {
-	n    int
-	us   []int32
-	vs   []int32
-	errs []error
+	n            int
+	us           []int32
+	vs           []int32
+	errs         []error
+	weights      []int64 // nil until SetWeight/SetWeights; all-unit normalised away at Build
+	badWeightLen bool    // SetWeights saw a wrong-length vector; reported at Build
 }
 
 // NewBuilder returns a Builder for a graph on n nodes.
@@ -261,8 +279,9 @@ func FromEdges(n int, edges [][2]int32) (*Graph, error) {
 }
 
 // Complement returns the complement graph: {u,v} is an edge of the result
-// iff u != v and {u,v} is not an edge of g. Quadratic in n; intended for
-// small graphs (tests and exact-solver cross-checks).
+// iff u != v and {u,v} is not an edge of g. Vertex weights carry over
+// unchanged. Quadratic in n; intended for small graphs (tests and
+// exact-solver cross-checks).
 func Complement(g *Graph) *Graph {
 	n := g.N()
 	b := NewBuilder(n)
@@ -273,15 +292,21 @@ func Complement(g *Graph) *Graph {
 			}
 		}
 	}
+	b.SetWeights(g.weights)
 	return b.MustBuild()
 }
 
 // Union returns the disjoint union of a and b; nodes of b are shifted by
-// a.N().
+// a.N(). When either side is weighted the result carries the concatenated
+// weight vectors (unit weights filling the unweighted side).
 func Union(a, b *Graph) *Graph {
 	shift := int32(a.N())
 	bl := NewBuilder(a.N() + b.N())
 	a.ForEachEdge(func(u, v int32) bool { bl.AddEdge(u, v); return true })
 	b.ForEachEdge(func(u, v int32) bool { bl.AddEdge(u+shift, v+shift); return true })
+	if a.Weighted() || b.Weighted() {
+		ws := a.AppendWeights(make([]int64, 0, a.N()+b.N()))
+		bl.SetWeights(b.AppendWeights(ws))
+	}
 	return bl.MustBuild()
 }

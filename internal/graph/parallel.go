@@ -77,11 +77,25 @@ func assembleCSR(n int, shards []*Builder, opts engine.Options) (*Graph, error) 
 		return nil, fmt.Errorf("%w: %d", ErrNegativeSize, n)
 	}
 	var errs []error
+	var weights []int64
 	for _, sh := range shards {
 		errs = append(errs, sh.errs...)
+		if sh.badWeightLen {
+			errs = append(errs, fmt.Errorf("%w: SetWeights vector for %d nodes", ErrWeightLength, n))
+		}
+		if sh.weights != nil {
+			if weights != nil {
+				errs = append(errs, fmt.Errorf("graph: weights set on more than one shard"))
+			}
+			weights = sh.weights
+		}
 	}
 	if len(errs) > 0 {
 		return nil, errors.Join(errs...)
+	}
+	weights, werr := normalizeWeights(n, weights)
+	if werr != nil {
+		return nil, werr
 	}
 	if err := opts.Err(); err != nil {
 		return nil, err
@@ -167,7 +181,7 @@ func assembleCSR(n int, shards []*Builder, opts engine.Options) (*Graph, error) 
 	}
 	if newOffsets[n] == total {
 		// No duplicates anywhere: the sorted scatter is already final.
-		return &Graph{offsets: offsets, targets: targets}, nil
+		return &Graph{offsets: offsets, targets: targets, weights: weights}, nil
 	}
 	newTargets := make([]int32, newOffsets[n])
 	err = opts.ForEachShard(n, func(_ int, s engine.Shard) error {
@@ -186,5 +200,5 @@ func assembleCSR(n int, shards []*Builder, opts engine.Options) (*Graph, error) 
 	if err != nil {
 		return nil, err
 	}
-	return &Graph{offsets: newOffsets, targets: newTargets}, nil
+	return &Graph{offsets: newOffsets, targets: newTargets, weights: weights}, nil
 }

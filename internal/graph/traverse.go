@@ -135,8 +135,9 @@ func Diameter(g *Graph) int {
 }
 
 // Induced returns the subgraph induced by nodes, plus the mapping
-// orig[newID] = oldID. The nodes slice may be unsorted but must not contain
-// duplicates or out-of-range ids; violations are reported via error.
+// orig[newID] = oldID. Vertex weights carry over to the subgraph. The
+// nodes slice may be unsorted but must not contain duplicates or
+// out-of-range ids; violations are reported via error.
 func Induced(g *Graph, nodes []int32) (*Graph, []int32, error) {
 	orig := make([]int32, len(nodes))
 	copy(orig, nodes)
@@ -159,6 +160,13 @@ func Induced(g *Graph, nodes []int32) (*Graph, []int32, error) {
 			}
 			return true
 		})
+	}
+	if g.Weighted() {
+		ws := make([]int64, len(orig))
+		for i, v := range orig {
+			ws[i] = g.Weight(v)
+		}
+		b.SetWeights(ws)
 	}
 	sub, err := b.Build()
 	if err != nil {

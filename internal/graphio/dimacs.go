@@ -5,12 +5,16 @@ package graphio
 //
 //	c  an optional comment
 //	p edge <n> <m>
+//	n <id> <w>
 //	e <u> <v>
 //
 // Vertices are 1-based in the file and mapped onto the repository's
 // 0-based dense ids. "p col" is accepted as a problem-line synonym seen
-// in the wild. Only graphs have a DIMACS representation; hypergraph
-// calls report ErrUnsupported at the dispatch layer.
+// in the wild. "n id w" node lines carry vertex weights (the weighted-
+// DIMACS convention); the writer emits one per vertex on weighted graphs
+// and none otherwise, so unweighted instances round-trip byte-identically.
+// Only graphs have a DIMACS representation; hypergraph calls report
+// ErrUnsupported at the dispatch layer.
 
 import (
 	"bufio"
@@ -59,6 +63,26 @@ func readDIMACSGraph(br *bufio.Reader) (*graph.Graph, error) {
 			m = int(m64)
 			b = graph.NewBuilder(int(n64))
 			b.EdgeCapacityHint(m)
+		case 'n':
+			if b == nil {
+				return nil, fmt.Errorf("%w: line %d: node line before the problem line", ErrFormat, ln)
+			}
+			fields := strings.Fields(line)
+			if len(fields) != 3 || fields[0] != "n" {
+				return nil, fmt.Errorf("%w: line %d: want \"n id w\", got %q", ErrFormat, ln, line)
+			}
+			id, err1 := parseVertex(fields[1])
+			w, err2 := parseWeight(fields[2])
+			if err1 != nil {
+				return nil, fmt.Errorf("%w: line %d: %v", ErrFormat, ln, err1)
+			}
+			if err2 != nil {
+				return nil, fmt.Errorf("%w: line %d: %v", ErrFormat, ln, err2)
+			}
+			if id < 1 {
+				return nil, fmt.Errorf("%w: line %d: DIMACS vertices are 1-based, got %q", ErrFormat, ln, line)
+			}
+			b.SetWeight(id-1, w)
 		case 'e':
 			if b == nil {
 				return nil, fmt.Errorf("%w: line %d: edge before the problem line", ErrFormat, ln)
@@ -104,10 +128,15 @@ func readDIMACSGraph(br *bufio.Reader) (*graph.Graph, error) {
 }
 
 // writeDIMACSGraph writes g as a DIMACS .col document with 1-based
-// vertices.
+// vertices; weighted graphs get one "n id w" node line per vertex.
 func writeDIMACSGraph(w io.Writer, g *graph.Graph) error {
 	bw := bufio.NewWriter(w)
 	fmt.Fprintf(bw, "p edge %d %d\n", g.N(), g.M())
+	if g.Weighted() {
+		for v := 0; v < g.N(); v++ {
+			fmt.Fprintf(bw, "n %d %d\n", v+1, g.Weight(int32(v)))
+		}
+	}
 	var err error
 	g.ForEachEdge(func(u, v int32) bool {
 		_, err = fmt.Fprintf(bw, "e %d %d\n", u+1, v+1)

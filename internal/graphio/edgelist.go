@@ -3,14 +3,18 @@ package graphio
 // edgelist.go implements the repository's native plain-text format:
 //
 //	graph <n> <m>          hypergraph <n> <m>
+//	v <id> <w>             v <id> <w>
 //	u v                    v1 v2 v3 ...
 //	...                    ...
 //
-// One edge per line, '#' starts a comment, blank lines are skipped. The
-// syntax matches the files internal/encode historically produced, so
-// existing instances keep working; this reader is stricter in that graph
-// inputs with duplicate edges are rejected (ErrDuplicateEdge) instead of
-// silently merged.
+// One edge per line, '#' starts a comment, blank lines are skipped.
+// Vertex-declaration lines start with the keyword "v" and carry an
+// optional weight column (default 1); writers emit them only for
+// non-unit weights, so unweighted instances round-trip byte-identically
+// to the historical format. The syntax otherwise matches the files
+// internal/encode historically produced, so existing instances keep
+// working; this reader is stricter in that graph inputs with duplicate
+// edges are rejected (ErrDuplicateEdge) instead of silently merged.
 
 import (
 	"bufio"
@@ -33,10 +37,26 @@ func readEdgeListGraph(br *bufio.Reader) (*graph.Graph, error) {
 	b := graph.NewBuilder(n)
 	b.EdgeCapacityHint(m)
 	edges := 0
+	var declared map[int32]bool
 	for sc.Scan() {
 		ln++
 		fields, skip := splitEdgeListLine(sc.Text())
 		if skip {
+			continue
+		}
+		if fields[0] == "v" {
+			id, w, err := parseVertexDecl(fields, n)
+			if err != nil {
+				return nil, fmt.Errorf("%w: line %d: %v", ErrFormat, ln, err)
+			}
+			if declared == nil {
+				declared = make(map[int32]bool)
+			}
+			if declared[id] {
+				return nil, fmt.Errorf("%w: line %d: vertex %d declared twice", ErrFormat, ln, id)
+			}
+			declared[id] = true
+			b.SetWeight(id, w)
 			continue
 		}
 		if len(fields) != 2 {
@@ -69,10 +89,12 @@ func readEdgeListGraph(br *bufio.Reader) (*graph.Graph, error) {
 	return g, nil
 }
 
-// writeEdgeListGraph writes g in the "graph n m" text format.
+// writeEdgeListGraph writes g in the "graph n m" text format. Weighted
+// graphs get one "v id w" declaration per non-unit-weight vertex.
 func writeEdgeListGraph(w io.Writer, g *graph.Graph) error {
 	bw := bufio.NewWriter(w)
 	fmt.Fprintf(bw, "graph %d %d\n", g.N(), g.M())
+	writeEdgeListWeights(bw, g.Weighted(), g.N(), g.Weight)
 	var err error
 	g.ForEachEdge(func(u, v int32) bool {
 		_, err = fmt.Fprintf(bw, "%d %d\n", u, v)
@@ -92,10 +114,33 @@ func readEdgeListHypergraph(br *bufio.Reader) (*hypergraph.Hypergraph, error) {
 		return nil, err
 	}
 	edges := make([][]int32, 0, m)
+	var ws []int64
+	var declared map[int32]bool
 	for sc.Scan() {
 		ln++
 		fields, skip := splitEdgeListLine(sc.Text())
 		if skip {
+			continue
+		}
+		if fields[0] == "v" {
+			id, w, err := parseVertexDecl(fields, n)
+			if err != nil {
+				return nil, fmt.Errorf("%w: line %d: %v", ErrFormat, ln, err)
+			}
+			if declared == nil {
+				declared = make(map[int32]bool)
+			}
+			if declared[id] {
+				return nil, fmt.Errorf("%w: line %d: vertex %d declared twice", ErrFormat, ln, id)
+			}
+			declared[id] = true
+			if ws == nil {
+				ws = make([]int64, n)
+				for i := range ws {
+					ws[i] = 1
+				}
+			}
+			ws[id] = w
 			continue
 		}
 		edge := make([]int32, 0, len(fields))
@@ -114,7 +159,7 @@ func readEdgeListHypergraph(br *bufio.Reader) (*hypergraph.Hypergraph, error) {
 	if len(edges) != m {
 		return nil, fmt.Errorf("%w: header promises %d edges, found %d", ErrFormat, m, len(edges))
 	}
-	h, err := hypergraph.New(n, edges)
+	h, err := hypergraph.NewWeighted(n, edges, ws)
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrFormat, err)
 	}
@@ -122,9 +167,12 @@ func readEdgeListHypergraph(br *bufio.Reader) (*hypergraph.Hypergraph, error) {
 }
 
 // writeEdgeListHypergraph writes h in the "hypergraph n m" text format.
+// Weighted hypergraphs get one "v id w" declaration per non-unit-weight
+// vertex.
 func writeEdgeListHypergraph(w io.Writer, h *hypergraph.Hypergraph) error {
 	bw := bufio.NewWriter(w)
 	fmt.Fprintf(bw, "hypergraph %d %d\n", h.N(), h.M())
+	writeEdgeListWeights(bw, h.Weighted(), h.N(), h.Weight)
 	for j := 0; j < h.M(); j++ {
 		parts := make([]string, 0, h.EdgeSize(j))
 		h.ForEachEdgeVertex(j, func(v int32) bool {
@@ -171,6 +219,54 @@ func splitEdgeListLine(line string) (fields []string, skip bool) {
 	}
 	fields = strings.Fields(line)
 	return fields, len(fields) == 0
+}
+
+// parseVertexDecl parses a "v id [w]" vertex-declaration line (the weight
+// column defaults to 1) and range-checks the id against n.
+func parseVertexDecl(fields []string, n int) (id int32, w int64, err error) {
+	if len(fields) != 2 && len(fields) != 3 {
+		return 0, 0, fmt.Errorf("want \"v id [w]\", got %d fields", len(fields))
+	}
+	id, err = parseVertex(fields[1])
+	if err != nil {
+		return 0, 0, err
+	}
+	if id < 0 || int(id) >= n {
+		return 0, 0, fmt.Errorf("vertex %d out of range [0,%d)", id, n)
+	}
+	w = 1
+	if len(fields) == 3 {
+		w, err = parseWeight(fields[2])
+		if err != nil {
+			return 0, 0, err
+		}
+	}
+	return id, w, nil
+}
+
+// parseWeight parses a vertex weight, reporting overflow beyond int64
+// explicitly; range validation ([0, MaxWeight]) is the substrate's job.
+func parseWeight(s string) (int64, error) {
+	w, err := strconv.ParseInt(s, 10, 64)
+	if err != nil {
+		if ne, ok := err.(*strconv.NumError); ok && ne.Err == strconv.ErrRange {
+			return 0, fmt.Errorf("weight %q overflows int64", s)
+		}
+		return 0, fmt.Errorf("bad weight %q", s)
+	}
+	return w, nil
+}
+
+// writeEdgeListWeights emits one "v id w" line per non-unit-weight vertex.
+func writeEdgeListWeights(bw *bufio.Writer, weighted bool, n int, weight func(int32) int64) {
+	if !weighted {
+		return
+	}
+	for v := 0; v < n; v++ {
+		if w := weight(int32(v)); w != 1 {
+			fmt.Fprintf(bw, "v %d %d\n", v, w)
+		}
+	}
 }
 
 // parseVertex parses a 0-based vertex id, reporting overflow beyond int32

@@ -25,6 +25,12 @@ func FuzzReadGraph(f *testing.F) {
 	f.Add("graph 2 1\n0 5000000000\n")
 	f.Add("p edge 2 2\ne 1 2\ne 2 1\n")
 	f.Add(`{"type":"graph","n":1,"edges":[[0,0]]}`)
+	f.Add("graph 3 1\nv 0 7\nv 2 2147483647\n0 1\n")
+	f.Add("graph 2 0\nv 0 -1\n")
+	f.Add("p edge 3 1\nn 1 5\nn 3 9\ne 1 2\n")
+	f.Add("p edge 2 0\nn 1 99999999999999999999\n")
+	f.Add(`{"type":"graph","n":3,"edges":[[0,1]],"weights":[4,1,9]}`)
+	f.Add(`{"type":"graph","n":3,"edges":[],"weights":[1,2]}`)
 	f.Fuzz(func(t *testing.T, input string) {
 		for _, format := range []Format{FormatAuto, FormatEdgeList, FormatDIMACS, FormatJSON} {
 			g, err := ReadGraph(strings.NewReader(input), format)
@@ -57,6 +63,10 @@ func FuzzReadHypergraph(f *testing.F) {
 	f.Add(`{"n":3,"edges":[[0,1],[1,2,0]]}`)
 	f.Add("hypergraph 2 1\n0 0 1\n")
 	f.Add(`{"type":"hypergraph","n":3,"edges":[[]]}`)
+	f.Add("hypergraph 4 1\nv 1 12\nv 3 3\n0 1 2\n")
+	f.Add("hypergraph 2 0\nv 0 two\n")
+	f.Add(`{"type":"hypergraph","n":3,"edges":[[0,1]],"weights":[5,1,2]}`)
+	f.Add(`{"type":"hypergraph","n":2,"edges":[],"weights":[1,-4]}`)
 	f.Fuzz(func(t *testing.T, input string) {
 		for _, format := range []Format{FormatAuto, FormatEdgeList, FormatJSON} {
 			h, err := ReadHypergraph(strings.NewReader(input), format)
@@ -72,7 +82,8 @@ func FuzzReadHypergraph(f *testing.F) {
 				if err != nil {
 					t.Fatalf("format %v: reparse of own output: %v\n%s", out, err, buf.String())
 				}
-				if got.N() != h.N() || !reflect.DeepEqual(got.Edges(), h.Edges()) {
+				if got.N() != h.N() || !reflect.DeepEqual(got.Edges(), h.Edges()) ||
+					!reflect.DeepEqual(got.Weights(), h.Weights()) {
 					t.Fatalf("format %v: round trip changed the hypergraph", out)
 				}
 			}

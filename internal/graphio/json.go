@@ -6,12 +6,15 @@ package graphio
 //	{"type":"graph","n":5,"edges":[[0,1],[1,2]]}
 //	{"type":"hypergraph","n":6,"edges":[[0,1,2],[3,4,5]]}
 //
-// The document is decoded token by token with json.Decoder, so only the
-// parsed int32 edge data is ever resident — the raw text streams through
-// the decoder's fixed buffer. Decoding is strict: unknown or repeated
-// keys, a "type" that contradicts the requested substrate, fractional or
-// out-of-int32 numbers, and trailing data after the closing brace are all
-// reported as ErrFormat.
+// An optional "weights":[w0,...,w_{n-1}] key carries per-vertex weights;
+// the writers emit it only on weighted instances, so unweighted documents
+// round-trip byte-identically. The document is decoded token by token
+// with json.Decoder, so only the parsed int32 edge data is ever resident
+// — the raw text streams through the decoder's fixed buffer. Decoding is
+// strict: unknown or repeated keys, a "type" that contradicts the
+// requested substrate, fractional or out-of-range numbers, a weight
+// vector of the wrong length, and trailing data after the closing brace
+// are all reported as ErrFormat.
 
 import (
 	"bufio"
@@ -26,7 +29,7 @@ import (
 
 // readJSONGraph parses a {"type":"graph",...} document.
 func readJSONGraph(br *bufio.Reader) (*graph.Graph, error) {
-	n, edges, err := readJSONInstance(br, "graph")
+	n, edges, ws, err := readJSONInstance(br, "graph")
 	if err != nil {
 		return nil, err
 	}
@@ -38,6 +41,7 @@ func readJSONGraph(br *bufio.Reader) (*graph.Graph, error) {
 		}
 		b.AddEdge(e[0], e[1])
 	}
+	b.SetWeights(ws)
 	g, err := b.Build()
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrFormat, err)
@@ -65,17 +69,19 @@ func writeJSONGraph(w io.Writer, g *graph.Graph) error {
 	if err != nil {
 		return fmt.Errorf("graphio: writing JSON graph: %w", err)
 	}
-	bw.WriteString("]}\n")
+	bw.WriteByte(']')
+	writeJSONWeights(bw, g.Weighted(), g.N(), g.Weight)
+	bw.WriteString("}\n")
 	return bw.Flush()
 }
 
 // readJSONHypergraph parses a {"type":"hypergraph",...} document.
 func readJSONHypergraph(br *bufio.Reader) (*hypergraph.Hypergraph, error) {
-	n, edges, err := readJSONInstance(br, "hypergraph")
+	n, edges, ws, err := readJSONInstance(br, "hypergraph")
 	if err != nil {
 		return nil, err
 	}
-	h, err := hypergraph.New(n, edges)
+	h, err := hypergraph.NewWeighted(n, edges, ws)
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrFormat, err)
 	}
@@ -102,72 +108,99 @@ func writeJSONHypergraph(w io.Writer, h *hypergraph.Hypergraph) error {
 		})
 		bw.WriteByte(']')
 	}
-	bw.WriteString("]}\n")
+	bw.WriteByte(']')
+	writeJSONWeights(bw, h.Weighted(), h.N(), h.Weight)
+	bw.WriteString("}\n")
 	return bw.Flush()
 }
 
-// readJSONInstance token-decodes one {"type","n","edges"} document.
-// "type", when present, must equal wantType; "n" is required; "edges"
-// defaults to none. Keys may appear in any order but not twice.
-func readJSONInstance(r io.Reader, wantType string) (n int, edges [][]int32, err error) {
+// writeJSONWeights emits the `,"weights":[...]` member on weighted
+// instances (all n entries, so the document is self-describing).
+func writeJSONWeights(bw *bufio.Writer, weighted bool, n int, weight func(int32) int64) {
+	if !weighted {
+		return
+	}
+	bw.WriteString(`,"weights":[`)
+	for v := 0; v < n; v++ {
+		if v > 0 {
+			bw.WriteByte(',')
+		}
+		bw.WriteString(strconv.FormatInt(weight(int32(v)), 10))
+	}
+	bw.WriteByte(']')
+}
+
+// readJSONInstance token-decodes one {"type","n","edges","weights"}
+// document. "type", when present, must equal wantType; "n" is required;
+// "edges" defaults to none; "weights" defaults to all-unit (nil). Keys may
+// appear in any order but not twice.
+func readJSONInstance(r io.Reader, wantType string) (n int, edges [][]int32, ws []int64, err error) {
 	dec := json.NewDecoder(r)
 	dec.UseNumber()
 	if err := expectDelim(dec, '{'); err != nil {
-		return 0, nil, err
+		return 0, nil, nil, err
 	}
 	seen := map[string]bool{}
 	haveN := false
 	for dec.More() {
 		tok, err := dec.Token()
 		if err != nil {
-			return 0, nil, fmt.Errorf("%w: %v", ErrFormat, err)
+			return 0, nil, nil, fmt.Errorf("%w: %v", ErrFormat, err)
 		}
 		key, ok := tok.(string)
 		if !ok {
-			return 0, nil, fmt.Errorf("%w: object key %v", ErrFormat, tok)
+			return 0, nil, nil, fmt.Errorf("%w: object key %v", ErrFormat, tok)
 		}
 		if seen[key] {
-			return 0, nil, fmt.Errorf("%w: repeated key %q", ErrFormat, key)
+			return 0, nil, nil, fmt.Errorf("%w: repeated key %q", ErrFormat, key)
 		}
 		seen[key] = true
 		switch key {
 		case "type":
 			tok, err := dec.Token()
 			if err != nil {
-				return 0, nil, fmt.Errorf("%w: %v", ErrFormat, err)
+				return 0, nil, nil, fmt.Errorf("%w: %v", ErrFormat, err)
 			}
 			typ, ok := tok.(string)
 			if !ok || typ != wantType {
-				return 0, nil, fmt.Errorf("%w: type %v, want %q", ErrFormat, tok, wantType)
+				return 0, nil, nil, fmt.Errorf("%w: type %v, want %q", ErrFormat, tok, wantType)
 			}
 		case "n":
 			v, err := decodeInt32(dec)
 			if err != nil {
-				return 0, nil, err
+				return 0, nil, nil, err
 			}
 			if v < 0 {
-				return 0, nil, fmt.Errorf("%w: negative n %d", ErrFormat, v)
+				return 0, nil, nil, fmt.Errorf("%w: negative n %d", ErrFormat, v)
 			}
 			n, haveN = int(v), true
 		case "edges":
 			edges, err = decodeEdges(dec)
 			if err != nil {
-				return 0, nil, err
+				return 0, nil, nil, err
+			}
+		case "weights":
+			ws, err = decodeWeights(dec)
+			if err != nil {
+				return 0, nil, nil, err
 			}
 		default:
-			return 0, nil, fmt.Errorf("%w: unknown key %q", ErrFormat, key)
+			return 0, nil, nil, fmt.Errorf("%w: unknown key %q", ErrFormat, key)
 		}
 	}
 	if err := expectDelim(dec, '}'); err != nil {
-		return 0, nil, err
+		return 0, nil, nil, err
 	}
 	if !haveN {
-		return 0, nil, fmt.Errorf("%w: missing key \"n\"", ErrFormat)
+		return 0, nil, nil, fmt.Errorf("%w: missing key \"n\"", ErrFormat)
+	}
+	if ws != nil && len(ws) != n {
+		return 0, nil, nil, fmt.Errorf("%w: %d weights for %d vertices", ErrFormat, len(ws), n)
 	}
 	if _, err := dec.Token(); err != io.EOF {
-		return 0, nil, fmt.Errorf("%w: trailing data after the document", ErrFormat)
+		return 0, nil, nil, fmt.Errorf("%w: trailing data after the document", ErrFormat)
 	}
-	return n, edges, nil
+	return n, edges, ws, nil
 }
 
 // decodeEdges consumes [[...],[...],...], one inner array per edge.
@@ -197,6 +230,37 @@ func decodeEdges(dec *json.Decoder) ([][]int32, error) {
 		return nil, err
 	}
 	return edges, nil
+}
+
+// decodeWeights consumes [w0,w1,...], one int64 per vertex. The result is
+// non-nil even when empty so the caller can length-check it against n.
+func decodeWeights(dec *json.Decoder) ([]int64, error) {
+	if err := expectDelim(dec, '['); err != nil {
+		return nil, err
+	}
+	ws := []int64{}
+	for dec.More() {
+		tok, err := dec.Token()
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrFormat, err)
+		}
+		num, ok := tok.(json.Number)
+		if !ok {
+			return nil, fmt.Errorf("%w: weight %v is not a number", ErrFormat, tok)
+		}
+		w, err := strconv.ParseInt(num.String(), 10, 64)
+		if err != nil {
+			if ne, ok := err.(*strconv.NumError); ok && ne.Err == strconv.ErrRange {
+				return nil, fmt.Errorf("%w: weight %s overflows int64", ErrFormat, num)
+			}
+			return nil, fmt.Errorf("%w: non-integer weight %s", ErrFormat, num)
+		}
+		ws = append(ws, w)
+	}
+	if err := expectDelim(dec, ']'); err != nil {
+		return nil, err
+	}
+	return ws, nil
 }
 
 // decodeInt32 consumes one number token that must be an integer fitting

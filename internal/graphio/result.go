@@ -20,23 +20,28 @@ import (
 	"pslocal/internal/core"
 )
 
-// resultDoc is the JSON shape of a core.Result.
+// resultDoc is the JSON shape of a core.Result. The weight fields appear
+// only on weighted reductions, so unweighted documents are byte-identical
+// to the pre-weights schema.
 type resultDoc struct {
 	Type          string     `json:"type"`
 	K             int        `json:"k"`
 	TotalColors   int        `json:"total_colors"`
+	Weighted      bool       `json:"weighted,omitempty"`
+	TotalWeight   int64      `json:"total_weight,omitempty"`
 	Phases        []phaseDoc `json:"phases"`
 	Multicoloring [][]int32  `json:"multicoloring"`
 }
 
 // phaseDoc is the JSON shape of a core.PhaseStat.
 type phaseDoc struct {
-	Phase         int `json:"phase"`
-	EdgesBefore   int `json:"edges_before"`
-	ConflictNodes int `json:"conflict_nodes"`
-	ConflictEdges int `json:"conflict_edges"`
-	ISSize        int `json:"is_size"`
-	HappyRemoved  int `json:"happy_removed"`
+	Phase         int   `json:"phase"`
+	EdgesBefore   int   `json:"edges_before"`
+	ConflictNodes int   `json:"conflict_nodes"`
+	ConflictEdges int   `json:"conflict_edges"`
+	ISSize        int   `json:"is_size"`
+	ISWeight      int64 `json:"is_weight,omitempty"`
+	HappyRemoved  int   `json:"happy_removed"`
 }
 
 // resultDocType tags reduction-result documents so mixed-up files fail
@@ -49,6 +54,8 @@ func WriteResult(w io.Writer, res *core.Result) error {
 		Type:          resultDocType,
 		K:             res.K,
 		TotalColors:   res.TotalColors,
+		Weighted:      res.Weighted,
+		TotalWeight:   res.TotalWeight,
 		Phases:        make([]phaseDoc, len(res.Phases)),
 		Multicoloring: res.Multicoloring,
 	}
@@ -59,6 +66,7 @@ func WriteResult(w io.Writer, res *core.Result) error {
 			ConflictNodes: p.ConflictNodes,
 			ConflictEdges: p.ConflictEdges,
 			ISSize:        p.ISSize,
+			ISWeight:      p.ISWeight,
 			HappyRemoved:  p.HappyRemoved,
 		}
 	}
@@ -90,6 +98,8 @@ func ReadResult(r io.Reader) (*core.Result, error) {
 	res := &core.Result{
 		K:             doc.K,
 		TotalColors:   doc.TotalColors,
+		Weighted:      doc.Weighted,
+		TotalWeight:   doc.TotalWeight,
 		Phases:        make([]core.PhaseStat, len(doc.Phases)),
 		Multicoloring: doc.Multicoloring,
 	}
@@ -100,6 +110,7 @@ func ReadResult(r io.Reader) (*core.Result, error) {
 			ConflictNodes: p.ConflictNodes,
 			ConflictEdges: p.ConflictEdges,
 			ISSize:        p.ISSize,
+			ISWeight:      p.ISWeight,
 			HappyRemoved:  p.HappyRemoved,
 		}
 	}

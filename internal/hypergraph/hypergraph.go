@@ -31,6 +31,7 @@ type Hypergraph struct {
 	n         int
 	edges     [][]int32 // each sorted, duplicate-free, non-empty
 	incidence [][]int32 // incidence[v] = ascending edge indices containing v
+	weights   []int64   // optional vertex weights; nil means all-unit (see weights.go)
 }
 
 // New builds a hypergraph on n vertices from the given hyperedges. Each
@@ -222,8 +223,9 @@ func (h *Hypergraph) IsAlmostUniform(eps float64) (k int, ok bool) {
 }
 
 // KeepEdges returns the sub-hypergraph H' = (V, E') where E' consists of
-// the edges whose indices appear in keep (in the given order). This is the
-// H_{i+1} = H_i minus happy edges step of the Theorem 1.1 reduction.
+// the edges whose indices appear in keep (in the given order). Vertex
+// weights carry over. This is the H_{i+1} = H_i minus happy edges step of
+// the Theorem 1.1 reduction.
 func (h *Hypergraph) KeepEdges(keep []int32) (*Hypergraph, error) {
 	edges := make([][]int32, 0, len(keep))
 	for _, j := range keep {
@@ -232,13 +234,28 @@ func (h *Hypergraph) KeepEdges(keep []int32) (*Hypergraph, error) {
 		}
 		edges = append(edges, h.edges[j])
 	}
-	return New(h.n, edges)
+	sub, err := New(h.n, edges)
+	if err != nil {
+		return nil, err
+	}
+	sub.weights = h.weights // already normalised; shared because immutable
+	return sub, nil
 }
 
 // Validate checks the representation invariants: sorted duplicate-free
 // non-empty edges in range, and an incidence structure consistent with the
 // edge list. It returns nil for every hypergraph produced by New.
 func (h *Hypergraph) Validate() error {
+	if h.weights != nil {
+		if len(h.weights) != h.n {
+			return fmt.Errorf("%w: %d weights for %d vertices", ErrWeightLength, len(h.weights), h.n)
+		}
+		for v, w := range h.weights {
+			if w < 0 || w > MaxWeight {
+				return fmt.Errorf("%w: weight %d of vertex %d", ErrBadWeight, w, v)
+			}
+		}
+	}
 	for j, e := range h.edges {
 		if len(e) == 0 {
 			return fmt.Errorf("%w: edge %d", ErrEmptyEdge, j)

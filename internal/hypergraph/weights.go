@@ -1,0 +1,130 @@
+package hypergraph
+
+// weights.go implements optional vertex weights, mirroring the graph
+// package's contract (see internal/graph/weights.go): weights are part of
+// the instance, constructors normalise an all-unit vector to nil, and
+// Weighted() is a single pointer test. The reduction of Theorem 1.1
+// transfers these weights onto the conflict graph G_k — triple (e,v,c)
+// inherits w_H(v) — so a weight-aware MaxIS oracle optimises the weighted
+// conflict-free colouring objective without any change to the phase logic.
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// MaxWeight is the largest admissible vertex weight; it matches
+// graph.MaxWeight so conflict-graph construction never needs to clamp.
+const MaxWeight = math.MaxInt32
+
+// Weight errors returned by NewWeighted and WithWeights.
+var (
+	// ErrBadWeight reports a negative vertex weight or one above MaxWeight.
+	ErrBadWeight = errors.New("hypergraph: vertex weight out of range")
+	// ErrWeightLength reports a weight vector whose length is not the
+	// vertex count.
+	ErrWeightLength = errors.New("hypergraph: weight vector length mismatch")
+)
+
+// NewWeighted builds a vertex-weighted hypergraph. A nil weight vector (or
+// an all-unit one, which is normalised away) yields the same hypergraph as
+// New; otherwise ws must have exactly n entries in [0, MaxWeight].
+func NewWeighted(n int, edges [][]int32, ws []int64) (*Hypergraph, error) {
+	h, err := New(n, edges)
+	if err != nil {
+		return nil, err
+	}
+	h.weights, err = normalizeWeights(n, ws)
+	if err != nil {
+		return nil, err
+	}
+	return h, nil
+}
+
+// WithWeights returns a hypergraph sharing h's edge structure with the
+// given weight vector (nil restores the unweighted form). The vector must
+// have N() entries within [0, MaxWeight]; it is copied and normalised
+// (all-unit collapses to nil).
+func WithWeights(h *Hypergraph, ws []int64) (*Hypergraph, error) {
+	norm, err := normalizeWeights(h.n, ws)
+	if err != nil {
+		return nil, err
+	}
+	return &Hypergraph{n: h.n, edges: h.edges, incidence: h.incidence, weights: norm}, nil
+}
+
+// Weighted reports whether h carries non-unit vertex weights. Constructors
+// normalise all-unit weight vectors away, so false means every weight is
+// exactly 1 and the unweighted fast paths apply.
+func (h *Hypergraph) Weighted() bool { return h.weights != nil }
+
+// Weight returns the weight of v: 1 on unweighted hypergraphs.
+func (h *Hypergraph) Weight(v int32) int64 {
+	if h.weights == nil {
+		return 1
+	}
+	return h.weights[v]
+}
+
+// Weights returns a fresh copy of the per-vertex weight vector, or nil for
+// an unweighted hypergraph (every weight 1). The caller owns the result.
+func (h *Hypergraph) Weights() []int64 {
+	if h.weights == nil {
+		return nil
+	}
+	out := make([]int64, len(h.weights))
+	copy(out, h.weights)
+	return out
+}
+
+// AppendWeights appends the effective per-vertex weights (all 1 on
+// unweighted hypergraphs) to dst and returns the extended slice.
+func (h *Hypergraph) AppendWeights(dst []int64) []int64 {
+	if h.weights != nil {
+		return append(dst, h.weights...)
+	}
+	for i := 0; i < h.n; i++ {
+		dst = append(dst, 1)
+	}
+	return dst
+}
+
+// TotalWeight returns the sum of all vertex weights; on unweighted
+// hypergraphs it equals N().
+func (h *Hypergraph) TotalWeight() int64 {
+	if h.weights == nil {
+		return int64(h.n)
+	}
+	total := int64(0)
+	for _, w := range h.weights {
+		total += w
+	}
+	return total
+}
+
+// normalizeWeights validates ws against n vertices and returns a private
+// normalised copy: nil when ws is nil or all-unit.
+func normalizeWeights(n int, ws []int64) ([]int64, error) {
+	if ws == nil {
+		return nil, nil
+	}
+	if len(ws) != n {
+		return nil, fmt.Errorf("%w: %d weights for %d vertices", ErrWeightLength, len(ws), n)
+	}
+	unit := true
+	for v, w := range ws {
+		if w < 0 || w > MaxWeight {
+			return nil, fmt.Errorf("%w: weight %d of vertex %d", ErrBadWeight, w, v)
+		}
+		if w != 1 {
+			unit = false
+		}
+	}
+	if unit {
+		return nil, nil
+	}
+	out := make([]int64, len(ws))
+	copy(out, ws)
+	return out, nil
+}

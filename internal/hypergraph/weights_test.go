@@ -1,0 +1,96 @@
+package hypergraph
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestNewWeighted(t *testing.T) {
+	h, err := NewWeighted(4, [][]int32{{0, 1}, {1, 2, 3}}, []int64{5, 1, 1, 2})
+	if err != nil {
+		t.Fatalf("NewWeighted: %v", err)
+	}
+	if !h.Weighted() {
+		t.Fatal("weighted hypergraph reports unweighted")
+	}
+	if h.Weight(0) != 5 || h.Weight(1) != 1 || h.Weight(3) != 2 {
+		t.Errorf("Weights = %v, want [5 1 1 2]", h.Weights())
+	}
+	if h.TotalWeight() != 9 {
+		t.Errorf("TotalWeight = %d, want 9", h.TotalWeight())
+	}
+	if err := h.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+}
+
+func TestNewWeightedNormalizesUnitVector(t *testing.T) {
+	h, err := NewWeighted(3, [][]int32{{0, 1, 2}}, []int64{1, 1, 1})
+	if err != nil {
+		t.Fatalf("NewWeighted: %v", err)
+	}
+	if h.Weighted() {
+		t.Error("all-ones weight vector not normalised to nil")
+	}
+	if h.Weights() != nil {
+		t.Errorf("Weights = %v, want nil", h.Weights())
+	}
+	if h.TotalWeight() != 3 {
+		t.Errorf("TotalWeight = %d, want 3", h.TotalWeight())
+	}
+}
+
+func TestNewWeightedErrors(t *testing.T) {
+	if _, err := NewWeighted(3, nil, []int64{1, 2}); !errors.Is(err, ErrWeightLength) {
+		t.Errorf("short vector err = %v, want ErrWeightLength", err)
+	}
+	if _, err := NewWeighted(3, nil, []int64{1, -2, 1}); !errors.Is(err, ErrBadWeight) {
+		t.Errorf("negative weight err = %v, want ErrBadWeight", err)
+	}
+	if _, err := NewWeighted(3, nil, []int64{1, MaxWeight + 1, 1}); !errors.Is(err, ErrBadWeight) {
+		t.Errorf("overflow weight err = %v, want ErrBadWeight", err)
+	}
+}
+
+func TestWithWeightsSharesStructure(t *testing.T) {
+	h, err := New(4, [][]int32{{0, 1}, {2, 3}})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	wh, err := WithWeights(h, []int64{1, 2, 3, 4})
+	if err != nil {
+		t.Fatalf("WithWeights: %v", err)
+	}
+	if !wh.Weighted() || wh.N() != h.N() || wh.M() != h.M() {
+		t.Error("WithWeights changed the structure or dropped weights")
+	}
+	if h.Weighted() {
+		t.Error("WithWeights mutated the original")
+	}
+	uh, err := WithWeights(wh, nil)
+	if err != nil {
+		t.Fatalf("WithWeights(nil): %v", err)
+	}
+	if uh.Weighted() {
+		t.Error("WithWeights(nil) left the hypergraph weighted")
+	}
+}
+
+func TestKeepEdgesPreservesWeights(t *testing.T) {
+	h, err := NewWeighted(4, [][]int32{{0, 1}, {1, 2}, {2, 3}}, []int64{9, 1, 1, 7})
+	if err != nil {
+		t.Fatalf("NewWeighted: %v", err)
+	}
+	sub, err := h.KeepEdges([]int32{0, 2})
+	if err != nil {
+		t.Fatalf("KeepEdges: %v", err)
+	}
+	if !sub.Weighted() {
+		t.Fatal("residual hypergraph dropped its weights")
+	}
+	for v := int32(0); int(v) < h.N(); v++ {
+		if sub.Weight(v) != h.Weight(v) {
+			t.Errorf("vertex %d: weight %d, want %d", v, sub.Weight(v), h.Weight(v))
+		}
+	}
+}

@@ -80,6 +80,35 @@ func BenchmarkOracleKernels(b *testing.B) {
 	})
 }
 
+// BenchmarkGreedyWeightedDense measures the weighted greedy (static
+// weight/(deg+1) order + scan kernel) on the dense benchmark instance,
+// against the unweighted min-degree greedy as the baseline the weighted
+// path must stay comparable to.
+func BenchmarkGreedyWeightedDense(b *testing.B) {
+	rng := rand.New(rand.NewSource(42))
+	base := benchDenseGraph(b)
+	ws := make([]int64, base.N())
+	for i := range ws {
+		ws[i] = 1 + rng.Int63n(1<<20)
+	}
+	g, err := graph.WithWeights(base, ws)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("weighted", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			sink = GreedyWeighted(g)
+		}
+	})
+	b.Run("unweighted-baseline", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			sink = GreedyMinDegree(base)
+		}
+	})
+}
+
 // BenchmarkBipartiteExact sizes the König path against branch-and-bound
 // on a bipartite instance where both are exact.
 func BenchmarkBipartiteExact(b *testing.B) {

@@ -30,6 +30,12 @@ var ErrInapplicable = errors.New("maxis: oracle inapplicable to this instance")
 // wraps ErrInapplicable, so portfolios drop the member silently.
 var ErrNotBipartite = fmt.Errorf("%w: graph is not bipartite", ErrInapplicable)
 
+// ErrWeightedInstance reports a weighted BipartiteExact input. König's
+// matching argument is cardinality-only; the weighted bipartite optimum
+// needs a min-cut (flow-based König), which has not landed yet. It wraps
+// ErrInapplicable, so portfolios drop the member silently.
+var ErrWeightedInstance = fmt.Errorf("%w: weighted instance (flow-based König not implemented)", ErrInapplicable)
+
 // hkInfinity is the unreached BFS distance of the Hopcroft–Karp phase.
 const hkInfinity = int32(1 << 30)
 
@@ -43,6 +49,9 @@ const hkInfinity = int32(1 << 30)
 // recovered from the alternating-reachability set Z of the final matching
 // as (L \ Z) ∪ (R ∩ Z), giving the independent set (L ∩ Z) ∪ (R \ Z).
 func BipartiteExact(g *graph.Graph) ([]int32, error) {
+	if g.Weighted() {
+		return nil, ErrWeightedInstance
+	}
 	n := g.N()
 	if n == 0 {
 		return nil, nil

@@ -10,6 +10,15 @@ package maxis
 //     per-edge cliques of E_edge (Section 2 of the paper), which bound α by
 //     the number of remaining cliques and make the solver fast exactly on
 //     the graphs the reduction produces.
+//
+// On weighted instances (g.Weighted()) the same search maximises total
+// vertex weight: the incumbent comparison, the prune test, and all three
+// upper bounds switch to their weight-sum forms (Σ max weight per clique,
+// active weight minus Σ min endpoint weight per matching edge, Σ max
+// active weight per hint clique), the degree-1 rule only fires when the
+// degree-1 vertex outweighs its neighbour, and the cycle shortcut is
+// skipped — the search branches all the way down. Unweighted instances
+// take exactly the original code paths.
 
 import (
 	"context"
@@ -73,6 +82,10 @@ func ExactOpts(g *graph.Graph, opts ExactOptions) ([]int32, error) {
 		budget: opts.MaxBranchNodes,
 		ctx:    opts.Ctx,
 	}
+	if g.Weighted() {
+		s.weighted = true
+		s.w = g.AppendWeights(make([]int64, 0, n))
+	}
 	// Row bitsets are views into one contiguous pack — one backing
 	// allocation instead of n, reused outright when the caller injected the
 	// instance-cached Dense for this graph.
@@ -91,6 +104,9 @@ func ExactOpts(g *graph.Graph, opts ExactOptions) ([]int32, error) {
 			return nil, err
 		}
 		s.hint, s.hintStamp = compressHint(opts.CliqueHint)
+		if s.weighted {
+			s.hintMax = make([]int64, len(s.hintStamp))
+		}
 	}
 	active := newBitset(n)
 	for v := 0; v < n; v++ {
@@ -151,13 +167,18 @@ type exactState struct {
 	adj       []bitset
 	best      []int32
 	cur       []int32
-	budget    int64 // remaining branch nodes; <= 0 with budgeted=true means stop
+	weighted  bool    // maximise Σ w over cur/best instead of cardinality
+	w         []int64 // effective vertex weights; nil when !weighted
+	curW      int64   // Σ w over s.cur, maintained incrementally
+	bestW     int64   // Σ w over s.best
+	budget    int64   // remaining branch nodes; <= 0 with budgeted=true means stop
 	exceeded  bool
 	ctx       context.Context
 	ctxTick   int64 // branch nodes since the last context poll
 	ctxErr    error
 	hint      []int32
 	hintStamp []int64
+	hintMax   []int64 // per-clique max active weight; parallel to hintStamp
 	hintGen   int64
 	scratch   bitset
 	scratch2  bitset
@@ -198,7 +219,8 @@ func (s *exactState) solve(active bitset) {
 		}
 	}
 	curMark := len(s.cur)
-	defer func() { s.cur = s.cur[:curMark] }()
+	curWMark := s.curW
+	defer func() { s.cur, s.curW = s.cur[:curMark], curWMark }()
 
 	maxV, maxDeg := s.reduceAndMaxDegree(active)
 
@@ -209,8 +231,10 @@ func (s *exactState) solve(active bitset) {
 
 	// After reduction every active node has active-degree >= 2. If the max
 	// active degree is 2 the residue is a disjoint union of cycles; solve
-	// it directly.
-	if maxDeg <= 2 {
+	// it directly. Weighted searches skip the shortcut (alternate vertices
+	// are not weight-optimal and degree-1 vertices can survive the gated
+	// reduction) and branch all the way down instead.
+	if !s.weighted && maxDeg <= 2 {
 		s.solveCycles(active)
 		s.maybeRecord()
 		return
@@ -220,18 +244,34 @@ func (s *exactState) solve(active bitset) {
 	// active subgraph, and at most |active| − |matching| for any matching.
 	// The greedy clique cover discovers the per-edge cliques of conflict
 	// graphs (Section 2, E_edge) because their blocks are contiguous in id
-	// order; the matching bound is stronger on sparse residues.
-	ub := s.greedyCliqueCoverSize(active)
-	if mb := active.count() - s.greedyMatchingSize(active); mb < ub {
-		ub = mb
-	}
-	if s.hint != nil {
-		if hb := s.distinctActiveCliques(active); hb < ub {
-			ub = hb
+	// order; the matching bound is stronger on sparse residues. Weighted
+	// searches use the weight-sum forms of the same three bounds.
+	if s.weighted {
+		ub := s.weightedCliqueCoverBound(active)
+		if mb := s.weightedMatchingBound(active); mb < ub {
+			ub = mb
 		}
-	}
-	if len(s.cur)+ub <= len(s.best) {
-		return
+		if s.hint != nil {
+			if hb := s.weightedHintBound(active); hb < ub {
+				ub = hb
+			}
+		}
+		if s.curW+ub <= s.bestW {
+			return
+		}
+	} else {
+		ub := s.greedyCliqueCoverSize(active)
+		if mb := active.count() - s.greedyMatchingSize(active); mb < ub {
+			ub = mb
+		}
+		if s.hint != nil {
+			if hb := s.distinctActiveCliques(active); hb < ub {
+				ub = hb
+			}
+		}
+		if len(s.cur)+ub <= len(s.best) {
+			return
+		}
 	}
 
 	// Branch on the max-degree vertex; include first for earlier strong
@@ -240,8 +280,14 @@ func (s *exactState) solve(active bitset) {
 	include.andNotInPlace(s.adj[maxV])
 	include.clear(maxV)
 	s.cur = append(s.cur, maxV)
+	if s.weighted {
+		s.curW += s.w[maxV]
+	}
 	s.solve(include)
 	s.cur = s.cur[:len(s.cur)-1]
+	if s.weighted {
+		s.curW -= s.w[maxV]
+	}
 
 	exclude := active // safe: we own it and no longer need the original
 	exclude.clear(maxV)
@@ -250,10 +296,14 @@ func (s *exactState) solve(active bitset) {
 
 // reduceAndMaxDegree applies the degree-0 and degree-1 rules until none
 // fires, extending s.cur with the forced inclusions and shrinking active
-// in place. The returned vertex and degree are the active maximum, taken
-// from the final sweep — the one where no rule fired, so every degree it
-// computed is still current. Fusing the two saves a whole popcount sweep
-// per branch node over separate reduce + maxDegree passes.
+// in place. On weighted searches the degree-1 rule is gated on the
+// degree-1 vertex outweighing its neighbour — the exchange argument
+// (swap u for v) needs w(v) ≥ w(u); an outweighed degree-1 vertex stays
+// active and is resolved by branching. The returned vertex and degree are
+// the active maximum, taken from the final sweep — the one where no rule
+// fired, so every degree it computed is still current. Fusing the two
+// saves a whole popcount sweep per branch node over separate reduce +
+// maxDegree passes.
 func (s *exactState) reduceAndMaxDegree(active bitset) (maxV int32, maxDeg int) {
 	for {
 		changed := false
@@ -268,12 +318,24 @@ func (s *exactState) reduceAndMaxDegree(active bitset) (maxV int32, maxDeg int) 
 			switch d {
 			case 0:
 				s.cur = append(s.cur, v)
+				if s.weighted {
+					s.curW += s.w[v]
+				}
 				active.clear(v)
 				changed = true
 			case 1:
-				s.cur = append(s.cur, v)
-				active.clear(v)
 				u := firstAnd(s.adj[v], active)
+				if s.weighted && s.w[v] < s.w[u] {
+					if d > maxDeg {
+						maxDeg, maxV = d, v
+					}
+					return true
+				}
+				s.cur = append(s.cur, v)
+				if s.weighted {
+					s.curW += s.w[v]
+				}
+				active.clear(v)
 				active.clear(u)
 				changed = true
 			default:
@@ -398,8 +460,102 @@ func (s *exactState) distinctActiveCliques(active bitset) int {
 	return count
 }
 
-// maybeRecord promotes the current selection to the incumbent if larger.
+// weightedCliqueCoverBound covers the active nodes with greedily grown
+// cliques and returns Σ (max weight per clique), an upper bound on the
+// max weight independent set: an independent set takes at most one node
+// per clique, worth at most that clique's heaviest member.
+func (s *exactState) weightedCliqueCoverBound(active bitset) int64 {
+	remaining := s.borrowCopy(active)
+	cand := s.scratch2
+	if cand == nil {
+		cand = newBitset(s.n)
+		s.scratch2 = cand
+	}
+	bound := int64(0)
+	for {
+		v := remaining.first()
+		if v < 0 {
+			return bound
+		}
+		maxW := s.w[v]
+		remaining.clear(v)
+		andInto(cand, remaining, s.adj[v])
+		for {
+			u := cand.first()
+			if u < 0 {
+				break
+			}
+			if s.w[u] > maxW {
+				maxW = s.w[u]
+			}
+			remaining.clear(u)
+			cand.clear(u)
+			for i := range cand {
+				cand[i] &= s.adj[u][i]
+			}
+		}
+		bound += maxW
+	}
+}
+
+// weightedMatchingBound returns w(active) − Σ min(w_u, w_v) over a maximal
+// matching: every matching edge loses at least its lighter endpoint from
+// any independent set, and matching edges are disjoint.
+func (s *exactState) weightedMatchingBound(active bitset) int64 {
+	total := int64(0)
+	active.forEach(func(v int32) bool {
+		total += s.w[v]
+		return true
+	})
+	unmatched := s.borrowCopy(active)
+	for {
+		v := unmatched.first()
+		if v < 0 {
+			return total
+		}
+		unmatched.clear(v)
+		u := firstAnd(s.adj[v], unmatched)
+		if u >= 0 {
+			unmatched.clear(u)
+			if s.w[v] < s.w[u] {
+				total -= s.w[v]
+			} else {
+				total -= s.w[u]
+			}
+		}
+	}
+}
+
+// weightedHintBound returns Σ (max active weight per hint clique), the
+// weight-sum form of distinctActiveCliques, sharing its generation stamp.
+func (s *exactState) weightedHintBound(active bitset) int64 {
+	s.hintGen++
+	bound := int64(0)
+	active.forEach(func(v int32) bool {
+		id, w := s.hint[v], s.w[v]
+		if s.hintStamp[id] != s.hintGen {
+			s.hintStamp[id] = s.hintGen
+			s.hintMax[id] = w
+			bound += w
+		} else if w > s.hintMax[id] {
+			bound += w - s.hintMax[id]
+			s.hintMax[id] = w
+		}
+		return true
+	})
+	return bound
+}
+
+// maybeRecord promotes the current selection to the incumbent if better:
+// heavier on weighted searches, larger otherwise.
 func (s *exactState) maybeRecord() {
+	if s.weighted {
+		if s.curW > s.bestW {
+			s.bestW = s.curW
+			s.best = append(s.best[:0], s.cur...)
+		}
+		return
+	}
 	if len(s.cur) > len(s.best) {
 		s.best = append(s.best[:0], s.cur...)
 	}

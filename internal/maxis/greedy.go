@@ -163,8 +163,13 @@ type MinDegreeOracle struct{}
 // Name implements Oracle.
 func (MinDegreeOracle) Name() string { return "greedy-mindeg" }
 
-// Solve implements Oracle.
+// Solve implements Oracle. Weighted instances route to the weighted
+// greedy (descending weight/(deg+1) order); unweighted ones keep the
+// adaptive bucket-queue greedy unchanged.
 func (MinDegreeOracle) Solve(g *graph.Graph) ([]int32, error) {
+	if g.Weighted() {
+		return GreedyWeighted(g), nil
+	}
 	return GreedyMinDegree(g), nil
 }
 
@@ -183,10 +188,19 @@ func (o *RandomOrderOracle) Name() string { return "greedy-random" }
 // SetDense implements DenseSetter.
 func (o *RandomOrderOracle) SetDense(d *Dense) { o.dense = d }
 
-// Solve implements Oracle.
+// Solve implements Oracle. On weighted instances the random permutation
+// only breaks weight/(deg+1) ratio ties, so the scan still follows the
+// weighted Caro–Wei order.
 func (o *RandomOrderOracle) Solve(g *graph.Graph) ([]int32, error) {
 	if o.rng == nil {
 		o.rng = rand.New(rand.NewSource(o.Seed))
+	}
+	if g.Weighted() {
+		pos := make([]int32, g.N())
+		for i, p := range o.rng.Perm(g.N()) {
+			pos[p] = int32(i)
+		}
+		return greedyOrderAuto(o.dense, g, weightedRatioOrder(g, pos))
 	}
 	order := make([]int32, g.N())
 	for i, p := range o.rng.Perm(g.N()) {
@@ -207,8 +221,13 @@ func (FirstFitOracle) Name() string { return "greedy-firstfit" }
 // SetDense implements DenseSetter.
 func (o *FirstFitOracle) SetDense(d *Dense) { o.dense = d }
 
-// Solve implements Oracle.
+// Solve implements Oracle. Weighted instances scan in the weighted
+// Caro–Wei order instead of the identity permutation — first-fit over an
+// arbitrary order forfeits the weighted guarantee entirely.
 func (o FirstFitOracle) Solve(g *graph.Graph) ([]int32, error) {
+	if g.Weighted() {
+		return greedyWeightedAuto(o.dense, g), nil
+	}
 	order := make([]int32, g.N())
 	for i := range order {
 		order[i] = int32(i)
@@ -232,8 +251,12 @@ func (MinDegreeBitsetOracle) Name() string { return "greedy-mindeg-bitset" }
 // SetDense implements DenseSetter.
 func (o *MinDegreeBitsetOracle) SetDense(d *Dense) { o.dense = d }
 
-// Solve implements Oracle.
+// Solve implements Oracle. Weighted instances route to the weighted
+// greedy on the packed adjacency.
 func (o MinDegreeBitsetOracle) Solve(g *graph.Graph) ([]int32, error) {
+	if g.Weighted() {
+		return greedyWeightedAuto(o.dense, g), nil
+	}
 	return greedyMinDegreeAuto(o.dense, g), nil
 }
 

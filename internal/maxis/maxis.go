@@ -4,7 +4,10 @@
 // Ramsey-based clique-removal algorithm of Boppana and Halldórsson.
 //
 // All solvers consume the immutable graphs of internal/graph and return
-// independent sets as ascending []int32 node lists.
+// independent sets as ascending []int32 node lists. Vertex-weighted
+// instances (graph.Weighted()) are first-class: every oracle maximises
+// total set weight on them (see weighted.go), while unweighted instances
+// take exactly the cardinality code paths.
 package maxis
 
 import (

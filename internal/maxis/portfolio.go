@@ -28,9 +28,13 @@ type EngineSetter interface {
 }
 
 // Portfolio is an Oracle that runs every member on the input and returns
-// the largest independent set found; ties keep the earliest member, so
-// the result is deterministic for any worker count. A single-member
-// portfolio delegates directly and is bit-identical to that member.
+// the best independent set found: the maximum total weight on weighted
+// instances, the maximum cardinality otherwise (on unweighted graphs the
+// two orderings coincide, so pre-weights behaviour is unchanged). Ties —
+// equal size, or equal weight on weighted instances — deterministically
+// keep the lowest-index member, so the result is identical for any worker
+// count or completion order. A single-member portfolio delegates directly
+// and is bit-identical to that member.
 type Portfolio struct {
 	members []Oracle
 	eng     engine.Options
@@ -85,11 +89,12 @@ func (p *Portfolio) SetDense(d *Dense) {
 }
 
 // Solve implements Oracle: every member solves g (concurrently when the
-// engine options select more than one worker), and the largest returned
-// set wins. Members whose error wraps ErrInapplicable (e.g.
-// bipartite-exact on a non-bipartite instance) are dropped from the race;
-// any other member error aborts the portfolio. A race in which every
-// member was dropped is an error.
+// engine options select more than one worker), and the heaviest returned
+// set wins (SetWeight — cardinality on unweighted instances). Members
+// whose error wraps ErrInapplicable (e.g. bipartite-exact on a
+// non-bipartite or weighted instance) are dropped from the race; any
+// other member error aborts the portfolio. A race in which every member
+// was dropped is an error.
 func (p *Portfolio) Solve(g *graph.Graph) ([]int32, error) {
 	return p.solve(p.eng, g)
 }
@@ -132,13 +137,16 @@ func (p *Portfolio) solve(eng engine.Options, g *graph.Graph) ([]int32, error) {
 	if err != nil {
 		return nil, err
 	}
-	best := -1
+	// Winner: strictly greater weight only, so equal-weight (and on
+	// unweighted graphs equal-size) races keep the lowest-index member —
+	// the pinned deterministic tie-break.
+	best, bestW := -1, int64(-1)
 	for i := range results {
 		if dropped[i] != nil {
 			continue
 		}
-		if best < 0 || len(results[i]) > len(results[best]) {
-			best = i
+		if w := SetWeight(g, results[i]); w > bestW {
+			best, bestW = i, w
 		}
 	}
 	if best < 0 {

@@ -62,18 +62,29 @@ func ramseyRec(adj []bitset, active bitset) (clique, independent bitset) {
 }
 
 // CliqueRemoval runs the Boppana–Halldórsson outer loop and returns the
-// largest independent set any Ramsey call produced.
+// best independent set any Ramsey call produced — heaviest total weight
+// on weighted instances, largest otherwise. The Ramsey recursion itself
+// stays cardinality-driven either way; only the keeper compares weights.
 func CliqueRemoval(g *graph.Graph) []int32 {
 	n := g.N()
 	adj := adjacencyBitsets(g)
+	var w []int64
+	if g.Weighted() {
+		w = g.AppendWeights(make([]int64, 0, n))
+	}
 	active := newBitset(n)
 	for v := 0; v < n; v++ {
 		active.set(int32(v))
 	}
 	var best bitset
+	bestW := int64(-1)
 	for active.any() {
 		c, i := ramseyRec(adj, active)
-		if best == nil || i.count() > best.count() {
+		if w != nil {
+			if iw := bitsetWeight(i, w); iw > bestW {
+				best, bestW = i, iw
+			}
+		} else if best == nil || i.count() > best.count() {
 			best = i
 		}
 		if !c.any() {

@@ -350,6 +350,9 @@ func (s *Solver) SolveBatch(ctx context.Context, hs []*hypergraph.Hypergraph) ([
 type ISResult struct {
 	// Set is the independent set found, ascending.
 	Set []int32
+	// TotalWeight is the total vertex weight of Set: Σ w(v) on weighted
+	// instances, |Set| otherwise (unit weights).
+	TotalWeight int64
 	// Oracle is the registry name that solved ("" on the carving path).
 	Oracle string
 	// Locality and RadiusBound report the carving path's measured and
@@ -391,7 +394,12 @@ func (s *Solver) maxIS(ctx context.Context, g *graph.Graph, cg *cachedGraph) (*I
 		if err != nil {
 			return nil, wrapCancelled(ctx, err)
 		}
-		return &ISResult{Set: res.Set, Locality: res.Locality, RadiusBound: res.RadiusBound}, nil
+		return &ISResult{
+			Set:         res.Set,
+			TotalWeight: maxis.SetWeight(g, res.Set),
+			Locality:    res.Locality,
+			RadiusBound: res.RadiusBound,
+		}, nil
 	}
 	name := s.cfg.oracleName
 	if name == "" {
@@ -415,7 +423,7 @@ func (s *Solver) maxIS(ctx context.Context, g *graph.Graph, cg *cachedGraph) (*I
 	if err != nil {
 		return nil, wrapCancelled(ctx, err)
 	}
-	return &ISResult{Set: set, Oracle: name}, nil
+	return &ISResult{Set: set, TotalWeight: maxis.SetWeight(g, set), Oracle: name}, nil
 }
 
 // Instance describes a parsed instance and its cache disposition.
@@ -451,6 +459,17 @@ func (i *Instance) Graph() *graph.Graph {
 		return nil
 	}
 	return cg.g
+}
+
+// Weighted reports whether the parsed instance carries vertex weights.
+func (i *Instance) Weighted() bool {
+	switch v := i.value.(type) {
+	case *cachedGraph:
+		return v.g.Weighted()
+	case *hypergraph.Hypergraph:
+		return v.Weighted()
+	}
+	return false
 }
 
 // SolveReader reads a hypergraph from r in the given graphio format

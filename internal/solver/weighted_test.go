@@ -1,0 +1,85 @@
+package solver
+
+// weighted_test.go covers weighted instances through the Solver facade:
+// TotalWeight reporting on both MaxIS paths, the Instance.Weighted flag,
+// and weight propagation through the reduction.
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"pslocal/internal/graphio"
+	"pslocal/internal/hypergraph"
+	"pslocal/internal/maxis"
+)
+
+func TestMaxISReaderWeighted(t *testing.T) {
+	ctx := context.Background()
+	s := New(WithCache(4), WithOracle("greedy-mindeg"))
+	body := benchWeightedGraphBody(t, 64, 0.2)
+	res, inst, err := s.MaxISReader(ctx, bytes.NewReader(body), graphio.FormatEdgeList)
+	if err != nil {
+		t.Fatalf("MaxISReader: %v", err)
+	}
+	if !inst.Weighted() {
+		t.Error("instance not reported weighted")
+	}
+	g := inst.Graph()
+	if g == nil || !g.Weighted() {
+		t.Fatal("cached graph lost its weights")
+	}
+	if err := maxis.VerifyWeighted(g, res.Set, res.TotalWeight); err != nil {
+		t.Errorf("reported TotalWeight inconsistent: %v", err)
+	}
+	if res.TotalWeight <= int64(len(res.Set)) {
+		t.Errorf("TotalWeight %d not above cardinality %d on a skewed instance", res.TotalWeight, len(res.Set))
+	}
+
+	// Unweighted body: TotalWeight equals the cardinality.
+	ubody := benchGraphBody(t, 64, 0.2)
+	ures, uinst, err := s.MaxISReader(ctx, bytes.NewReader(ubody), graphio.FormatEdgeList)
+	if err != nil {
+		t.Fatalf("MaxISReader: %v", err)
+	}
+	if uinst.Weighted() {
+		t.Error("unweighted instance reported weighted")
+	}
+	if ures.TotalWeight != int64(len(ures.Set)) {
+		t.Errorf("unweighted TotalWeight %d != |Set| %d", ures.TotalWeight, len(ures.Set))
+	}
+}
+
+func TestMaxISCarvingReportsWeight(t *testing.T) {
+	ctx := context.Background()
+	s := New(WithCache(4), WithCarving(1.0))
+	body := benchGraphBody(t, 48, 0.1)
+	res, _, err := s.MaxISReader(ctx, bytes.NewReader(body), graphio.FormatEdgeList)
+	if err != nil {
+		t.Fatalf("MaxISReader: %v", err)
+	}
+	if res.TotalWeight != int64(len(res.Set)) {
+		t.Errorf("carving TotalWeight %d != |Set| %d on unweighted input", res.TotalWeight, len(res.Set))
+	}
+}
+
+func TestSolveWeightedHypergraph(t *testing.T) {
+	ctx := context.Background()
+	h, err := hypergraph.NewWeighted(6,
+		[][]int32{{0, 1, 2}, {2, 3, 4}, {4, 5, 0}},
+		[]int64{10, 1, 1, 20, 1, 1})
+	if err != nil {
+		t.Fatalf("NewWeighted: %v", err)
+	}
+	s := New(WithK(2))
+	res, err := s.Solve(ctx, h)
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	if !res.Weighted {
+		t.Error("reduction result not marked weighted")
+	}
+	if res.TotalWeight <= 0 || res.TotalWeight > h.TotalWeight() {
+		t.Errorf("TotalWeight %d outside (0, %d]", res.TotalWeight, h.TotalWeight())
+	}
+}

@@ -61,6 +61,17 @@ type (
 // NewGraphBuilder returns a builder for a graph on n nodes.
 func NewGraphBuilder(n int) *GraphBuilder { return graph.NewBuilder(n) }
 
+// MaxVertexWeight is the largest admissible vertex weight (shared by
+// graphs and hypergraphs); the cap keeps every solver quantity in int64.
+const MaxVertexWeight = graph.MaxWeight
+
+// GraphWithWeights returns a graph sharing g's adjacency structure with
+// the given vertex weights (nil restores the unweighted form; an
+// all-unit vector normalises to unweighted). Weighted graphs flow
+// through every oracle and the Solver unchanged — the objective becomes
+// total set weight.
+func GraphWithWeights(g *Graph, ws []int64) (*Graph, error) { return graph.WithWeights(g, ws) }
+
 // GnP returns an Erdős–Rényi random graph.
 func GnP(n int, p float64, rng *rand.Rand) *Graph { return graph.GnP(n, p, rng) }
 
@@ -79,6 +90,18 @@ type (
 // NewHypergraph builds a hypergraph on n vertices from hyperedges.
 func NewHypergraph(n int, edges [][]int32) (*Hypergraph, error) {
 	return hypergraph.New(n, edges)
+}
+
+// NewWeightedHypergraph builds a vertex-weighted hypergraph; a nil or
+// all-unit weight vector yields the same instance as NewHypergraph.
+func NewWeightedHypergraph(n int, edges [][]int32, ws []int64) (*Hypergraph, error) {
+	return hypergraph.NewWeighted(n, edges, ws)
+}
+
+// HypergraphWithWeights returns a hypergraph sharing h's edge structure
+// with the given vertex weights (nil restores the unweighted form).
+func HypergraphWithWeights(h *Hypergraph, ws []int64) (*Hypergraph, error) {
+	return hypergraph.WithWeights(h, ws)
 }
 
 // PlantedCF returns an almost-uniform hypergraph with a hidden
@@ -283,6 +306,21 @@ func LookupOracle(name string, seed int64) (Oracle, error) { return maxis.Lookup
 
 // OracleNames lists the registered oracle names in ascending order.
 func OracleNames() []string { return maxis.Names() }
+
+// IndependentSetWeight returns the total vertex weight of nodes:
+// Σ w(v) on weighted graphs, |nodes| otherwise. It never allocates.
+func IndependentSetWeight(g *Graph, nodes []int32) int64 { return maxis.SetWeight(g, nodes) }
+
+// VerifyWeightedIndependentSet checks nodes is an independent set of g
+// whose total weight equals reported.
+func VerifyWeightedIndependentSet(g *Graph, nodes []int32, reported int64) error {
+	return maxis.VerifyWeighted(g, nodes, reported)
+}
+
+// GreedyWeightedMaxIS returns the weight/(degree+1)-ordered greedy
+// independent set — the weighted counterpart of GreedyMaxIS (identical
+// to it on unweighted graphs up to tie order).
+func GreedyWeightedMaxIS(g *Graph) []int32 { return maxis.GreedyWeighted(g) }
 
 // ExactMaxIS returns a maximum independent set.
 //

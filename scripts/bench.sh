@@ -30,7 +30,7 @@ go test -run '^$' \
   -benchmem -count=1 $benchtime . > "$tmp"
 go test -run '^$' -bench 'MoserTardosLongResampling' -benchmem -count=1 $benchtime \
   ./internal/splitting/ >> "$tmp"
-go test -run '^$' -bench 'OracleKernels|BipartiteExact' -benchmem -count=1 $benchtime \
+go test -run '^$' -bench 'OracleKernels|BipartiteExact|GreedyWeightedDense' -benchmem -count=1 $benchtime \
   ./internal/maxis/ >> "$tmp"
 go test -run '^$' -bench 'SolverCacheHitAllocs|SolverMaxISReaderHot' -benchmem -count=1 $benchtime \
   ./internal/solver/ >> "$tmp"
