@@ -1,6 +1,6 @@
 # Developer entry points; CI runs the same steps (.github/workflows/ci.yml).
 
-.PHONY: build test race vet fmt api api-update bench bench-quick
+.PHONY: build test race vet fmt api api-update bench bench-quick load-smoke
 
 build:
 	go build ./...
@@ -33,3 +33,9 @@ bench:
 
 bench-quick:
 	BENCH_QUICK=1 ./scripts/bench.sh
+
+# load-smoke drives a small cfload burst against a live cfserve, checks
+# the SLO report and /statz latency histograms, verifies replay
+# determinism, and records a "<sha>-load" entry in BENCH_gk.json.
+load-smoke:
+	./scripts/loadsmoke.sh

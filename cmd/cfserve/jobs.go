@@ -80,6 +80,7 @@ func (s *server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	started := time.Now()
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.maxBodyBytes))
 	if err != nil {
 		var tooLarge *http.MaxBytesError
@@ -107,6 +108,7 @@ func (s *server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 	if !accepted { // idempotent resubmission: report the existing job
 		status = http.StatusOK
 	}
+	s.latency.jobsSubmit.observe(time.Since(started))
 	s.writeJSON(w, status, jobEnvelope(info))
 }
 

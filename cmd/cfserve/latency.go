@@ -1,0 +1,127 @@
+package main
+
+// latency.go tracks per-endpoint response latency with lock-free
+// histograms, surfaced through /statz. Buckets are powers of two over
+// microseconds (bucket i holds samples in [2^(i-1), 2^i) µs), which
+// covers sub-millisecond cache hits through multi-minute solves in 64
+// fixed counters per track; the quantiles /statz reports are therefore
+// upper bucket bounds, good to a factor of two, which is plenty for
+// spotting a p99 collapse. Tracks: reduce and maxis (successful
+// synchronous solves), jobs_submit (accepted submissions), and
+// cache_hit / cache_miss (the same solve samples split by instance-cache
+// disposition, so cold-parse cost stays visible next to hot-path cost).
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+const latencyBuckets = 64
+
+// latencyHist is a fixed log2 histogram over microseconds.
+type latencyHist struct {
+	count   atomic.Uint64
+	sumUS   atomic.Uint64
+	maxUS   atomic.Uint64
+	buckets [latencyBuckets]atomic.Uint64
+}
+
+// observe records one latency sample.
+func (h *latencyHist) observe(d time.Duration) {
+	us := uint64(d.Microseconds())
+	h.count.Add(1)
+	h.sumUS.Add(us)
+	for {
+		cur := h.maxUS.Load()
+		if us <= cur || h.maxUS.CompareAndSwap(cur, us) {
+			break
+		}
+	}
+	h.buckets[bits.Len64(us)].Add(1)
+}
+
+// latencySnapshot is the JSON rendering of one histogram.
+type latencySnapshot struct {
+	Count  uint64  `json:"count"`
+	MeanMS float64 `json:"mean_ms"`
+	P50MS  float64 `json:"p50_ms"`
+	P95MS  float64 `json:"p95_ms"`
+	P99MS  float64 `json:"p99_ms"`
+	MaxMS  float64 `json:"max_ms"`
+}
+
+// snapshot renders the histogram. Concurrent observes can tear between
+// count and buckets; quantiles use the bucket total so the snapshot is
+// always internally consistent.
+func (h *latencyHist) snapshot() latencySnapshot {
+	var counts [latencyBuckets]uint64
+	var total uint64
+	for i := range h.buckets {
+		counts[i] = h.buckets[i].Load()
+		total += counts[i]
+	}
+	s := latencySnapshot{
+		Count: h.count.Load(),
+		MaxMS: float64(h.maxUS.Load()) / 1000,
+	}
+	if total == 0 {
+		return s
+	}
+	s.MeanMS = float64(h.sumUS.Load()) / float64(total) / 1000
+	quantile := func(q float64) float64 {
+		target := uint64(math.Ceil(q * float64(total))) // nearest rank
+		if target == 0 {
+			target = 1
+		}
+		var seen uint64
+		for i, c := range counts {
+			seen += c
+			if seen >= target {
+				// Upper bound of bucket i: 2^i - 1 µs (bucket 0 is the
+				// zero-microsecond samples).
+				if i == 0 {
+					return 0
+				}
+				return float64(uint64(1)<<i-1) / 1000
+			}
+		}
+		return s.MaxMS
+	}
+	s.P50MS = quantile(0.50)
+	s.P95MS = quantile(0.95)
+	s.P99MS = quantile(0.99)
+	return s
+}
+
+// latencyTracks is the server's set of histograms.
+type latencyTracks struct {
+	reduce     latencyHist
+	maxis      latencyHist
+	jobsSubmit latencyHist
+	cacheHit   latencyHist
+	cacheMiss  latencyHist
+}
+
+// observeSolve records a successful synchronous solve into its endpoint
+// track and the matching cache-disposition track.
+func (l *latencyTracks) observeSolve(endpoint *latencyHist, d time.Duration, cacheHit bool) {
+	endpoint.observe(d)
+	if cacheHit {
+		l.cacheHit.observe(d)
+	} else {
+		l.cacheMiss.observe(d)
+	}
+}
+
+// snapshot renders every track keyed for the /statz document.
+func (l *latencyTracks) snapshot() map[string]latencySnapshot {
+	return map[string]latencySnapshot{
+		"reduce":      l.reduce.snapshot(),
+		"maxis":       l.maxis.snapshot(),
+		"jobs_submit": l.jobsSubmit.snapshot(),
+		"cache_hit":   l.cacheHit.snapshot(),
+		"cache_miss":  l.cacheMiss.snapshot(),
+	}
+}

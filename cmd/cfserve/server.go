@@ -97,6 +97,7 @@ type server struct {
 	solves   atomic.Uint64 // successful /v1/maxis responses
 	failures atomic.Uint64 // 4xx/5xx responses
 	canceled atomic.Uint64 // requests abandoned by the client mid-solve
+	latency  latencyTracks // per-endpoint and per-cache-disposition histograms
 }
 
 // newServer wires the routes, resolves config defaults, and builds the
@@ -303,6 +304,7 @@ func (s *server) handleReduce(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.reduces.Add(1)
+	s.latency.observeSolve(&s.latency.reduce, time.Since(started), inst.CacheHit)
 	s.writeJSON(w, http.StatusOK, reduceResponse{
 		Instance:  describe(inst),
 		Oracle:    oracleName,
@@ -402,6 +404,7 @@ func (s *server) handleMaxIS(w http.ResponseWriter, r *http.Request) {
 		resp.Verified = pslocal.VerifyIndependentSet(g, res.Set) == nil
 	}
 	s.solves.Add(1)
+	s.latency.observeSolve(&s.latency.maxis, time.Since(started), inst.CacheHit)
 	s.writeJSON(w, http.StatusOK, resp)
 }
 
@@ -427,6 +430,10 @@ type statzResponse struct {
 	MaxWorkers  int                      `json:"max_workers"`
 	Cache       pslocal.SolverCacheStats `json:"cache"`
 	Jobs        pslocal.JobStats         `json:"jobs"`
+	// Latency carries per-track response-latency histograms: reduce,
+	// maxis, jobs_submit, and the solve samples split into cache_hit /
+	// cache_miss (cold parse+CSR vs hot instance-cache path).
+	Latency map[string]latencySnapshot `json:"latency"`
 }
 
 // handleStatz reports the service counters, the Solver's cache and
@@ -444,6 +451,7 @@ func (s *server) handleStatz(w http.ResponseWriter, _ *http.Request) {
 		MaxWorkers:  s.cfg.maxWorkers,
 		Cache:       s.solver.CacheStats(),
 		Jobs:        s.jobs.Stats(),
+		Latency:     s.latency.snapshot(),
 	})
 }
 

@@ -1,0 +1,188 @@
+package main
+
+// statz_test.go covers the /statz latency histograms: per-endpoint
+// tracks populate as requests land, the solve samples split into
+// cache_hit vs cache_miss (a cold parse followed by a hot resubmission
+// must feed one sample into each), job submissions feed jobs_submit,
+// and the histogram math itself is pinned by direct unit tests.
+
+import (
+	"encoding/json"
+	"net/http"
+	"testing"
+	"time"
+)
+
+// getStatz fetches and decodes /statz.
+func getStatz(t *testing.T, baseURL string) statzResponse {
+	t.Helper()
+	resp, err := http.Get(baseURL + "/statz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/statz status %d", resp.StatusCode)
+	}
+	var st statzResponse
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func TestStatzLatencyTracks(t *testing.T) {
+	_, ts := newTestServer(t)
+	body := quickstartBody(t)
+
+	// Before any traffic every track exists and is empty.
+	st := getStatz(t, ts.URL)
+	for _, track := range []string{"reduce", "maxis", "jobs_submit", "cache_hit", "cache_miss"} {
+		snap, ok := st.Latency[track]
+		if !ok {
+			t.Fatalf("track %q missing from /statz", track)
+		}
+		if snap.Count != 0 {
+			t.Fatalf("track %q nonzero before traffic: %+v", track, snap)
+		}
+	}
+
+	// Cold reduce then identical resubmission: one miss, one hit.
+	var out json.RawMessage
+	resp := postInstance(t, ts.URL+"/v1/reduce?k=2&oracle=greedy-mindeg", body, &out)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cold reduce status %d", resp.StatusCode)
+	}
+	resp = postInstance(t, ts.URL+"/v1/reduce?k=2&oracle=greedy-mindeg", body, &out)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("warm reduce status %d", resp.StatusCode)
+	}
+
+	st = getStatz(t, ts.URL)
+	if got := st.Latency["reduce"].Count; got != 2 {
+		t.Fatalf("reduce count = %d, want 2", got)
+	}
+	if got := st.Latency["cache_miss"].Count; got != 1 {
+		t.Fatalf("cache_miss count = %d, want 1 (the cold parse)", got)
+	}
+	if got := st.Latency["cache_hit"].Count; got != 1 {
+		t.Fatalf("cache_hit count = %d, want 1 (the resubmission)", got)
+	}
+	for _, track := range []string{"reduce", "cache_miss"} {
+		snap := st.Latency[track]
+		if snap.MaxMS <= 0 || snap.MeanMS <= 0 {
+			t.Fatalf("track %q has no timing: %+v", track, snap)
+		}
+		if snap.P50MS > snap.P95MS || snap.P95MS > snap.P99MS {
+			t.Fatalf("track %q quantiles not monotone: %+v", track, snap)
+		}
+	}
+
+	// A failing request must not touch the histograms.
+	resp, err := http.Post(ts.URL+"/v1/reduce?k=0", "application/octet-stream", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad k status %d", resp.StatusCode)
+	}
+	if got := getStatz(t, ts.URL).Latency["reduce"].Count; got != 2 {
+		t.Fatalf("failed request entered the reduce histogram: count %d", got)
+	}
+
+	// A job submission lands in jobs_submit, not in the solve tracks.
+	var jobOut struct {
+		Job struct {
+			ID string `json:"id"`
+		} `json:"job"`
+	}
+	resp = postInstance(t, ts.URL+"/v1/jobs?k=2&oracle=greedy-mindeg", body, &jobOut)
+	if resp.StatusCode != http.StatusAccepted || jobOut.Job.ID == "" {
+		t.Fatalf("job submit: status %d, %+v", resp.StatusCode, jobOut)
+	}
+	st = getStatz(t, ts.URL)
+	if got := st.Latency["jobs_submit"].Count; got != 1 {
+		t.Fatalf("jobs_submit count = %d, want 1", got)
+	}
+	if got := st.Latency["reduce"].Count; got != 2 {
+		t.Fatalf("job submission leaked into the reduce track: count %d", got)
+	}
+	// Job wait/run sums flow through the same /statz document; Started
+	// and Finished are the new denominators cfload consumes.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		st = getStatz(t, ts.URL)
+		if st.Jobs.Finished >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job never finished: %+v", st.Jobs)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if st.Jobs.Started < 1 || st.Jobs.RunSumMS < 0 || st.Jobs.WaitSumMS < 0 {
+		t.Fatalf("jobs split implausible: %+v", st.Jobs)
+	}
+}
+
+func TestStatzMaxISLatencyTrack(t *testing.T) {
+	_, ts := newTestServer(t)
+	// A small path graph in the native edge-list form.
+	body := []byte("graph 4 3\n0 1\n1 2\n2 3\n")
+	var out json.RawMessage
+	resp := postInstance(t, ts.URL+"/v1/maxis?oracle=greedy-mindeg", body, &out)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("maxis status %d: %s", resp.StatusCode, out)
+	}
+	st := getStatz(t, ts.URL)
+	if got := st.Latency["maxis"].Count; got != 1 {
+		t.Fatalf("maxis count = %d, want 1", got)
+	}
+	if st.Latency["cache_miss"].Count != 1 {
+		t.Fatalf("maxis cold solve missing from cache_miss: %+v", st.Latency)
+	}
+}
+
+func TestLatencyHistQuantiles(t *testing.T) {
+	var h latencyHist
+	if snap := h.snapshot(); snap.Count != 0 || snap.P99MS != 0 || snap.MaxMS != 0 {
+		t.Fatalf("empty histogram snapshot not zero: %+v", snap)
+	}
+	// 90 samples at ~1ms, 10 at ~100ms: p50 lands in the 1ms bucket's
+	// range, p99 in the 100ms bucket's, max is exact.
+	for i := 0; i < 90; i++ {
+		h.observe(time.Millisecond)
+	}
+	for i := 0; i < 10; i++ {
+		h.observe(100 * time.Millisecond)
+	}
+	snap := h.snapshot()
+	if snap.Count != 100 {
+		t.Fatalf("count = %d", snap.Count)
+	}
+	if snap.MaxMS != 100 {
+		t.Fatalf("max = %v, want 100", snap.MaxMS)
+	}
+	if snap.P50MS < 1 || snap.P50MS > 4 {
+		t.Fatalf("p50 = %vms, want the ~1ms bucket bound", snap.P50MS)
+	}
+	if snap.P99MS < 100 || snap.P99MS > 400 {
+		t.Fatalf("p99 = %vms, want the ~100ms bucket bound", snap.P99MS)
+	}
+	if snap.MeanMS < 10 || snap.MeanMS > 12 {
+		t.Fatalf("mean = %vms, want ~10.9", snap.MeanMS)
+	}
+	if snap.P50MS > snap.P95MS || snap.P95MS > snap.P99MS || snap.P99MS > 400 {
+		t.Fatalf("quantiles not monotone: %+v", snap)
+	}
+}
+
+func TestLatencyHistZeroSample(t *testing.T) {
+	var h latencyHist
+	h.observe(0)
+	snap := h.snapshot()
+	if snap.Count != 1 || snap.P50MS != 0 || snap.MaxMS != 0 {
+		t.Fatalf("zero-duration sample mishandled: %+v", snap)
+	}
+}

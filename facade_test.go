@@ -3,7 +3,10 @@
 package pslocal_test
 
 import (
+	"bytes"
+	"errors"
 	"math/rand"
+	"strings"
 	"testing"
 
 	"pslocal"
@@ -109,6 +112,40 @@ func TestFacadeMaxISSolvers(t *testing.T) {
 	if len(exact) < len(greedy) || len(exact) < len(ramsey) {
 		t.Errorf("exact %d smaller than a heuristic (greedy %d, ramsey %d)",
 			len(exact), len(greedy), len(ramsey))
+	}
+}
+
+func TestFacadeLoadgen(t *testing.T) {
+	trace, err := pslocal.PlanLoad(pslocal.LoadSpec{
+		Seed: 5, Requests: 12, Rate: 300, Arrival: pslocal.LoadArrivalGamma, Shape: 2,
+		Classes: []pslocal.LoadClass{{
+			Name: "maxis", Weight: 1, Endpoint: "maxis", Kind: "graph",
+			Gen: "cycle", N: 12, Formats: []string{"edgelist"},
+			Params: pslocal.LoadParams{Oracle: "greedy-mindeg"}, SLOMillis: 100,
+		}},
+	})
+	if err != nil {
+		t.Fatalf("PlanLoad: %v", err)
+	}
+	if len(trace.Records) != 12 {
+		t.Fatalf("planned %d records", len(trace.Records))
+	}
+	var buf bytes.Buffer
+	if err := pslocal.WriteLoadTrace(&buf, trace); err != nil {
+		t.Fatalf("WriteLoadTrace: %v", err)
+	}
+	back, err := pslocal.ReadLoadTrace(&buf)
+	if err != nil {
+		t.Fatalf("ReadLoadTrace: %v", err)
+	}
+	if len(back.Records) != 12 || back.Seed != 5 {
+		t.Fatalf("round-trip lost the trace: %+v", back)
+	}
+	if _, err := pslocal.PlanLoad(pslocal.LoadSpec{}); !errors.Is(err, pslocal.ErrLoadSpec) {
+		t.Fatalf("empty spec error = %v, want ErrLoadSpec", err)
+	}
+	if _, err := pslocal.ReadLoadTrace(strings.NewReader("junk\n")); !errors.Is(err, pslocal.ErrLoadTrace) {
+		t.Fatalf("junk trace error = %v, want ErrLoadTrace", err)
 	}
 }
 

@@ -530,6 +530,7 @@ func (m *Manager) run(j *job) {
 	j.mu.Unlock()
 	defer cancel()
 	m.met.waitNS.Add(int64(wait))
+	m.met.started.Add(1)
 	m.met.running.Add(1)
 	defer m.met.running.Add(-1)
 
@@ -581,6 +582,7 @@ func (m *Manager) run(j *job) {
 		m.met.failed.Add(1)
 	}
 	m.met.runNS.Add(int64(finished.Sub(started)))
+	m.met.finished.Add(1)
 	// Terminal jobs stop pinning their request body (a resubmission
 	// brings a fresh one), and a persisted result lives in the store —
 	// without this, a long-lived manager would hold every body (up to

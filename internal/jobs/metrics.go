@@ -17,6 +17,8 @@ type metrics struct {
 	retries   atomic.Uint64
 	recovered atomic.Uint64
 	running   atomic.Int64
+	started   atomic.Uint64
+	finished  atomic.Uint64
 	waitNS    atomic.Int64
 	runNS     atomic.Int64
 }
@@ -43,11 +45,35 @@ type Stats struct {
 	QueueCap   int `json:"queue_cap"`
 	Running    int `json:"running"`
 	Workers    int `json:"workers"`
+	// Started and Finished count jobs that left the queue for a worker
+	// and jobs whose worker run reached a terminal state (jobs cancelled
+	// while still queued count as neither) — the denominators for
+	// WaitSumMS and RunSumMS respectively.
+	Started  uint64 `json:"started"`
+	Finished uint64 `json:"finished"`
 	// WaitSumMS and RunSumMS accumulate queue-wait and run latency over
 	// every job that started / finished here; divide by the matching
 	// counters for means.
 	WaitSumMS float64 `json:"wait_sum_ms"`
 	RunSumMS  float64 `json:"run_sum_ms"`
+}
+
+// MeanWaitMS is the mean queue wait per started job (0 when none
+// started).
+func (s Stats) MeanWaitMS() float64 {
+	if s.Started == 0 {
+		return 0
+	}
+	return s.WaitSumMS / float64(s.Started)
+}
+
+// MeanRunMS is the mean run time per finished job (0 when none
+// finished).
+func (s Stats) MeanRunMS() float64 {
+	if s.Finished == 0 {
+		return 0
+	}
+	return s.RunSumMS / float64(s.Finished)
 }
 
 // snapshot assembles a Stats from the counters plus the live gauges.
@@ -64,6 +90,8 @@ func (m *metrics) snapshot(queueDepth, queueCap, workers int) Stats {
 		QueueCap:   queueCap,
 		Running:    int(m.running.Load()),
 		Workers:    workers,
+		Started:    m.started.Load(),
+		Finished:   m.finished.Load(),
 		WaitSumMS:  float64(m.waitNS.Load()) / 1e6,
 		RunSumMS:   float64(m.runNS.Load()) / 1e6,
 	}

@@ -1,0 +1,62 @@
+package loadgen
+
+// fuzz_test.go hardens ReadTrace against arbitrary input: the parser
+// must never panic, and any input it accepts must round-trip through
+// WriteTrace → ReadTrace to an equal structure with byte-identical
+// re-encoding. Run with `go test -fuzz=FuzzReadTrace ./internal/loadgen`.
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func FuzzReadTrace(f *testing.F) {
+	// Seed with a real trace, its building blocks, and the malformed
+	// shapes the table tests reject.
+	var well bytes.Buffer
+	if err := WriteTrace(&well, sampleTrace()); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(well.String())
+	f.Add(validHeader + "\n" + validRecord + "\n")
+	f.Add(validHeader + "\n")
+	f.Add(validHeader)
+	f.Add(validRecord + "\n" + validHeader + "\n")
+	f.Add(`{"schema":99,"kind":"cfload-trace","seed":0,"requests":0}` + "\n")
+	f.Add(`{"schema":1,"kind":"other","seed":0,"requests":0}` + "\n")
+	f.Add(`{"schema":1,"kind":"cfload-trace","seed":0,"requests":-1}` + "\n")
+	f.Add(validHeader + "\n" + validRecord[:len(validRecord)/2])
+	f.Add(validHeader + "\n\n" + validRecord + "\n")
+	f.Add("")
+	f.Add("\n\n\n")
+	f.Add("not json at all")
+	f.Add(strings.Repeat(validRecord+"\n", 3))
+
+	f.Fuzz(func(t *testing.T, input string) {
+		tr, err := ReadTrace(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		// Accepted input must round-trip losslessly.
+		var out bytes.Buffer
+		if err := WriteTrace(&out, tr); err != nil {
+			t.Fatalf("accepted trace failed to re-encode: %v", err)
+		}
+		again, err := ReadTrace(bytes.NewReader(out.Bytes()))
+		if err != nil {
+			t.Fatalf("re-encoded trace rejected: %v\nencoding:\n%s", err, out.String())
+		}
+		if !reflect.DeepEqual(tr, again) {
+			t.Fatalf("round-trip changed the trace:\nfirst  %+v\nsecond %+v", tr, again)
+		}
+		var out2 bytes.Buffer
+		if err := WriteTrace(&out2, again); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(out.Bytes(), out2.Bytes()) {
+			t.Fatal("re-encoding is not byte-stable")
+		}
+	})
+}

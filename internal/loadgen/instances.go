@@ -1,0 +1,153 @@
+package loadgen
+
+// instances.go materializes the per-request instance bodies. A trace
+// never stores raw instance bytes: each record carries an InstSpec — the
+// pscgen-style generator directive plus its own seed — and the body is
+// regenerated deterministically on demand. That keeps traces small and
+// byte-stable, and makes "the same instance again" (the cache-hit
+// mechanism) literally the same bytes, hence the same server-side
+// content hash.
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"pslocal/internal/graph"
+	"pslocal/internal/graphio"
+	"pslocal/internal/hypergraph"
+)
+
+// Instance kinds.
+const (
+	KindGraph      = "graph"
+	KindHypergraph = "hypergraph"
+)
+
+// InstSpec is a deterministic instance directive: generator name, size
+// parameters and the instance's own seed. Two equal specs always
+// materialize to identical bytes in a given format.
+type InstSpec struct {
+	Kind   string  `json:"kind"`
+	Gen    string  `json:"gen"`
+	N      int     `json:"n"`
+	M      int     `json:"m,omitempty"`
+	K      int     `json:"k,omitempty"`
+	SizeLo int     `json:"size_lo,omitempty"`
+	SizeHi int     `json:"size_hi,omitempty"`
+	P      float64 `json:"p,omitempty"`
+	Seed   int64   `json:"seed"`
+}
+
+// validate checks the generator directive without materializing it.
+func (s InstSpec) validate() error {
+	switch s.Kind {
+	case KindGraph:
+		switch s.Gen {
+		case "gnp", "grid", "cycle", "tree":
+		default:
+			return fmt.Errorf("%w: unknown graph generator %q (want gnp|grid|cycle|tree)", ErrSpec, s.Gen)
+		}
+	case KindHypergraph:
+		switch s.Gen {
+		case "planted", "uniform", "interval", "star":
+		default:
+			return fmt.Errorf("%w: unknown hypergraph generator %q (want planted|uniform|interval|star)", ErrSpec, s.Gen)
+		}
+	default:
+		return fmt.Errorf("%w: unknown instance kind %q (want graph|hypergraph)", ErrSpec, s.Kind)
+	}
+	if s.N <= 0 {
+		return fmt.Errorf("%w: instance n must be positive (got %d)", ErrSpec, s.N)
+	}
+	return nil
+}
+
+// cacheKey identifies the (spec, format) pair in the body cache.
+func (s InstSpec) cacheKey(format string) string {
+	return fmt.Sprintf("%s/%s/n%d/m%d/k%d/s%d-%d/p%g/seed%d@%s",
+		s.Kind, s.Gen, s.N, s.M, s.K, s.SizeLo, s.SizeHi, s.P, s.Seed, format)
+}
+
+// Build materializes the instance in the given wire format. The same
+// spec and format always yield identical bytes.
+func (s InstSpec) Build(format string) ([]byte, error) {
+	f, err := graphio.ParseFormat(format)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(s.Seed))
+	var buf bytes.Buffer
+	switch s.Kind {
+	case KindGraph:
+		var g *graph.Graph
+		switch s.Gen {
+		case "gnp":
+			g = graph.GnP(s.N, s.P, rng)
+		case "grid":
+			g = graph.Grid(s.N, max(s.M, 1))
+		case "cycle":
+			g = graph.Cycle(s.N)
+		case "tree":
+			g = graph.RandomTree(s.N, rng)
+		}
+		if err := graphio.WriteGraph(&buf, g, f); err != nil {
+			return nil, err
+		}
+	case KindHypergraph:
+		var h *hypergraph.Hypergraph
+		switch s.Gen {
+		case "planted":
+			h, _, err = hypergraph.PlantedCF(s.N, s.M, max(s.K, 2), max(s.SizeLo, 2), max(s.SizeHi, 3), rng)
+		case "uniform":
+			h, err = hypergraph.Uniform(s.N, s.M, max(s.SizeLo, 2), rng)
+		case "interval":
+			h, err = hypergraph.Interval(s.N, s.M, 2, max(s.SizeHi, 3), rng)
+		case "star":
+			h, err = hypergraph.Star(s.N, s.M, max(s.SizeLo, 2), rng)
+		}
+		if err != nil {
+			return nil, err
+		}
+		if err := graphio.WriteHypergraph(&buf, h, f); err != nil {
+			return nil, err
+		}
+	}
+	return buf.Bytes(), nil
+}
+
+// bodyCache memoizes materialized bodies so a reused instance (the
+// cache-hit mechanism) is generated once per run, and body construction
+// stays off the request timing path.
+type bodyCache struct {
+	mu     sync.Mutex
+	bodies map[string][]byte
+}
+
+func newBodyCache() *bodyCache {
+	return &bodyCache{bodies: make(map[string][]byte)}
+}
+
+// get returns the memoized body for (spec, format), building it on the
+// first request.
+func (c *bodyCache) get(spec InstSpec, format string) ([]byte, error) {
+	key := spec.cacheKey(format)
+	c.mu.Lock()
+	body, ok := c.bodies[key]
+	c.mu.Unlock()
+	if ok {
+		return body, nil
+	}
+	body, err := spec.Build(format)
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	c.bodies[key] = body
+	c.mu.Unlock()
+	return body, nil
+}

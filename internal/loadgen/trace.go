@@ -1,0 +1,210 @@
+package loadgen
+
+// trace.go is the versioned JSONL trace format. Line 1 is the header
+// ({"schema":1,"kind":"cfload-trace","seed":S,"requests":N}); every
+// following line is one Record in schedule order. The writer is
+// byte-stable — encoding a trace twice yields identical bytes, and a
+// trace that came out of WriteTrace round-trips read → write → read
+// unchanged — which is what lets replayed runs be compared byte for
+// byte. The reader is strict in the graphio tradition: unknown schema
+// versions, unknown fields, truncated files, out-of-order sequence
+// numbers and non-monotonic timestamps are errors, never silent repairs.
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// TraceSchema is the trace file schema version this package reads and
+// writes.
+const TraceSchema = 1
+
+// traceKind is the header discriminator, so a trace file is never
+// confused with another JSONL artifact.
+const traceKind = "cfload-trace"
+
+// Errors of the trace parser.
+var (
+	// ErrTrace reports a malformed trace file: bad header, unparsable or
+	// truncated lines, sequence/timestamp violations, count mismatches.
+	ErrTrace = errors.New("loadgen: malformed trace")
+	// ErrTraceSchema reports a trace whose schema version (or kind) this
+	// package does not understand.
+	ErrTraceSchema = errors.New("loadgen: unsupported trace schema")
+)
+
+// Trace is a full request schedule: the unit of recording and replay.
+type Trace struct {
+	// Seed is the plan seed the schedule was expanded from (recorded for
+	// provenance; replay does not re-draw anything from it).
+	Seed int64
+	// Records are the requests in schedule order.
+	Records []Record
+}
+
+// Record is one scheduled request, plus its outcome once a run executed
+// it.
+type Record struct {
+	// Seq is the record's position; ReadTrace requires 0,1,2,...
+	Seq int `json:"seq"`
+	// AtUS is the scheduled arrival offset from run start, microseconds.
+	// ReadTrace requires offsets to be non-negative and non-decreasing.
+	AtUS int64 `json:"at_us"`
+	// Class names the workload class the request was drawn from.
+	Class string `json:"class"`
+	// Endpoint is reduce | maxis | jobs.
+	Endpoint string `json:"endpoint"`
+	// Format is the wire format the body is sent in.
+	Format string `json:"format"`
+	// Inst regenerates the request body deterministically.
+	Inst InstSpec `json:"inst"`
+	// Params are the query parameters.
+	Params Params `json:"params"`
+	// SLOMillis is the class latency objective at schedule time.
+	SLOMillis float64 `json:"slo_ms,omitempty"`
+	// Outcome is filled in by a run that executed the record (nil on a
+	// freshly planned trace).
+	Outcome *Outcome `json:"outcome,omitempty"`
+}
+
+// Outcome is what one executed request observed.
+type Outcome struct {
+	// Status is the HTTP status (0 = transport error, nothing received).
+	Status int `json:"status"`
+	// OK is true for 2xx responses. Deterministic across replays.
+	OK bool `json:"ok"`
+	// Cache is the server-reported disposition ("hit"/"miss"); racing
+	// identical instances make it timing-dependent, so it is excluded
+	// from the deterministic outcome digest.
+	Cache string `json:"cache,omitempty"`
+	// Verified echoes the server's self-verification flag.
+	Verified bool `json:"verified,omitempty"`
+	// Size is the endpoint's scalar result: total colors for reduce, IS
+	// size for maxis, 0 for jobs submissions.
+	Size int `json:"size,omitempty"`
+	// Key is the server-side instance identity (content hash) — the
+	// cache key for sync endpoints, the job id for submissions.
+	Key string `json:"key,omitempty"`
+	// LatencyUS is the observed request latency in microseconds.
+	LatencyUS int64 `json:"latency_us"`
+	// Err is the transport error, if any (timing-dependent; excluded
+	// from the outcome digest).
+	Err string `json:"err,omitempty"`
+}
+
+// traceHeader is the first JSONL line.
+type traceHeader struct {
+	Schema   int    `json:"schema"`
+	Kind     string `json:"kind"`
+	Seed     int64  `json:"seed"`
+	Requests int    `json:"requests"`
+}
+
+// WriteTrace encodes t as versioned JSONL. The encoding is byte-stable:
+// the same trace always produces the same bytes.
+func WriteTrace(w io.Writer, t *Trace) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	if err := enc.Encode(traceHeader{Schema: TraceSchema, Kind: traceKind, Seed: t.Seed, Requests: len(t.Records)}); err != nil {
+		return err
+	}
+	for i := range t.Records {
+		if err := enc.Encode(&t.Records[i]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadTrace parses a versioned JSONL trace, strictly: the header must
+// carry a known kind and schema, every line must decode with no unknown
+// fields, sequence numbers must be consecutive from 0, arrival offsets
+// must be non-negative and non-decreasing, and the record count must
+// match the header — a short file is reported as truncated rather than
+// returned as a shorter trace.
+func ReadTrace(r io.Reader) (*Trace, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+
+	if !sc.Scan() {
+		if err := sc.Err(); err != nil {
+			return nil, err
+		}
+		return nil, fmt.Errorf("%w: empty input", ErrTrace)
+	}
+	var hdr traceHeader
+	if err := strictUnmarshal(sc.Bytes(), &hdr); err != nil {
+		return nil, fmt.Errorf("%w: header: %v", ErrTrace, err)
+	}
+	if hdr.Kind != traceKind {
+		return nil, fmt.Errorf("%w: kind %q (want %q)", ErrTraceSchema, hdr.Kind, traceKind)
+	}
+	if hdr.Schema != TraceSchema {
+		return nil, fmt.Errorf("%w: schema %d (this build reads schema %d)", ErrTraceSchema, hdr.Schema, TraceSchema)
+	}
+	if hdr.Requests < 0 {
+		return nil, fmt.Errorf("%w: negative request count %d", ErrTrace, hdr.Requests)
+	}
+
+	t := &Trace{Seed: hdr.Seed, Records: make([]Record, 0, hdr.Requests)}
+	prevAt := int64(0)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(bytes.TrimSpace(line)) == 0 {
+			return nil, fmt.Errorf("%w: blank line after record %d", ErrTrace, len(t.Records))
+		}
+		if len(t.Records) == hdr.Requests {
+			return nil, fmt.Errorf("%w: more records than the declared %d", ErrTrace, hdr.Requests)
+		}
+		var rec Record
+		if err := strictUnmarshal(line, &rec); err != nil {
+			return nil, fmt.Errorf("%w: record %d: %v", ErrTrace, len(t.Records), err)
+		}
+		if rec.Seq != len(t.Records) {
+			return nil, fmt.Errorf("%w: record %d carries seq %d", ErrTrace, len(t.Records), rec.Seq)
+		}
+		if rec.AtUS < 0 {
+			return nil, fmt.Errorf("%w: record %d: negative arrival offset %d", ErrTrace, rec.Seq, rec.AtUS)
+		}
+		if rec.AtUS < prevAt {
+			return nil, fmt.Errorf("%w: record %d: arrival offset %dus before predecessor's %dus", ErrTrace, rec.Seq, rec.AtUS, prevAt)
+		}
+		prevAt = rec.AtUS
+		if rec.Outcome != nil && rec.Outcome.LatencyUS < 0 {
+			return nil, fmt.Errorf("%w: record %d: negative latency", ErrTrace, rec.Seq)
+		}
+		switch rec.Endpoint {
+		case EndpointReduce, EndpointMaxIS, EndpointJobs:
+		default:
+			return nil, fmt.Errorf("%w: record %d: unknown endpoint %q", ErrTrace, rec.Seq, rec.Endpoint)
+		}
+		t.Records = append(t.Records, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(t.Records) != hdr.Requests {
+		return nil, fmt.Errorf("%w: truncated: %d of %d declared records", ErrTrace, len(t.Records), hdr.Requests)
+	}
+	return t, nil
+}
+
+// strictUnmarshal decodes one JSONL line rejecting unknown fields and
+// trailing garbage — a truncated or concatenated line must error, not
+// half-parse.
+func strictUnmarshal(line []byte, v any) error {
+	dec := json.NewDecoder(bytes.NewReader(line))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return err
+	}
+	// Anything but EOF after the value is trailing garbage.
+	if dec.More() {
+		return errors.New("trailing data after JSON value")
+	}
+	return nil
+}

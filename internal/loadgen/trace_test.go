@@ -1,0 +1,151 @@
+package loadgen
+
+// trace_test.go pins the JSONL trace format: byte-stable encoding, exact
+// read→write→read round-trips, and strict rejection of malformed input
+// (truncated files, bad timestamps, unknown schema versions, trailing
+// garbage) with the typed trace errors.
+
+import (
+	"bytes"
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// sampleTrace is a small schedule with a mix of outcome-bearing and
+// outcome-free records.
+func sampleTrace() *Trace {
+	return &Trace{
+		Seed: 7,
+		Records: []Record{
+			{
+				Seq: 0, AtUS: 0, Class: "reduce-small", Endpoint: EndpointReduce, Format: "edgelist",
+				Inst:   InstSpec{Kind: KindHypergraph, Gen: "planted", N: 30, M: 12, K: 3, SizeLo: 3, SizeHi: 5, Seed: 11},
+				Params: Params{K: 3, Oracle: "greedy-mindeg", Seed: 1, Workers: 1}, SLOMillis: 250,
+				Outcome: &Outcome{Status: 200, OK: true, Cache: "miss", Verified: true, Size: 3, Key: "sha256:abc", LatencyUS: 1234},
+			},
+			{
+				Seq: 1, AtUS: 1500, Class: "maxis-gnp", Endpoint: EndpointMaxIS, Format: "dimacs",
+				Inst:   InstSpec{Kind: KindGraph, Gen: "gnp", N: 50, P: 0.1, Seed: 12},
+				Params: Params{Oracle: "greedy-mindeg"}, SLOMillis: 100,
+			},
+			{
+				Seq: 2, AtUS: 1500, Class: "jobs", Endpoint: EndpointJobs, Format: "json",
+				Inst:   InstSpec{Kind: KindHypergraph, Gen: "uniform", N: 20, M: 8, SizeLo: 3, Seed: 13},
+				Params: Params{K: 3, Priority: "high"},
+				Outcome: &Outcome{Status: 202, OK: true, Key: strings.Repeat("ab", 32),
+					LatencyUS: 88},
+			},
+		},
+	}
+}
+
+func TestTraceRoundTrip(t *testing.T) {
+	tr := sampleTrace()
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, tr); err != nil {
+		t.Fatalf("WriteTrace: %v", err)
+	}
+	first := buf.String()
+
+	got, err := ReadTrace(strings.NewReader(first))
+	if err != nil {
+		t.Fatalf("ReadTrace: %v", err)
+	}
+	if !reflect.DeepEqual(tr, got) {
+		t.Fatalf("read trace differs from written trace:\nwant %+v\ngot  %+v", tr, got)
+	}
+
+	// read → write → read: the re-encoding must be byte-identical and
+	// parse back to the same structure.
+	var buf2 bytes.Buffer
+	if err := WriteTrace(&buf2, got); err != nil {
+		t.Fatalf("re-encode: %v", err)
+	}
+	if buf2.String() != first {
+		t.Fatalf("re-encoding is not byte-stable:\nfirst:\n%s\nsecond:\n%s", first, buf2.String())
+	}
+	again, err := ReadTrace(bytes.NewReader(buf2.Bytes()))
+	if err != nil {
+		t.Fatalf("re-read: %v", err)
+	}
+	if !reflect.DeepEqual(got, again) {
+		t.Fatal("second read differs from first")
+	}
+}
+
+func TestWriteTraceByteStable(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := WriteTrace(&a, sampleTrace()); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteTrace(&b, sampleTrace()); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("two encodings of the same trace differ")
+	}
+}
+
+// validHeader and validRecord are building blocks for the malformed
+// table below.
+const (
+	validHeader = `{"schema":1,"kind":"cfload-trace","seed":7,"requests":1}`
+	validRecord = `{"seq":0,"at_us":10,"class":"c","endpoint":"reduce","format":"edgelist","inst":{"kind":"hypergraph","gen":"planted","n":10,"seed":1},"params":{}}`
+)
+
+func TestReadTraceMalformed(t *testing.T) {
+	cases := []struct {
+		name  string
+		input string
+		want  error
+	}{
+		{"empty input", "", ErrTrace},
+		{"header not JSON", "not json\n", ErrTrace},
+		{"unknown schema version", `{"schema":99,"kind":"cfload-trace","seed":0,"requests":0}` + "\n", ErrTraceSchema},
+		{"wrong kind", `{"schema":1,"kind":"other-trace","seed":0,"requests":0}` + "\n", ErrTraceSchema},
+		{"negative request count", `{"schema":1,"kind":"cfload-trace","seed":0,"requests":-1}` + "\n", ErrTrace},
+		{"truncated: fewer records than declared", validHeader + "\n", ErrTrace},
+		{"truncated record line", validHeader + "\n" + `{"seq":0,"at_us":10,"class":"c"`, ErrTrace},
+		{"blank line between records", validHeader + "\n\n" + validRecord + "\n", ErrTrace},
+		{"more records than declared", validHeader + "\n" + validRecord + "\n" +
+			`{"seq":1,"at_us":20,"class":"c","endpoint":"reduce","format":"edgelist","inst":{"kind":"hypergraph","gen":"planted","n":10,"seed":1},"params":{}}` + "\n", ErrTrace},
+		{"unknown record field", validHeader + "\n" +
+			`{"seq":0,"at_us":10,"class":"c","endpoint":"reduce","format":"edgelist","inst":{"kind":"hypergraph","gen":"planted","n":10,"seed":1},"params":{},"bogus":1}` + "\n", ErrTrace},
+		{"seq out of order", validHeader + "\n" +
+			`{"seq":5,"at_us":10,"class":"c","endpoint":"reduce","format":"edgelist","inst":{"kind":"hypergraph","gen":"planted","n":10,"seed":1},"params":{}}` + "\n", ErrTrace},
+		{"negative timestamp", validHeader + "\n" +
+			`{"seq":0,"at_us":-5,"class":"c","endpoint":"reduce","format":"edgelist","inst":{"kind":"hypergraph","gen":"planted","n":10,"seed":1},"params":{}}` + "\n", ErrTrace},
+		{"timestamps go backwards", `{"schema":1,"kind":"cfload-trace","seed":0,"requests":2}` + "\n" +
+			`{"seq":0,"at_us":100,"class":"c","endpoint":"reduce","format":"edgelist","inst":{"kind":"hypergraph","gen":"planted","n":10,"seed":1},"params":{}}` + "\n" +
+			`{"seq":1,"at_us":50,"class":"c","endpoint":"reduce","format":"edgelist","inst":{"kind":"hypergraph","gen":"planted","n":10,"seed":1},"params":{}}` + "\n", ErrTrace},
+		{"bad timestamp type", validHeader + "\n" +
+			`{"seq":0,"at_us":"noon","class":"c","endpoint":"reduce","format":"edgelist","inst":{"kind":"hypergraph","gen":"planted","n":10,"seed":1},"params":{}}` + "\n", ErrTrace},
+		{"unknown endpoint", validHeader + "\n" +
+			`{"seq":0,"at_us":10,"class":"c","endpoint":"teleport","format":"edgelist","inst":{"kind":"hypergraph","gen":"planted","n":10,"seed":1},"params":{}}` + "\n", ErrTrace},
+		{"negative outcome latency", validHeader + "\n" +
+			`{"seq":0,"at_us":10,"class":"c","endpoint":"reduce","format":"edgelist","inst":{"kind":"hypergraph","gen":"planted","n":10,"seed":1},"params":{},"outcome":{"status":200,"ok":true,"latency_us":-1}}` + "\n", ErrTrace},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ReadTrace(strings.NewReader(tc.input))
+			if err == nil {
+				t.Fatal("malformed input parsed without error")
+			}
+			if !errors.Is(err, tc.want) {
+				t.Fatalf("error %v is not %v", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestReadTraceAcceptsValid(t *testing.T) {
+	tr, err := ReadTrace(strings.NewReader(validHeader + "\n" + validRecord + "\n"))
+	if err != nil {
+		t.Fatalf("valid trace rejected: %v", err)
+	}
+	if len(tr.Records) != 1 || tr.Seed != 7 {
+		t.Fatalf("unexpected parse: %+v", tr)
+	}
+}

@@ -1,0 +1,85 @@
+package pslocal
+
+// loadgen.go re-exports the load-generation and trace-replay layer
+// (internal/loadgen) behind cmd/cfload: a seeded LoadSpec expands into a
+// deterministic open-loop request schedule (Poisson/Gamma/Weibull
+// arrivals over a weighted class mix, with instance reuse steering the
+// server's cache-hit ratio), a LoadClient executes it against a live
+// cfserve, and the run splits into a replay-stable LoadSummary (counts
+// plus outcome digests — byte-identical across replays of one trace)
+// and a wall-clock LoadPerf report (latency quantiles, throughput,
+// per-class SLO attainment, the jobs queue-wait/run split).
+//
+//	trace, err := pslocal.PlanLoad(pslocal.LoadSpec{
+//		Seed: 7, Requests: 500, Rate: 200, Arrival: "poisson",
+//		HitRatio: 0.5, Classes: []pslocal.LoadClass{...},
+//	})
+//	rep, err := (&pslocal.LoadClient{BaseURL: "http://localhost:8355"}).Run(ctx, trace)
+//	err = pslocal.WriteLoadTrace(f, trace)   // versioned JSONL, replayable
+//
+// Traces store generator directives rather than bodies, so a replay
+// rebuilds byte-identical requests (and therefore the same server-side
+// content-hash cache keys) from a few hundred bytes per record.
+
+import (
+	"io"
+
+	"pslocal/internal/loadgen"
+)
+
+type (
+	// LoadSpec is a seeded workload description: request count, arrival
+	// process, target hit ratio, and the weighted LoadClass mix.
+	LoadSpec = loadgen.Spec
+	// LoadClass is one workload class: endpoint, instance generator,
+	// wire formats, solve parameters and an optional latency SLO.
+	LoadClass = loadgen.Class
+	// LoadParams are the per-request solve parameters a class carries.
+	LoadParams = loadgen.Params
+	// LoadTrace is a planned or executed request schedule.
+	LoadTrace = loadgen.Trace
+	// LoadRecord is one scheduled request in a trace.
+	LoadRecord = loadgen.Record
+	// LoadOutcome is the observed result of one executed request.
+	LoadOutcome = loadgen.Outcome
+	// LoadClient executes traces against one server (open-loop).
+	LoadClient = loadgen.Client
+	// LoadReport bundles an executed trace with its LoadSummary and
+	// LoadPerf.
+	LoadReport = loadgen.Report
+	// LoadSummary is the deterministic outcome summary of a run.
+	LoadSummary = loadgen.Summary
+	// LoadPerf is the wall-clock timing report of a run.
+	LoadPerf = loadgen.Perf
+)
+
+// Arrival distributions for LoadSpec.Arrival.
+const (
+	LoadArrivalPoisson = loadgen.ArrivalPoisson
+	LoadArrivalGamma   = loadgen.ArrivalGamma
+	LoadArrivalWeibull = loadgen.ArrivalWeibull
+)
+
+var (
+	// ErrLoadSpec reports an invalid LoadSpec (empty mix, bad arrival
+	// distribution, endpoint/instance-kind mismatch, out-of-range knobs).
+	ErrLoadSpec = loadgen.ErrSpec
+	// ErrLoadTrace reports a malformed trace file (truncation, bad
+	// timestamps, out-of-order records, trailing garbage).
+	ErrLoadTrace = loadgen.ErrTrace
+	// ErrLoadTraceSchema reports a trace from an unknown schema version
+	// or of the wrong kind.
+	ErrLoadTraceSchema = loadgen.ErrTraceSchema
+)
+
+// PlanLoad expands a LoadSpec into a deterministic trace: the same spec
+// always yields the same schedule, instances and reuse pattern.
+func PlanLoad(spec LoadSpec) (*LoadTrace, error) { return loadgen.Plan(spec) }
+
+// ReadLoadTrace parses a versioned JSONL trace, rejecting malformed
+// input with ErrLoadTrace / ErrLoadTraceSchema.
+func ReadLoadTrace(r io.Reader) (*LoadTrace, error) { return loadgen.ReadTrace(r) }
+
+// WriteLoadTrace writes a trace in the versioned JSONL format;
+// re-encoding a read trace is byte-identical.
+func WriteLoadTrace(w io.Writer, t *LoadTrace) error { return loadgen.WriteTrace(w, t) }

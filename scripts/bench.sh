@@ -42,7 +42,14 @@ if ! git diff-index --quiet HEAD -- 2>/dev/null; then
 fi
 # The alloc gate holds the zero-allocation serve line: if allocs/op on a
 # serve-path benchmark grows vs the recorded trajectory, the merge fails.
-# shellcheck disable=SC2086  # quickflag is intentionally word-split
-go run ./scripts/benchmerge -out "$out" -sha "$sha" $quickflag \
+# BENCH_LOAD_PERF can point at a cfload -perf-out report to fold Cfload*
+# load-test results into the same entry (scripts/loadsmoke.sh records its
+# own "<sha>-load" entry instead, so the two paths never collide).
+loadflag=""
+if [ -n "${BENCH_LOAD_PERF:-}" ]; then
+  loadflag="-load $BENCH_LOAD_PERF"
+fi
+# shellcheck disable=SC2086  # quickflag/loadflag are intentionally word-split
+go run ./scripts/benchmerge -out "$out" -sha "$sha" $quickflag $loadflag \
   -alloc-gate 'SolverCacheHitAllocs|SolverMaxISReaderHot' < "$tmp"
 echo "wrote $out"
