@@ -1,6 +1,6 @@
 # Developer entry points; CI runs the same steps (.github/workflows/ci.yml).
 
-.PHONY: build test race vet fmt api api-update bench bench-quick load-smoke
+.PHONY: build test race vet fmt api api-update bench bench-quick load-smoke cluster-smoke
 
 build:
 	go build ./...
@@ -39,3 +39,10 @@ bench-quick:
 # determinism, and records a "<sha>-load" entry in BENCH_gk.json.
 load-smoke:
 	./scripts/loadsmoke.sh
+
+# cluster-smoke stands up three cfserve nodes sharing a job store behind
+# cfgate, proves affinity routing beats a round-robin control on
+# cache-hit ratio, SIGTERMs one node mid-burst with zero failed
+# requests, and records a "<sha>-cluster" entry in BENCH_gk.json.
+cluster-smoke:
+	./scripts/clustersmoke.sh

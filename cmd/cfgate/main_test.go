@@ -1,0 +1,30 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+func TestResolveBackends(t *testing.T) {
+	file := filepath.Join(t.TempDir(), "backends.txt")
+	if err := os.WriteFile(file, []byte("# fleet\nhttp://c:1\n\n  http://d:2  \n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := resolveBackends(" http://a:1 ,, http://b:2", file)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"http://a:1", "http://b:2", "http://c:1", "http://d:2"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("resolveBackends = %v, want %v", got, want)
+	}
+
+	if _, err := resolveBackends("", ""); err == nil {
+		t.Error("empty backend set must fail")
+	}
+	if _, err := resolveBackends("", filepath.Join(t.TempDir(), "missing.txt")); err == nil {
+		t.Error("missing -backends-file must fail")
+	}
+}

@@ -41,6 +41,9 @@ func jobEnvelope(info pslocal.JobInfo) jobResponse {
 // dedupes onto an existing one, 503 (with Retry-After) at the queue
 // bound.
 func (s *server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
+	if s.refuseDraining(w) {
+		return
+	}
 	q := r.URL.Query()
 	params := pslocal.JobParams{}
 	k, err := intParam(q.Get("k"), 0)
@@ -220,13 +223,15 @@ func (s *server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
 }
 
 // failJob maps job-layer errors onto statuses: unknown ids are 404, a
-// full queue is 503 with a retry hint, a closing server is 503, and the
-// instance/format taxonomy reuses the solve mapping.
+// full queue or a draining manager is 503 with a retry hint, a closing
+// server is 503, and the instance/format taxonomy reuses the solve
+// mapping.
 func (s *server) failJob(w http.ResponseWriter, err error) {
 	switch {
 	case errors.Is(err, pslocal.ErrJobNotFound):
 		s.fail(w, http.StatusNotFound, err)
-	case errors.Is(err, pslocal.ErrJobQueueFull):
+	case errors.Is(err, pslocal.ErrJobQueueFull),
+		errors.Is(err, pslocal.ErrJobDraining):
 		w.Header().Set("Retry-After", "1")
 		s.fail(w, http.StatusServiceUnavailable, err)
 	case errors.Is(err, pslocal.ErrJobManagerClosed):

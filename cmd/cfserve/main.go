@@ -16,7 +16,9 @@
 //	GET    /v1/jobs         job list, ?state=queued|running|done|failed|cancelled&label=...&limit=N
 //	DELETE /v1/jobs/{id}    cooperative cancellation
 //	GET    /v1/jobs/{id}/events  state transitions as server-sent events
-//	GET    /healthz         liveness
+//	GET    /healthz         liveness (200 even while draining)
+//	GET    /readyz          readiness (503 while draining — what cfgate probes)
+//	POST   /drainz          start a graceful drain: stop admitting, finish running jobs
 //	GET    /statz           request/cache/inflight/job counters as JSON
 //
 // With -jobs-dir set, jobs persist their results there as graphio result
@@ -37,7 +39,15 @@
 // queue at the admission gate, honouring per-request cancellation), and
 // each request's worker fan-out is capped by -max-workers. Parsed
 // instances are cached by content hash (-cache-entries), so repeated
-// submissions of a hot graph skip parsing and CSR construction.
+// submissions of a hot graph skip parsing and CSR construction. Behind
+// cfgate the cache key arrives precomputed in X-Pslocal-Instance-Key
+// and the keyed readers skip re-hashing.
+//
+// Shutdown: SIGTERM (or POST /drainz) drains gracefully — /readyz flips
+// to 503 so the gateway stops routing here, new solve and job
+// submissions are refused with 503 + Retry-After, in-flight requests
+// and running jobs finish (bounded by -drain-timeout), and only then
+// does the process exit.
 package main
 
 import (
@@ -75,6 +85,8 @@ func run() error {
 		jobQueue   = flag.Int("job-queue", 1024, "job queue capacity across priority lanes")
 		pprofAddr  = flag.String("pprof", "",
 			"pprof listen address, e.g. localhost:6060 (empty = disabled; served on its own mux, never on -addr)")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second,
+			"bound on finishing in-flight requests and running jobs at shutdown")
 	)
 	flag.Parse()
 
@@ -132,11 +144,21 @@ func run() error {
 	case err := <-errc:
 		return err
 	case sig := <-stop:
-		log.Printf("cfserve: %v, draining", sig)
-		ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+		// Drain order matters: flip readiness first so the gateway stops
+		// routing here, flush in-flight HTTP requests, then wait for
+		// running and queued jobs — all under one deadline. The deferred
+		// Close cancels whatever the deadline cut off.
+		log.Printf("cfserve: %v, draining (timeout %s)", sig, *drainTimeout)
+		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 		defer cancel()
+		s.draining.Store(true)
 		if err := httpServer.Shutdown(ctx); err != nil && !errors.Is(err, http.ErrServerClosed) {
 			return err
+		}
+		if err := s.Drain(ctx); err != nil {
+			log.Printf("cfserve: drain incomplete: %v (remaining jobs cancel)", err)
+		} else {
+			log.Printf("cfserve: drained, exiting")
 		}
 		return nil
 	}

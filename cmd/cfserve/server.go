@@ -20,6 +20,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -92,6 +93,13 @@ type server struct {
 	mux    *http.ServeMux
 	start  time.Time
 
+	// draining flips once (POST /drainz or SIGTERM) and never back:
+	// /readyz answers 503 so load balancers stop sending, new solve and
+	// job submissions are refused with 503 + Retry-After, and running
+	// work finishes. Liveness (/healthz) stays 200 throughout — the
+	// process is healthy, just leaving the pool.
+	draining atomic.Bool
+
 	requests atomic.Uint64 // all requests, any endpoint
 	reduces  atomic.Uint64 // successful /v1/reduce responses
 	solves   atomic.Uint64 // successful /v1/maxis responses
@@ -144,8 +152,19 @@ func newServer(cfg config) (*server, error) {
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleJobEvents)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
+	s.mux.HandleFunc("POST /drainz", s.handleDrainz)
 	s.mux.HandleFunc("GET /statz", s.handleStatz)
 	return s, nil
+}
+
+// Drain flips the server into draining (idempotently) and waits for
+// running and queued jobs to finish or ctx to expire. The SIGTERM path
+// in main.go calls it after http.Server.Shutdown has flushed in-flight
+// requests.
+func (s *server) Drain(ctx context.Context) error {
+	s.draining.Store(true)
+	return s.jobs.Drain(ctx)
 }
 
 // Close stops the job manager (queued jobs cancel, running jobs unwind
@@ -243,8 +262,24 @@ type reduceResponse struct {
 	Result    json.RawMessage `json:"result"`
 }
 
+// refuseDraining rejects new work on a draining server with 503 and a
+// retry hint, reporting whether the request was refused. Reads (job
+// status, lists, events, statz) stay open so operators and the gateway
+// can watch the drain finish.
+func (s *server) refuseDraining(w http.ResponseWriter) bool {
+	if !s.draining.Load() {
+		return false
+	}
+	w.Header().Set("Retry-After", "1")
+	s.fail(w, http.StatusServiceUnavailable, errors.New("server draining"))
+	return true
+}
+
 // handleReduce runs the Theorem 1.1 reduction on the posted hypergraph.
 func (s *server) handleReduce(w http.ResponseWriter, r *http.Request) {
+	if s.refuseDraining(w) {
+		return
+	}
 	q := r.URL.Query()
 	format, err := pslocal.ParseGraphFormat(q.Get("format"))
 	if err != nil {
@@ -279,11 +314,14 @@ func (s *server) handleReduce(w http.ResponseWriter, r *http.Request) {
 		pslocal.WithOracle(oracleName),
 	)
 	started := time.Now()
-	// Admission (the shared gate) happens inside SolveReader before the
-	// body is even read: parsing and CSR construction are exactly the
-	// costs the gate exists to bound.
-	res, inst, err := sv.SolveReader(r.Context(),
-		http.MaxBytesReader(w, r.Body, s.cfg.maxBodyBytes), format)
+	// Admission (the shared gate) happens inside SolveReaderKeyed before
+	// the body is even read: parsing and CSR construction are exactly
+	// the costs the gate exists to bound. A gateway-supplied instance
+	// key (X-Pslocal-Instance-Key) skips re-hashing the body; requests
+	// without one hash as before.
+	res, inst, err := sv.SolveReaderKeyed(r.Context(),
+		http.MaxBytesReader(w, r.Body, s.cfg.maxBodyBytes), format,
+		r.Header.Get(pslocal.HeaderInstanceKey))
 	if err != nil {
 		s.failSolve(w, err)
 		return
@@ -335,6 +373,9 @@ type maxisResponse struct {
 // oracle (algorithm=oracle, the default) or the SLOCAL ball-carving
 // (1+δ)-approximation (algorithm=carving, which reports its locality).
 func (s *server) handleMaxIS(w http.ResponseWriter, r *http.Request) {
+	if s.refuseDraining(w) {
+		return
+	}
 	q := r.URL.Query()
 	format, err := pslocal.ParseGraphFormat(q.Get("format"))
 	if err != nil {
@@ -382,8 +423,9 @@ func (s *server) handleMaxIS(w http.ResponseWriter, r *http.Request) {
 
 	sv := s.solver.With(opts...)
 	started := time.Now()
-	res, inst, err := sv.MaxISReader(r.Context(),
-		http.MaxBytesReader(w, r.Body, s.cfg.maxBodyBytes), format)
+	res, inst, err := sv.MaxISReaderKeyed(r.Context(),
+		http.MaxBytesReader(w, r.Body, s.cfg.maxBodyBytes), format,
+		r.Header.Get(pslocal.HeaderInstanceKey))
 	if err != nil {
 		s.failSolve(w, err)
 		return
@@ -408,7 +450,9 @@ func (s *server) handleMaxIS(w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(w, http.StatusOK, resp)
 }
 
-// handleHealthz reports liveness.
+// handleHealthz reports liveness: 200 as long as the process serves,
+// draining or not. Orchestrators that restart on liveness failure must
+// not kill a node for leaving the pool gracefully.
 func (s *server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	s.writeJSON(w, http.StatusOK, map[string]any{
 		"status":   "ok",
@@ -416,10 +460,49 @@ func (s *server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	})
 }
 
+// handleReadyz reports readiness: 503 while draining, 200 otherwise.
+// cfgate probes this endpoint, so a draining node is ejected from
+// routing within one probe interval.
+func (s *server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	if s.draining.Load() {
+		w.Header().Set("Retry-After", "1")
+		s.writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+			"status": "draining",
+			"jobs":   s.jobs.Stats(),
+		})
+		return
+	}
+	s.writeJSON(w, http.StatusOK, map[string]any{
+		"status":   "ready",
+		"uptime_s": time.Since(s.start).Seconds(),
+	})
+}
+
+// handleDrainz starts a graceful drain: readiness flips to 503, new
+// solve and job submissions are refused, and running plus queued jobs
+// finish in the background. Idempotent — repeated calls report the
+// current drain state. The process stays up (an operator or supervisor
+// still owns its lifetime); SIGTERM runs the same drain and then exits.
+func (s *server) handleDrainz(w http.ResponseWriter, _ *http.Request) {
+	first := s.draining.CompareAndSwap(false, true)
+	if first {
+		// The waiter runs detached: /drainz answers immediately and the
+		// caller polls /readyz or /statz for quiescence.
+		go s.jobs.Drain(context.Background())
+	}
+	s.writeJSON(w, http.StatusOK, map[string]any{
+		"draining": true,
+		"started":  first,
+		"jobs":     s.jobs.Stats(),
+	})
+}
+
 // statzResponse is the /statz metrics snapshot; Jobs merges in the job
 // subsystem's counters (queue depth, running, outcomes, latency sums).
 type statzResponse struct {
 	UptimeS     float64                  `json:"uptime_s"`
+	Ready       bool                     `json:"ready"`
+	Draining    bool                     `json:"draining"`
 	Requests    uint64                   `json:"requests"`
 	Reduces     uint64                   `json:"reduces"`
 	Solves      uint64                   `json:"solves"`
@@ -439,8 +522,11 @@ type statzResponse struct {
 // handleStatz reports the service counters, the Solver's cache and
 // admission statistics, and the job subsystem's counters.
 func (s *server) handleStatz(w http.ResponseWriter, _ *http.Request) {
+	draining := s.draining.Load()
 	s.writeJSON(w, http.StatusOK, statzResponse{
 		UptimeS:     time.Since(s.start).Seconds(),
+		Ready:       !draining,
+		Draining:    draining,
 		Requests:    s.requests.Load(),
 		Reduces:     s.reduces.Load(),
 		Solves:      s.solves.Load(),

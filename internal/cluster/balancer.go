@@ -1,0 +1,161 @@
+package cluster
+
+// balancer.go turns "who could serve this" into "who serves this":
+// per-backend in-flight tracking, the three routing policies, and the
+// attempt plan a proxied request walks. Affinity is the default — the
+// ring owner first so repeated instances hit its parsed-instance cache
+// — with saturation spilling onto the least-loaded healthy backend
+// rather than queueing behind a hot key.
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Policy selects how the gateway picks a backend.
+type Policy string
+
+const (
+	// PolicyAffinity routes by the content-hash ring (cache affinity),
+	// spilling to the least-loaded healthy backend when the owner is
+	// saturated or down.
+	PolicyAffinity Policy = "affinity"
+	// PolicyRoundRobin rotates over healthy backends, ignoring the ring —
+	// the control arm cache-hit comparisons run against.
+	PolicyRoundRobin Policy = "round-robin"
+	// PolicyLeastLoaded always picks the healthy backend with the fewest
+	// gateway-tracked in-flight requests.
+	PolicyLeastLoaded Policy = "least-loaded"
+)
+
+// ParsePolicy maps the -policy flag spelling onto a Policy; the empty
+// string selects PolicyAffinity.
+func ParsePolicy(s string) (Policy, bool) {
+	switch Policy(s) {
+	case "", PolicyAffinity:
+		return PolicyAffinity, true
+	case PolicyRoundRobin:
+		return PolicyRoundRobin, true
+	case PolicyLeastLoaded:
+		return PolicyLeastLoaded, true
+	}
+	return "", false
+}
+
+// loadTracker counts in-flight proxied requests per backend. The counts
+// are the gateway's own view (not the backend's total load), which is
+// exactly what least-loaded spill needs: relative pressure from here.
+type loadTracker struct {
+	mu     sync.Mutex
+	counts map[string]*atomic.Int64
+}
+
+func newLoadTracker(backends []string) *loadTracker {
+	lt := &loadTracker{counts: make(map[string]*atomic.Int64, len(backends))}
+	for _, b := range backends {
+		lt.counts[b] = new(atomic.Int64)
+	}
+	return lt
+}
+
+// acquire marks one request in flight on backend and returns its
+// release.
+func (lt *loadTracker) acquire(backend string) func() {
+	c := lt.counter(backend)
+	c.Add(1)
+	var once sync.Once
+	return func() { once.Do(func() { c.Add(-1) }) }
+}
+
+func (lt *loadTracker) counter(backend string) *atomic.Int64 {
+	lt.mu.Lock()
+	defer lt.mu.Unlock()
+	c, ok := lt.counts[backend]
+	if !ok {
+		c = new(atomic.Int64)
+		lt.counts[backend] = c
+	}
+	return c
+}
+
+// load returns the in-flight count of backend.
+func (lt *loadTracker) load(backend string) int64 {
+	return lt.counter(backend).Load()
+}
+
+// balancer composes ring, health and load into attempt plans.
+type balancer struct {
+	ring   *Ring
+	health *health
+	loads  *loadTracker
+	// saturation is the per-backend in-flight count past which affinity
+	// spills; 0 disables spilling.
+	saturation int64
+	rr         atomic.Uint64
+}
+
+// healthyBackends returns the admitted backends, sorted.
+func (b *balancer) healthyBackends() []string {
+	var out []string
+	for _, name := range b.ring.Backends() {
+		if b.health.healthy(name) {
+			out = append(out, name)
+		}
+	}
+	return out
+}
+
+// plan returns the ordered backends one request should attempt: the
+// preferred backend per policy first, then fallbacks. Unhealthy
+// backends are planned last rather than dropped — with every backend
+// ejected, trying one beats refusing outright (the probe may simply not
+// have caught a recovery yet).
+func (b *balancer) plan(key string, policy Policy) []string {
+	all := b.ring.Backends()
+	if len(all) == 0 {
+		return nil
+	}
+	var ordered []string
+	switch policy {
+	case PolicyRoundRobin:
+		start := int(b.rr.Add(1)-1) % len(all)
+		for i := range all {
+			ordered = append(ordered, all[(start+i)%len(all)])
+		}
+	case PolicyLeastLoaded:
+		ordered = append(ordered, all...)
+		sort.SliceStable(ordered, func(i, j int) bool {
+			return b.loads.load(ordered[i]) < b.loads.load(ordered[j])
+		})
+	default: // PolicyAffinity
+		ordered = b.ring.Candidates(key)
+		// A saturated owner spills: the least-loaded other backend leads
+		// and the owner shifts to second (still the cache-affine retry if
+		// the spill target fails).
+		if b.saturation > 0 && len(ordered) > 1 &&
+			(!b.health.healthy(ordered[0]) || b.loads.load(ordered[0]) >= b.saturation) {
+			min := 1
+			for i := 2; i < len(ordered); i++ {
+				if b.loads.load(ordered[i]) < b.loads.load(ordered[min]) {
+					min = i
+				}
+			}
+			target := ordered[min]
+			copy(ordered[1:min+1], ordered[0:min])
+			ordered[0] = target
+		}
+	}
+	// Stable partition: healthy candidates keep their order up front,
+	// ejected ones trail as a last resort.
+	healthy := make([]string, 0, len(ordered))
+	var ejected []string
+	for _, name := range ordered {
+		if b.health.healthy(name) {
+			healthy = append(healthy, name)
+		} else {
+			ejected = append(ejected, name)
+		}
+	}
+	return append(healthy, ejected...)
+}

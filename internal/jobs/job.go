@@ -43,6 +43,10 @@ var (
 	ErrNotFound = errors.New("jobs: no such job")
 	// ErrClosed reports an operation on a closed manager.
 	ErrClosed = errors.New("jobs: manager closed")
+	// ErrDraining reports a Submit on a draining manager: running and
+	// queued jobs are being finished, new work is refused (cfserve maps it
+	// to 503 so a gateway retries against another node).
+	ErrDraining = errors.New("jobs: manager draining")
 	// ErrTransient tags a failure worth retrying: the default retry
 	// policy retries exactly the errors matching it under errors.Is.
 	// Oracles and custom Retryable hooks wrap it around recoverable

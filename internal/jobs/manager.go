@@ -88,6 +88,7 @@ type Manager struct {
 	stopBase context.CancelFunc
 	wg       sync.WaitGroup
 	closed   atomic.Bool
+	draining atomic.Bool
 }
 
 // New builds the manager: it creates the store directory, rescans it for
@@ -158,6 +159,9 @@ func New(cfg Config) (*Manager, error) {
 func (m *Manager) Submit(req Request) (Info, bool, error) {
 	if m.closed.Load() {
 		return Info{}, false, ErrClosed
+	}
+	if m.draining.Load() {
+		return Info{}, false, ErrDraining
 	}
 	if len(req.Body) == 0 {
 		return Info{}, false, fmt.Errorf("%w: empty job body", graphio.ErrFormat)
@@ -251,11 +255,16 @@ func (m *Manager) resubmit(j *job, req Request, f graphio.Format) (Info, bool, e
 	return info, true, nil
 }
 
-// Get returns the job's current snapshot.
+// Get returns the job's current snapshot. An id the registry does not
+// know is looked up in the store before 404ing: with a shared store
+// directory another node may have run and persisted the job, and a hit
+// adopts it here (see Rescan).
 func (m *Manager) Get(id string) (Info, error) {
 	j, ok := m.lookup(id)
 	if !ok {
-		return Info{}, fmt.Errorf("%w: %s", ErrNotFound, id)
+		if j, ok = m.adoptFromStore(id); !ok {
+			return Info{}, fmt.Errorf("%w: %s", ErrNotFound, id)
+		}
 	}
 	return j.snapshot(), nil
 }
@@ -293,7 +302,9 @@ func (m *Manager) List(f Filter) []Info {
 func (m *Manager) Result(id string) (*core.Result, error) {
 	j, ok := m.lookup(id)
 	if !ok {
-		return nil, fmt.Errorf("%w: %s", ErrNotFound, id)
+		if j, ok = m.adoptFromStore(id); !ok {
+			return nil, fmt.Errorf("%w: %s", ErrNotFound, id)
+		}
 	}
 	j.mu.Lock()
 	defer j.mu.Unlock()
@@ -423,7 +434,108 @@ func (m *Manager) Await(ctx context.Context, id string) (Info, error) {
 
 // Stats snapshots the counters.
 func (m *Manager) Stats() Stats {
-	return m.met.snapshot(m.queue.depth(), m.queueCap, m.workers)
+	return m.met.snapshot(m.queue.depth(), m.queueCap, m.workers, m.draining.Load())
+}
+
+// Draining reports whether Drain has been requested (true until Close —
+// a drained manager does not resume admissions).
+func (m *Manager) Draining() bool { return m.draining.Load() }
+
+// Drain stops admitting new jobs and waits until every registered job
+// has reached a terminal state: queued jobs still run (the worker pool
+// keeps popping), running jobs finish, and only then does Drain return.
+// ctx bounds the wait — on expiry the manager stays draining (admissions
+// stay refused) and the remaining jobs keep running until Close cancels
+// them. Drain is idempotent and safe to call concurrently with Close.
+func (m *Manager) Drain(ctx context.Context) error {
+	m.draining.Store(true)
+	tick := time.NewTicker(5 * time.Millisecond)
+	defer tick.Stop()
+	for {
+		if !m.anyActive() {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-tick.C:
+		}
+	}
+}
+
+// anyActive reports whether any registered job is still queued or
+// running.
+func (m *Manager) anyActive() bool {
+	m.mu.Lock()
+	jobs := make([]*job, 0, len(m.jobs))
+	for _, j := range m.jobs {
+		jobs = append(jobs, j)
+	}
+	m.mu.Unlock()
+	for _, j := range jobs {
+		if !j.snapshot().State.Terminal() {
+			return true
+		}
+	}
+	return false
+}
+
+// Rescan re-reads the store directory and adopts terminal jobs another
+// manager (or a previous process) persisted there: the jobs store is a
+// shared substrate, so a node pointed at a directory a drained peer
+// wrote picks up its finished work without re-running it. Jobs whose
+// content-hash id is already registered are skipped (the sha256 identity
+// is the dedupe key); the adopted count is returned. Without a store,
+// Rescan is a no-op.
+func (m *Manager) Rescan() (int, error) {
+	if m.store == nil {
+		return 0, nil
+	}
+	infos, err := m.store.recover()
+	if err != nil {
+		return 0, err
+	}
+	adopted := 0
+	for _, info := range infos {
+		if !info.State.Terminal() {
+			continue
+		}
+		if m.adopt(info) {
+			adopted++
+		}
+	}
+	return adopted, nil
+}
+
+// adopt registers a terminal Info read from the store, reporting whether
+// it was new (false = the id was already registered and the existing job
+// wins).
+func (m *Manager) adopt(info Info) bool {
+	info.Recovered = true
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.jobs[info.ID]; ok {
+		return false
+	}
+	m.jobs[info.ID] = &job{info: info, format: graphio.FormatAuto}
+	m.order = append(m.order, info.ID)
+	m.met.adopted.Add(1)
+	return true
+}
+
+// adoptFromStore is the targeted (single-id) version of Rescan, used by
+// Get and Result on a registry miss: another node sharing the store may
+// have finished this job. Returns the adopted or already-registered job.
+func (m *Manager) adoptFromStore(id string) (*job, bool) {
+	if m.store == nil || !validJobID(id) {
+		return nil, false
+	}
+	info, ok := m.store.loadTerminal(id)
+	if !ok {
+		return nil, false
+	}
+	m.adopt(info) // a racing adopt keeps the existing registration
+	return m.lookup(id)
 }
 
 // Close stops the pool: no new submissions, queued jobs transition to

@@ -16,6 +16,7 @@ type metrics struct {
 	cancelled atomic.Uint64
 	retries   atomic.Uint64
 	recovered atomic.Uint64
+	adopted   atomic.Uint64
 	running   atomic.Int64
 	started   atomic.Uint64
 	finished  atomic.Uint64
@@ -39,6 +40,11 @@ type Stats struct {
 	Retries uint64 `json:"retries"`
 	// Recovered counts jobs restored from the store at construction.
 	Recovered uint64 `json:"recovered"`
+	// Adopted counts jobs adopted after construction from a shared store
+	// another manager wrote (Rescan or a Get/Result store fallback).
+	Adopted uint64 `json:"adopted"`
+	// Draining reports that Drain has stopped admissions.
+	Draining bool `json:"draining,omitempty"`
 	// QueueDepth and Running are gauges; QueueCap and Workers are the
 	// configured bounds.
 	QueueDepth int `json:"queue_depth"`
@@ -77,7 +83,7 @@ func (s Stats) MeanRunMS() float64 {
 }
 
 // snapshot assembles a Stats from the counters plus the live gauges.
-func (m *metrics) snapshot(queueDepth, queueCap, workers int) Stats {
+func (m *metrics) snapshot(queueDepth, queueCap, workers int, draining bool) Stats {
 	return Stats{
 		Submitted:  m.submitted.Load(),
 		Deduped:    m.deduped.Load(),
@@ -86,6 +92,8 @@ func (m *metrics) snapshot(queueDepth, queueCap, workers int) Stats {
 		Cancelled:  m.cancelled.Load(),
 		Retries:    m.retries.Load(),
 		Recovered:  m.recovered.Load(),
+		Adopted:    m.adopted.Load(),
+		Draining:   draining,
 		QueueDepth: queueDepth,
 		QueueCap:   queueCap,
 		Running:    int(m.running.Load()),

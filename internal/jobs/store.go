@@ -130,6 +130,31 @@ func (st *store) readJob(path string) (Info, error) {
 	return doc.Info, nil
 }
 
+// loadTerminal reads one job's persisted state by id: the metadata
+// document when present, otherwise an orphan result document adopted as
+// a done job (mirroring recover's per-file logic). ok is false when the
+// store holds nothing usable for the id, or what it holds is
+// non-terminal or mislabeled.
+func (st *store) loadTerminal(id string) (Info, bool) {
+	if info, err := st.readJob(filepath.Join(st.dir, id+jobSuffix)); err == nil {
+		if info.ID == id && info.State.Terminal() {
+			return info, true
+		}
+		return Info{}, false
+	}
+	res, err := st.readResult(id)
+	if err != nil {
+		return Info{}, false
+	}
+	return Info{
+		ID:          id,
+		State:       StateDone,
+		Priority:    PriorityNormal,
+		TotalColors: res.TotalColors,
+		PhaseCount:  len(res.Phases),
+	}, true
+}
+
 // recover rescans the store: every readable job document yields its Info,
 // and result documents without metadata (a crash between the two writes)
 // are adopted as done jobs. Unreadable files are skipped — recovery

@@ -20,6 +20,8 @@ import (
 	"strconv"
 	"sync"
 	"time"
+
+	"pslocal/internal/cluster"
 )
 
 // Client drives a trace against one server.
@@ -211,6 +213,7 @@ func (c *Client) do(ctx context.Context, httpc *http.Client, base *url.URL, bodi
 		Verified:  parsed.Verified,
 		Key:       parsed.Instance.Key,
 		LatencyUS: latency,
+		Backend:   resp.Header.Get(cluster.HeaderBackend),
 	}
 	if decodeErr != nil {
 		o.Err = "decode: " + decodeErr.Error()

@@ -96,13 +96,20 @@ type Perf struct {
 	Requests int `json:"requests"`
 	Errors   int `json:"errors"`
 	// DurationS spans the first dispatch to the last completion.
-	DurationS     float64     `json:"duration_s"`
-	ThroughputRPS float64     `json:"throughput_rps"`
-	Latency       Quantiles   `json:"latency"`
-	CacheHits     int         `json:"cache_hits"`
-	CacheMisses   int         `json:"cache_misses"`
-	Classes       []ClassPerf `json:"classes"`
-	SLO           SLOReport   `json:"slo"`
+	DurationS     float64   `json:"duration_s"`
+	ThroughputRPS float64   `json:"throughput_rps"`
+	Latency       Quantiles `json:"latency"`
+	CacheHits     int       `json:"cache_hits"`
+	CacheMisses   int       `json:"cache_misses"`
+	// CacheHitRatio is CacheHits over all responses reporting a cache
+	// disposition — the cluster-smoke comparison of affinity routing
+	// against the round-robin control reads this number.
+	CacheHitRatio float64 `json:"cache_hit_ratio"`
+	// Backends counts OK responses per serving node (the cfgate
+	// X-Pslocal-Backend tag; absent when the run hit cfserve directly).
+	Backends map[string]int `json:"backends,omitempty"`
+	Classes  []ClassPerf    `json:"classes"`
+	SLO      SLOReport      `json:"slo"`
 	// Jobs is present when the run observed the server's /statz job
 	// counters (nil when the probe failed or was disabled).
 	Jobs *JobsSplit `json:"jobs,omitempty"`
@@ -188,6 +195,12 @@ func perfReport(t *Trace, durationS float64, jobs *JobsSplit) Perf {
 		case "miss":
 			p.CacheMisses++
 		}
+		if o.Backend != "" {
+			if p.Backends == nil {
+				p.Backends = map[string]int{}
+			}
+			p.Backends[o.Backend]++
+		}
 		if rec.SLOMillis > 0 {
 			p.SLO.Eligible++
 			if float64(o.LatencyUS)/1000 <= rec.SLOMillis {
@@ -199,6 +212,9 @@ func perfReport(t *Trace, durationS float64, jobs *JobsSplit) Perf {
 	p.Latency = quantiles(all)
 	if durationS > 0 {
 		p.ThroughputRPS = float64(len(all)) / durationS
+	}
+	if seen := p.CacheHits + p.CacheMisses; seen > 0 {
+		p.CacheHitRatio = float64(p.CacheHits) / float64(seen)
 	}
 	if p.SLO.Eligible > 0 {
 		p.SLO.Ratio = float64(p.SLO.Attained) / float64(p.SLO.Eligible)

@@ -91,6 +91,11 @@ type Outcome struct {
 	Key string `json:"key,omitempty"`
 	// LatencyUS is the observed request latency in microseconds.
 	LatencyUS int64 `json:"latency_us"`
+	// Backend is the serving node reported in X-Pslocal-Backend when the
+	// run targets a cfgate gateway ("" direct against cfserve). Routing
+	// depends on fleet health at dispatch time, so it is excluded from
+	// the deterministic outcome digest.
+	Backend string `json:"backend,omitempty"`
 	// Err is the transport error, if any (timing-dependent; excluded
 	// from the outcome digest).
 	Err string `json:"err,omitempty"`

@@ -33,14 +33,14 @@ func BenchmarkSolverCacheHitAllocs(b *testing.B) {
 	body := benchGraphBody(b, 256, 0.3)
 	r := bytes.NewReader(body)
 	var inst Instance
-	if _, _, err := s.readGraphInto(r, graphio.FormatEdgeList, &inst); err != nil {
+	if _, _, err := s.readGraphInto(r, graphio.FormatEdgeList, &inst, ""); err != nil {
 		b.Fatal(err)
 	}
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		r.Reset(body)
-		if _, _, err := s.readGraphInto(r, graphio.FormatEdgeList, &inst); err != nil {
+		if _, _, err := s.readGraphInto(r, graphio.FormatEdgeList, &inst, ""); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -78,14 +78,14 @@ func BenchmarkSolverCacheHitAllocsWeighted(b *testing.B) {
 	body := benchWeightedGraphBody(b, 256, 0.3)
 	r := bytes.NewReader(body)
 	var inst Instance
-	if _, _, err := s.readGraphInto(r, graphio.FormatEdgeList, &inst); err != nil {
+	if _, _, err := s.readGraphInto(r, graphio.FormatEdgeList, &inst, ""); err != nil {
 		b.Fatal(err)
 	}
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		r.Reset(body)
-		if _, _, err := s.readGraphInto(r, graphio.FormatEdgeList, &inst); err != nil {
+		if _, _, err := s.readGraphInto(r, graphio.FormatEdgeList, &inst, ""); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -150,19 +150,19 @@ func TestCacheHitReadAllocatesNothing(t *testing.T) {
 	body := benchGraphBody(t, 64, 0.3)
 	r := bytes.NewReader(body)
 	var inst Instance
-	if _, _, err := s.readGraphInto(r, graphio.FormatEdgeList, &inst); err != nil {
+	if _, _, err := s.readGraphInto(r, graphio.FormatEdgeList, &inst, ""); err != nil {
 		t.Fatal(err)
 	}
 	// Warm the scratch pool so steady state, not first touch, is measured.
 	for i := 0; i < 4; i++ {
 		r.Reset(body)
-		if _, _, err := s.readGraphInto(r, graphio.FormatEdgeList, &inst); err != nil {
+		if _, _, err := s.readGraphInto(r, graphio.FormatEdgeList, &inst, ""); err != nil {
 			t.Fatal(err)
 		}
 	}
 	allocs := testing.AllocsPerRun(50, func() {
 		r.Reset(body)
-		if _, _, err := s.readGraphInto(r, graphio.FormatEdgeList, &inst); err != nil {
+		if _, _, err := s.readGraphInto(r, graphio.FormatEdgeList, &inst, ""); err != nil {
 			t.Fatal(err)
 		}
 	})
@@ -185,18 +185,18 @@ func TestWeightedCacheHitReadAllocatesNothing(t *testing.T) {
 	body := benchWeightedGraphBody(t, 64, 0.3)
 	r := bytes.NewReader(body)
 	var inst Instance
-	if _, _, err := s.readGraphInto(r, graphio.FormatEdgeList, &inst); err != nil {
+	if _, _, err := s.readGraphInto(r, graphio.FormatEdgeList, &inst, ""); err != nil {
 		t.Fatal(err)
 	}
 	for i := 0; i < 4; i++ {
 		r.Reset(body)
-		if _, _, err := s.readGraphInto(r, graphio.FormatEdgeList, &inst); err != nil {
+		if _, _, err := s.readGraphInto(r, graphio.FormatEdgeList, &inst, ""); err != nil {
 			t.Fatal(err)
 		}
 	}
 	allocs := testing.AllocsPerRun(50, func() {
 		r.Reset(body)
-		if _, _, err := s.readGraphInto(r, graphio.FormatEdgeList, &inst); err != nil {
+		if _, _, err := s.readGraphInto(r, graphio.FormatEdgeList, &inst, ""); err != nil {
 			t.Fatal(err)
 		}
 	})

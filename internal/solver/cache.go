@@ -31,6 +31,38 @@ func cacheKey(kind, format string, body []byte) string {
 	return hex.EncodeToString(h.Sum(nil))
 }
 
+// InstanceKey derives the instance-cache key SolveReader and MaxISReader
+// would compute for body: the hex sha256 over the substrate kind
+// (KindHypergraph for the reduction endpoints, KindGraph for MaxIS), the
+// canonical format directive (graphio.Format.String()), and the raw
+// bytes. A gateway that buffers request bodies anyway computes it once
+// and forwards it, so the backend's keyed readers skip re-hashing.
+func InstanceKey(kind, format string, body []byte) string {
+	return cacheKey(kind, format, body)
+}
+
+// The Instance.Kind spellings, which are also the kind argument of
+// InstanceKey.
+const (
+	KindHypergraph = "hypergraph"
+	KindGraph      = "graph"
+)
+
+// validInstanceKey reports whether s has the shape of an instance key:
+// 64 lowercase hex digits. Keyed readers silently ignore anything else.
+func validInstanceKey(s string) bool {
+	if len(s) != 64 {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
 // instanceCache is a mutex-guarded LRU from content hash to parsed
 // instance (*graph.Graph or *hypergraph.Hypergraph).
 type instanceCache struct {

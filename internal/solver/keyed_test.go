@@ -1,0 +1,166 @@
+package solver
+
+// keyed_test.go covers the gateway fast path: InstanceKey matching the
+// internal cache keying, and the Keyed readers skipping the hash (and on
+// a hit, the body buffering) when handed a precomputed key.
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+
+	"pslocal/internal/graph"
+	"pslocal/internal/graphio"
+)
+
+func TestInstanceKeyMatchesReaderKey(t *testing.T) {
+	_, body := testInstance(t, 7)
+	sv := New(WithK(2), WithCache(4))
+	_, inst, err := sv.SolveReader(context.Background(), bytes.NewReader(body), graphio.FormatAuto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := InstanceKey(KindHypergraph, graphio.FormatAuto.String(), body)
+	if inst.Key != want {
+		t.Fatalf("InstanceKey = %s, reader computed %s", want, inst.Key)
+	}
+}
+
+// countingReader counts bytes actually consumed, distinguishing a parse
+// (reads everything eagerly into scratch) from a drain.
+type countingReader struct {
+	r io.Reader
+	n int
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += n
+	return n, err
+}
+
+func TestKeyedReaderHitAndMiss(t *testing.T) {
+	_, body := testInstance(t, 8)
+	key := InstanceKey(KindHypergraph, graphio.FormatAuto.String(), body)
+	sv := New(WithK(2), WithCache(4))
+
+	// First keyed call misses: the body is read and cached under the
+	// preset key without hashing.
+	res, inst, err := sv.SolveReaderKeyed(context.Background(), bytes.NewReader(body), graphio.FormatAuto, key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inst.CacheHit || inst.Key != key {
+		t.Fatalf("first keyed call: hit=%t key=%s", inst.CacheHit, inst.Key)
+	}
+	if res.TotalColors < 1 {
+		t.Fatal("degenerate result")
+	}
+
+	// Second keyed call hits; the body is drained, not parsed, and the
+	// result matches the unkeyed path.
+	cr := &countingReader{r: bytes.NewReader(body)}
+	res2, inst2, err := sv.SolveReaderKeyed(context.Background(), cr, graphio.FormatAuto, key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !inst2.CacheHit || inst2.Key != key {
+		t.Fatalf("second keyed call: hit=%t key=%s", inst2.CacheHit, inst2.Key)
+	}
+	if cr.n != len(body) {
+		t.Fatalf("hit drained %d of %d body bytes; keep-alive needs a full drain", cr.n, len(body))
+	}
+	if res2.TotalColors != res.TotalColors {
+		t.Fatalf("keyed hit colours %d != miss colours %d", res2.TotalColors, res.TotalColors)
+	}
+
+	// An unkeyed call over the same body also hits: the preset key IS the
+	// cache key, so gateway and direct traffic share entries.
+	_, inst3, err := sv.SolveReader(context.Background(), bytes.NewReader(body), graphio.FormatAuto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !inst3.CacheHit {
+		t.Fatal("unkeyed call after keyed insert missed the shared entry")
+	}
+}
+
+func TestKeyedReaderIgnoresMalformedKeys(t *testing.T) {
+	_, body := testInstance(t, 9)
+	sv := New(WithK(2), WithCache(4))
+	for _, bad := range []string{"nope", strings.Repeat("Z", 64), strings.Repeat("a", 63)} {
+		_, inst, err := sv.SolveReaderKeyed(context.Background(), bytes.NewReader(body), graphio.FormatAuto, bad)
+		if err != nil {
+			t.Fatalf("key %q: %v", bad, err)
+		}
+		if inst.Key == bad {
+			t.Fatalf("malformed key %q was honoured", bad)
+		}
+		if !validInstanceKey(inst.Key) {
+			t.Fatalf("fallback key %q not a sha256 hex", inst.Key)
+		}
+	}
+}
+
+func TestKeyedReaderRejectsCrossKindKeys(t *testing.T) {
+	// Cache a GRAPH under its key, then present that key to the
+	// hypergraph endpoint: the entry must not cross substrates — the
+	// request falls back to hashing its own body.
+	g := graph.Grid(3, 3)
+	var gbuf bytes.Buffer
+	if err := graphio.WriteGraph(&gbuf, g, graphio.FormatEdgeList); err != nil {
+		t.Fatal(err)
+	}
+	sv := New(WithK(2), WithCache(4))
+	graphKey := InstanceKey(KindGraph, graphio.FormatAuto.String(), gbuf.Bytes())
+	if _, _, err := sv.MaxISReaderKeyed(context.Background(), bytes.NewReader(gbuf.Bytes()), graphio.FormatAuto, graphKey); err != nil {
+		t.Fatal(err)
+	}
+
+	_, body := testInstance(t, 10)
+	res, inst, err := sv.SolveReaderKeyed(context.Background(), bytes.NewReader(body), graphio.FormatAuto, graphKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inst.CacheHit || inst.Key == graphKey {
+		t.Fatalf("graph entry crossed to the hypergraph endpoint: %+v", inst)
+	}
+	if res.TotalColors < 1 || inst.Hypergraph() == nil {
+		t.Fatal("fallback solve degenerate")
+	}
+}
+
+func TestKeyedReaderCacheless(t *testing.T) {
+	// Without a cache the key is ignored entirely and the body streams.
+	_, body := testInstance(t, 11)
+	key := InstanceKey(KindHypergraph, graphio.FormatAuto.String(), body)
+	sv := New(WithK(2))
+	_, inst, err := sv.SolveReaderKeyed(context.Background(), bytes.NewReader(body), graphio.FormatAuto, key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inst.Key != "" || inst.CacheHit {
+		t.Fatalf("cacheless keyed call: %+v, want empty key", inst)
+	}
+}
+
+func TestKeyedReaderHitDrainError(t *testing.T) {
+	_, body := testInstance(t, 12)
+	key := InstanceKey(KindHypergraph, graphio.FormatAuto.String(), body)
+	sv := New(WithK(2), WithCache(4))
+	if _, _, err := sv.SolveReaderKeyed(context.Background(), bytes.NewReader(body), graphio.FormatAuto, key); err != nil {
+		t.Fatal(err)
+	}
+	broken := io.MultiReader(bytes.NewReader(body[:4]), errReader{})
+	_, _, err := sv.SolveReaderKeyed(context.Background(), broken, graphio.FormatAuto, key)
+	if !errors.Is(err, ErrReadInstance) {
+		t.Fatalf("drain failure surfaced as %v, want ErrReadInstance", err)
+	}
+}
+
+type errReader struct{}
+
+func (errReader) Read([]byte) (int, error) { return 0, errors.New("boom") }

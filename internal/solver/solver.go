@@ -477,12 +477,22 @@ func (i *Instance) Weighted() bool {
 // runs Solve on the result. Admission happens before the body is read, so
 // parsing and CSR construction are bounded by the gate too.
 func (s *Solver) SolveReader(ctx context.Context, r io.Reader, f graphio.Format) (*core.Result, *Instance, error) {
+	return s.SolveReaderKeyed(ctx, r, f, "")
+}
+
+// SolveReaderKeyed is SolveReader with a precomputed instance key (see
+// InstanceKey). A valid key spares the backend the body hash; a key
+// already in the cache spares it the body buffering too (the reader is
+// drained, never parsed). Keys are trusted to match the body — the
+// caller is a gateway that derived them from the same bytes — and
+// anything not shaped like a key is ignored. Empty means "compute here".
+func (s *Solver) SolveReaderKeyed(ctx context.Context, r io.Reader, f graphio.Format, key string) (*core.Result, *Instance, error) {
 	if err := s.acquire(ctx); err != nil {
 		return nil, nil, err
 	}
 	defer s.release()
 	inst := new(Instance)
-	h, err := s.readHypergraphInto(r, f, inst)
+	h, err := s.readHypergraphInto(r, f, inst, key)
 	if err != nil {
 		return nil, nil, wrapCancelled(ctx, err)
 	}
@@ -496,12 +506,18 @@ func (s *Solver) SolveReader(ctx context.Context, r io.Reader, f graphio.Format)
 // MaxISReader is MaxIS over a serialized graph, with the same caching and
 // admission behaviour as SolveReader.
 func (s *Solver) MaxISReader(ctx context.Context, r io.Reader, f graphio.Format) (*ISResult, *Instance, error) {
+	return s.MaxISReaderKeyed(ctx, r, f, "")
+}
+
+// MaxISReaderKeyed is MaxISReader with a precomputed instance key,
+// under SolveReaderKeyed's contract.
+func (s *Solver) MaxISReaderKeyed(ctx context.Context, r io.Reader, f graphio.Format, key string) (*ISResult, *Instance, error) {
 	if err := s.acquire(ctx); err != nil {
 		return nil, nil, err
 	}
 	defer s.release()
 	inst := new(Instance)
-	g, cg, err := s.readGraphInto(r, f, inst)
+	g, cg, err := s.readGraphInto(r, f, inst, key)
 	if err != nil {
 		return nil, nil, wrapCancelled(ctx, err)
 	}
@@ -538,13 +554,32 @@ func dimsHypergraphEntry(v any) (int, int) {
 	return h.N(), h.M()
 }
 
+// kindMatches reports whether a cached value is of the substrate a
+// preset-keyed lookup expects. Keys embed the kind at hash time, but a
+// preset key is caller-supplied — without this check a forged key cached
+// under the other substrate would cross endpoints.
+func kindMatches(kind string, v any) bool {
+	switch v.(type) {
+	case *hypergraph.Hypergraph:
+		return kind == KindHypergraph
+	case *cachedGraph:
+		return kind == KindGraph
+	}
+	return false
+}
+
 // readInstance funnels both substrates through one cache flow, filling
 // the caller-owned inst in place. With a cache the body lands in pooled
 // scratch and is hashed through pooled sha256 state (the key is the whole
 // point), and a hit borrows the entry's canonical key string — the whole
 // hit path allocates nothing. Without a cache the reader streams straight
 // into graphio and Instance.Key stays empty — no buffering, no hashing.
-func (s *Solver) readInstance(r io.Reader, f graphio.Format, kind string, inst *Instance,
+//
+// A valid presetKey replaces the hash: a cache hit drains r without
+// buffering it, a miss reads and parses the body and caches it under the
+// preset key as-is. A preset key resolving to the wrong substrate is
+// ignored and the request falls back to the hashing flow.
+func (s *Solver) readInstance(r io.Reader, f graphio.Format, kind string, inst *Instance, presetKey string,
 	parse func(io.Reader, graphio.Format) (any, error),
 	dims func(any) (int, int)) (any, error) {
 	*inst = Instance{Kind: kind}
@@ -556,6 +591,38 @@ func (s *Solver) readInstance(r io.Reader, f graphio.Format, kind string, inst *
 		inst.N, inst.M = dims(v)
 		inst.value = v
 		return v, nil
+	}
+	if presetKey != "" && validInstanceKey(presetKey) {
+		if cached, ok := s.cache.get(presetKey); ok {
+			if kindMatches(kind, cached) {
+				// The body is never parsed; drain it so the connection
+				// stays reusable.
+				if _, err := io.Copy(io.Discard, r); err != nil {
+					return nil, fmt.Errorf("%w: %w", ErrReadInstance, err)
+				}
+				inst.Key = presetKey
+				inst.CacheHit = true
+				inst.N, inst.M = dims(cached)
+				inst.value = cached
+				return cached, nil
+			}
+		} else {
+			sc := grabServeScratch()
+			defer releaseServeScratch(sc)
+			body, err := sc.readAll(r)
+			if err != nil {
+				return nil, fmt.Errorf("%w: %w", ErrReadInstance, err)
+			}
+			inst.Key = presetKey
+			v, err := parse(bytes.NewReader(body), f)
+			if err != nil {
+				return nil, err
+			}
+			s.cache.put(presetKey, v)
+			inst.N, inst.M = dims(v)
+			inst.value = v
+			return v, nil
+		}
 	}
 	sc := grabServeScratch()
 	defer releaseServeScratch(sc)
@@ -583,8 +650,8 @@ func (s *Solver) readInstance(r io.Reader, f graphio.Format, kind string, inst *
 }
 
 // readHypergraphInto parses a hypergraph through the cache.
-func (s *Solver) readHypergraphInto(r io.Reader, f graphio.Format, inst *Instance) (*hypergraph.Hypergraph, error) {
-	v, err := s.readInstance(r, f, "hypergraph", inst, parseHypergraphEntry, dimsHypergraphEntry)
+func (s *Solver) readHypergraphInto(r io.Reader, f graphio.Format, inst *Instance, presetKey string) (*hypergraph.Hypergraph, error) {
+	v, err := s.readInstance(r, f, KindHypergraph, inst, presetKey, parseHypergraphEntry, dimsHypergraphEntry)
 	if err != nil {
 		return nil, err
 	}
@@ -593,8 +660,8 @@ func (s *Solver) readHypergraphInto(r io.Reader, f graphio.Format, inst *Instanc
 
 // readGraphInto parses a graph through the cache, returning both the CSR
 // and the cache entry that lazily owns its packed bitset adjacency.
-func (s *Solver) readGraphInto(r io.Reader, f graphio.Format, inst *Instance) (*graph.Graph, *cachedGraph, error) {
-	v, err := s.readInstance(r, f, "graph", inst, parseGraphEntry, dimsGraphEntry)
+func (s *Solver) readGraphInto(r io.Reader, f graphio.Format, inst *Instance, presetKey string) (*graph.Graph, *cachedGraph, error) {
+	v, err := s.readInstance(r, f, KindGraph, inst, presetKey, parseGraphEntry, dimsGraphEntry)
 	if err != nil {
 		return nil, nil, err
 	}

@@ -85,6 +85,10 @@ var (
 	ErrJobTransient = jobs.ErrTransient
 	// ErrNoJobResult reports a Result call on a job that has none.
 	ErrNoJobResult = jobs.ErrNoResult
+	// ErrJobDraining reports a Submit on a draining manager
+	// ([JobManager.Drain]): running and queued jobs finish, new work is
+	// refused. cfserve maps it to 503 with a Retry-After hint.
+	ErrJobDraining = jobs.ErrDraining
 )
 
 // NewJobManager builds a JobManager: it creates the store directory,

@@ -184,6 +184,18 @@ func loadPerfResults(path string) ([]Result, error) {
 		{Name: "CfloadLatencyMean", Iterations: n, NsPerOp: msToNs(p.Latency.MeanMS)},
 		{Name: "CfloadSLOAttainedPct", Iterations: n, NsPerOp: 100 * p.SLO.Ratio},
 	}
+	if seen := p.CacheHits + p.CacheMisses; seen > 0 {
+		// Cache-hit percentage of responses reporting a disposition,
+		// recomputed from the raw counts so reports predating the ratio
+		// field ingest identically — the cluster-smoke run records it so
+		// affinity routing's advantage over round-robin is visible in the
+		// trajectory.
+		results = append(results, Result{
+			Name:       "CfloadCacheHitPct",
+			Iterations: int64(seen),
+			NsPerOp:    100 * float64(p.CacheHits) / float64(seen),
+		})
+	}
 	if p.ThroughputRPS > 0 {
 		results = append(results,
 			Result{Name: "CfloadThroughput", Iterations: n, NsPerOp: 1e9 / p.ThroughputRPS})

@@ -211,6 +211,9 @@ func TestRunIngestsLoadReport(t *testing.T) {
 	if r := got["CfloadJobsRunMean"]; r.NsPerOp != 5e6 {
 		t.Errorf("CfloadJobsRunMean = %+v", r)
 	}
+	if r := got["CfloadCacheHitPct"]; r.Iterations != 120 || r.NsPerOp < 41.6 || r.NsPerOp > 41.7 {
+		t.Errorf("CfloadCacheHitPct = %+v, want 50/120 over 120 dispositions", r)
+	}
 
 	// Bench lines and a load report merge into one entry.
 	if err := run(out, "both", 200, false, "", perf, strings.NewReader(sample)); err != nil {
@@ -221,7 +224,7 @@ func TestRunIngestsLoadReport(t *testing.T) {
 		t.Fatal(err)
 	}
 	e := traj.History[1]
-	if len(e.Results) != 2+8 {
+	if len(e.Results) != 2+9 {
 		t.Fatalf("combined entry has %d results: %+v", len(e.Results), e.Results)
 	}
 

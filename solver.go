@@ -87,6 +87,23 @@ func WithCache(n int) SolverOption { return solver.WithCache(n) }
 // GOMAXPROCS). Construction-time only, shared by derived solvers.
 func WithMaxInflight(n int) SolverOption { return solver.WithMaxInflight(n) }
 
+// Instance kinds of InstanceKey: the substrate a cache key was derived
+// over (a key never hits across kinds).
+const (
+	KindHypergraph = solver.KindHypergraph
+	KindGraph      = solver.KindGraph
+)
+
+// InstanceKey returns the Solver's instance cache key for a raw body:
+// the hex sha256 content hash of kind (KindHypergraph or KindGraph),
+// the canonical format directive and the body bytes. The cluster
+// gateway computes it once per request to route by cache affinity and
+// forwards it in HeaderInstanceKey; [Solver.SolveReaderKeyed] and
+// [Solver.MaxISReaderKeyed] accept it to skip re-hashing.
+func InstanceKey(kind, format string, body []byte) string {
+	return solver.InstanceKey(kind, format, body)
+}
+
 // SolveHypergraphs is a convenience over [Solver.SolveBatch] for one-shot
 // batch reductions on a throwaway Solver.
 func SolveHypergraphs(ctx context.Context, hs []*Hypergraph, opts ...SolverOption) ([]*ReduceResult, error) {
