@@ -289,3 +289,38 @@ func TestInstanceKeyHeaderFastPath(t *testing.T) {
 		t.Fatalf("malformed key fallback: status %d, want 200", code)
 	}
 }
+
+// TestDrainGraceSignals covers the SIGTERM grace machinery: a node
+// nobody probes reports no readiness watcher (so main.go skips the
+// wait), and once draining, drainEjectQuorum 503 probes close the
+// drainEjected channel that lets the listener shut early.
+func TestDrainGraceSignals(t *testing.T) {
+	s, ts := newTestServer(t)
+
+	if s.readyProbedWithin(time.Minute) {
+		t.Fatal("readiness reported as probed before any /readyz request")
+	}
+	if code := getJSON(t, ts.URL+"/readyz", nil); code != http.StatusOK {
+		t.Fatalf("/readyz = %d, want 200", code)
+	}
+	if !s.readyProbedWithin(time.Minute) {
+		t.Fatal("readiness probe not recorded")
+	}
+
+	s.draining.Store(true)
+	for i := 0; i < drainEjectQuorum; i++ {
+		select {
+		case <-s.drainEjected:
+			t.Fatalf("drainEjected closed after %d probes, want %d", i, drainEjectQuorum)
+		default:
+		}
+		if code := getJSON(t, ts.URL+"/readyz", nil); code != http.StatusServiceUnavailable {
+			t.Fatalf("draining /readyz = %d, want 503", code)
+		}
+	}
+	select {
+	case <-s.drainEjected:
+	case <-time.After(2 * time.Second):
+		t.Fatalf("drainEjected not closed after %d draining probes", drainEjectQuorum)
+	}
+}

@@ -44,10 +44,12 @@
 // and the keyed readers skip re-hashing.
 //
 // Shutdown: SIGTERM (or POST /drainz) drains gracefully — /readyz flips
-// to 503 so the gateway stops routing here, new solve and job
-// submissions are refused with 503 + Retry-After, in-flight requests
-// and running jobs finish (bounded by -drain-timeout), and only then
-// does the process exit.
+// to 503 so the gateway stops routing here (when /readyz is being
+// probed, the listener stays open up to -drain-grace so the prober
+// observes the drain before connections start refusing), new solve and
+// job submissions are refused with 503 + Retry-After, in-flight
+// requests and running jobs finish (bounded by -drain-timeout), and
+// only then does the process exit.
 package main
 
 import (
@@ -87,6 +89,8 @@ func run() error {
 			"pprof listen address, e.g. localhost:6060 (empty = disabled; served on its own mux, never on -addr)")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second,
 			"bound on finishing in-flight requests and running jobs at shutdown")
+		drainGrace = flag.Duration("drain-grace", 2*time.Second,
+			"how long SIGTERM keeps the listener open after flipping /readyz to 503, so a probing gateway ejects the node before connections refuse (0 = close immediately; skipped when nothing probes /readyz)")
 	)
 	flag.Parse()
 
@@ -145,13 +149,27 @@ func run() error {
 		return err
 	case sig := <-stop:
 		// Drain order matters: flip readiness first so the gateway stops
-		// routing here, flush in-flight HTTP requests, then wait for
-		// running and queued jobs — all under one deadline. The deferred
-		// Close cancels whatever the deadline cut off.
+		// routing here, let its prober observe the 503, flush in-flight
+		// HTTP requests, then wait for running and queued jobs — all
+		// under one deadline. The deferred Close cancels whatever the
+		// deadline cut off.
 		log.Printf("cfserve: %v, draining (timeout %s)", sig, *drainTimeout)
 		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 		defer cancel()
 		s.draining.Store(true)
+		// Shutdown closes the listeners at once, and a gateway that has
+		// not yet seen the 503 readiness would keep routing here and get
+		// connection refusals instead of retryable 503s. So when /readyz
+		// is being probed, hold the listener open until enough probes
+		// observed the drain for cfgate's default ejection threshold (or
+		// the grace runs out). A node nobody probes skips the wait.
+		if grace := *drainGrace; grace > 0 && s.readyProbedWithin(grace) {
+			select {
+			case <-s.drainEjected:
+			case <-time.After(grace):
+			case <-ctx.Done():
+			}
+		}
 		if err := httpServer.Shutdown(ctx); err != nil && !errors.Is(err, http.ErrServerClosed) {
 			return err
 		}

@@ -100,6 +100,19 @@ type server struct {
 	// process is healthy, just leaving the pool.
 	draining atomic.Bool
 
+	// lastReadyProbe is the unix-nano time of the last /readyz request.
+	// The SIGTERM path uses it to decide whether a load balancer is
+	// routing on this node's readiness and deserves time to observe the
+	// drain before the listener closes.
+	lastReadyProbe atomic.Int64
+	// drainEjected closes once drainEjectQuorum readiness probes have
+	// answered 503 — by then cfgate's default prober has ejected the
+	// node, so closing the listener no longer turns freshly routed
+	// requests into connection-refused errors.
+	drainEjected     chan struct{}
+	drainEjectedOnce sync.Once
+	drainProbes      atomic.Int64
+
 	requests atomic.Uint64 // all requests, any endpoint
 	reduces  atomic.Uint64 // successful /v1/reduce responses
 	solves   atomic.Uint64 // successful /v1/maxis responses
@@ -125,7 +138,8 @@ func newServer(cfg config) (*server, error) {
 		cfg.maxBodyBytes = 64 << 20
 	}
 	s := &server{
-		cfg: cfg,
+		cfg:          cfg,
+		drainEjected: make(chan struct{}),
 		solver: pslocal.NewSolver(
 			pslocal.WithCache(cfg.cacheEntries),
 			pslocal.WithMaxInflight(cfg.maxInflight),
@@ -156,6 +170,15 @@ func newServer(cfg config) (*server, error) {
 	s.mux.HandleFunc("POST /drainz", s.handleDrainz)
 	s.mux.HandleFunc("GET /statz", s.handleStatz)
 	return s, nil
+}
+
+// readyProbedWithin reports whether /readyz was hit within d — the
+// SIGTERM path's signal that a gateway is routing on this node's
+// readiness. A node nobody probes has no router to inform and shuts
+// down without waiting.
+func (s *server) readyProbedWithin(d time.Duration) bool {
+	last := s.lastReadyProbe.Load()
+	return last != 0 && time.Since(time.Unix(0, last)) <= d
 }
 
 // Drain flips the server into draining (idempotently) and waits for
@@ -460,16 +483,25 @@ func (s *server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	})
 }
 
+// drainEjectQuorum is how many 503 readiness probes the SIGTERM path
+// waits for before closing the listener: cfgate's default FailAfter,
+// the consecutive-failure count at which the prober ejects a backend.
+const drainEjectQuorum = 3
+
 // handleReadyz reports readiness: 503 while draining, 200 otherwise.
 // cfgate probes this endpoint, so a draining node is ejected from
-// routing within one probe interval.
+// routing within FailAfter probe intervals.
 func (s *server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	s.lastReadyProbe.Store(time.Now().UnixNano())
 	if s.draining.Load() {
 		w.Header().Set("Retry-After", "1")
 		s.writeJSON(w, http.StatusServiceUnavailable, map[string]any{
 			"status": "draining",
 			"jobs":   s.jobs.Stats(),
 		})
+		if s.drainProbes.Add(1) >= drainEjectQuorum {
+			s.drainEjectedOnce.Do(func() { close(s.drainEjected) })
+		}
 		return
 	}
 	s.writeJSON(w, http.StatusOK, map[string]any{

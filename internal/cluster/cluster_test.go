@@ -510,3 +510,88 @@ func TestAffinitySaturationSpills(t *testing.T) {
 		t.Fatalf("idle owner %s not planned first: %v", owner, plan)
 	}
 }
+
+// TestGatewayMethodNotAllowed checks that a known path hit with the
+// wrong method surfaces the mux's 405 + Allow (not a blanket 404) in
+// the JSON error envelope, and a truly unknown path stays a 404.
+func TestGatewayMethodNotAllowed(t *testing.T) {
+	b := newSolveBackend(t, "b1")
+	g := newTestGateway(t, Config{Backends: []string{b.srv.URL}})
+
+	req := httptest.NewRequest(http.MethodPut, "/v1/reduce", strings.NewReader("x"))
+	rec := httptest.NewRecorder()
+	g.ServeHTTP(rec, req)
+	if rec.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("PUT /v1/reduce = %d, want 405", rec.Code)
+	}
+	if rec.Header().Get("Allow") == "" {
+		t.Fatal("405 missing Allow header")
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("405 Content-Type %q, want the JSON envelope", ct)
+	}
+	var envelope struct {
+		Error string `json:"error"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &envelope); err != nil || envelope.Error == "" {
+		t.Fatalf("405 body %q not the JSON error envelope (%v)", rec.Body, err)
+	}
+
+	rec = httptest.NewRecorder()
+	g.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/nope", nil))
+	if rec.Code != http.StatusNotFound {
+		t.Fatalf("GET /nope = %d, want 404", rec.Code)
+	}
+	if b.hits.Load() != 0 {
+		t.Fatal("unroutable requests must not reach a backend")
+	}
+}
+
+// TestGatewayForwardsClientHeaders checks the proxy hop is faithful:
+// end-to-end headers (auth, accept) reach the backend, hop-by-hop
+// headers and anything named by Connection are stripped, and a
+// client-forged instance-key header never survives — the gateway's own
+// derivation wins.
+func TestGatewayForwardsClientHeaders(t *testing.T) {
+	var seen atomic.Value // http.Header
+	backend := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/readyz" {
+			w.WriteHeader(http.StatusOK)
+			return
+		}
+		seen.Store(r.Header.Clone())
+		io.Copy(io.Discard, r.Body)
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintln(w, `{"ok":true}`)
+	}))
+	t.Cleanup(backend.Close)
+	g := newTestGateway(t, Config{Backends: []string{backend.URL}})
+
+	body := "hypergraph 3 1\n0 1 2\n"
+	req := httptest.NewRequest(http.MethodPost, "/v1/reduce?k=2", strings.NewReader(body))
+	req.Header.Set("Authorization", "Bearer tok")
+	req.Header.Set("Accept", "application/json")
+	req.Header.Set("X-Custom-Conn", "dropme")
+	req.Header.Set("Connection", "X-Custom-Conn")
+	req.Header.Set(HeaderInstanceKey, strings.Repeat("a", 64)) // forged
+	rec := httptest.NewRecorder()
+	g.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body)
+	}
+
+	got, _ := seen.Load().(http.Header)
+	if got == nil {
+		t.Fatal("backend never saw the request")
+	}
+	if got.Get("Authorization") != "Bearer tok" || got.Get("Accept") != "application/json" {
+		t.Fatalf("end-to-end headers dropped: %v", got)
+	}
+	if got.Get("X-Custom-Conn") != "" || got.Get("Connection") != "" {
+		t.Fatalf("hop-by-hop headers forwarded: %v", got)
+	}
+	wantKey := solver.InstanceKey(solver.KindHypergraph, graphio.FormatAuto.String(), []byte(body))
+	if got.Get(HeaderInstanceKey) != wantKey {
+		t.Fatalf("instance key %q reached the backend, want the gateway's %q", got.Get(HeaderInstanceKey), wantKey)
+	}
+}

@@ -18,6 +18,8 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/textproto"
+	"slices"
 	"sort"
 	"strings"
 	"sync"
@@ -150,15 +152,51 @@ func (g *Gateway) Ring() *Ring { return g.ring }
 // goroutine next to the HTTP server).
 func (g *Gateway) Run(ctx context.Context) { g.hlth.run(ctx) }
 
-// ServeHTTP implements http.Handler.
+// ServeHTTP implements http.Handler. Requests no pattern matches stay
+// with the mux's own fallback — which distinguishes unknown paths (404)
+// from known paths hit with the wrong method (405 + Allow) — through a
+// rewriting writer that turns its plain-text body into the gateway's
+// JSON error envelope.
 func (g *Gateway) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	g.requests.Add(1)
 	if _, pattern := g.mux.Handler(r); pattern == "" {
 		g.failures.Add(1)
-		g.writeError(w, http.StatusNotFound, fmt.Errorf("no route for %s %s", r.Method, r.URL.Path))
+		g.mux.ServeHTTP(&jsonErrorRewriter{w: w}, r)
 		return
 	}
 	g.mux.ServeHTTP(w, r)
+}
+
+// jsonErrorRewriter wraps a ResponseWriter so the ServeMux's built-in
+// plain-text 404/405 bodies come out as the JSON error envelope,
+// preserving the status and the 405's Allow header (same shape as
+// cfserve's fallback rewriting, so gateway and backend errors match).
+type jsonErrorRewriter struct {
+	w     http.ResponseWriter
+	wrote bool
+}
+
+func (j *jsonErrorRewriter) Header() http.Header { return j.w.Header() }
+
+func (j *jsonErrorRewriter) WriteHeader(status int) {
+	j.w.Header().Set("Content-Type", "application/json")
+	j.w.WriteHeader(status)
+}
+
+func (j *jsonErrorRewriter) Write(p []byte) (int, error) {
+	if !j.wrote {
+		j.wrote = true
+		body, err := json.Marshal(map[string]string{"error": strings.TrimSpace(string(p))})
+		if err != nil {
+			return 0, err
+		}
+		if _, err := j.w.Write(append(body, '\n')); err != nil {
+			return 0, err
+		}
+	}
+	// Report the caller's bytes as consumed either way: the envelope
+	// replaces the text body rather than appending to it.
+	return len(p), nil
 }
 
 // writeError emits the service's JSON error envelope.
@@ -213,12 +251,9 @@ func (g *Gateway) solveHandler(kind string, withKey bool) http.HandlerFunc {
 			return
 		}
 		key := solver.InstanceKey(kind, format.String(), body)
-		hdr := http.Header{}
-		if ct := r.Header.Get("Content-Type"); ct != "" {
-			hdr.Set("Content-Type", ct)
-		}
+		var hdr http.Header
 		if withKey {
-			hdr.Set(HeaderInstanceKey, key)
+			hdr = http.Header{HeaderInstanceKey: {key}}
 		}
 		plan := g.bal.plan(key, g.cfg.Policy)
 		attempts := g.cfg.Retries + 1
@@ -242,10 +277,51 @@ func (g *Gateway) handleJobByID(w http.ResponseWriter, r *http.Request) {
 	g.forward(w, r, plan, nil, nil, notFound)
 }
 
+// hopByHop are the connection-scoped request headers a proxy must not
+// forward (RFC 9110 §7.6.1); Host and Content-Length belong to the
+// transport, and the instance-key header is the gateway's to set — a
+// client-supplied copy is untrusted and stripped.
+var hopByHop = map[string]bool{
+	"Connection":          true,
+	"Keep-Alive":          true,
+	"Proxy-Authenticate":  true,
+	"Proxy-Authorization": true,
+	"Te":                  true,
+	"Trailer":             true,
+	"Transfer-Encoding":   true,
+	"Upgrade":             true,
+	"Host":                true,
+	"Content-Length":      true,
+	HeaderInstanceKey:     true,
+}
+
+// copyClientHeaders forwards the client's request headers onto the
+// outbound request, dropping hop-by-hop headers (including any named by
+// Connection) so end-to-end metadata — Accept, Last-Event-ID on SSE
+// reconnects, auth headers a deployment adds — survives the proxy hop.
+func copyClientHeaders(dst, src http.Header) {
+	var connDrop []string
+	for _, v := range src.Values("Connection") {
+		for _, name := range strings.Split(v, ",") {
+			if name = strings.TrimSpace(name); name != "" {
+				connDrop = append(connDrop, textproto.CanonicalMIMEHeaderKey(name))
+			}
+		}
+	}
+	for k, vs := range src {
+		if hopByHop[k] || slices.Contains(connDrop, k) {
+			continue
+		}
+		dst[k] = append([]string(nil), vs...)
+	}
+}
+
 // forward walks the attempt plan: transport failures eject passively
 // and move on, retryable statuses reroute, 404s reroute when skipNext
 // says so, and the first real answer streams back to the client tagged
 // with its backend. A nil body means "no body to resend" (GET/DELETE).
+// The client's end-to-end headers ride along on every attempt, with hdr
+// overlaid on top (the gateway-owned instance key).
 func (g *Gateway) forward(w http.ResponseWriter, r *http.Request, plan []string, hdr http.Header, body []byte, skipNext func(*http.Response) bool) {
 	if len(plan) == 0 {
 		g.failures.Add(1)
@@ -283,6 +359,7 @@ func (g *Gateway) forward(w http.ResponseWriter, r *http.Request, plan []string,
 			g.writeError(w, http.StatusInternalServerError, err)
 			return
 		}
+		copyClientHeaders(req.Header, r.Header)
 		for k, vs := range hdr {
 			req.Header[k] = vs
 		}

@@ -133,6 +133,41 @@ func TestKeyedReaderRejectsCrossKindKeys(t *testing.T) {
 	}
 }
 
+func TestKeyedReaderForgedKeyDoesNotPoisonCache(t *testing.T) {
+	// Present body B under key(A): the forged key must not become B's
+	// cache key, or a later honest request for A would silently be served
+	// instance B.
+	_, bodyA := testInstance(t, 13)
+	_, bodyB := testInstance(t, 14)
+	keyA := InstanceKey(KindHypergraph, graphio.FormatAuto.String(), bodyA)
+	keyB := InstanceKey(KindHypergraph, graphio.FormatAuto.String(), bodyB)
+	if keyA == keyB {
+		t.Fatal("test instances collided")
+	}
+	sv := New(WithK(2), WithCache(4))
+
+	_, inst, err := sv.SolveReaderKeyed(context.Background(), bytes.NewReader(bodyB), graphio.FormatAuto, keyA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inst.CacheHit || inst.Key != keyB {
+		t.Fatalf("forged key: hit=%t key=%s, want a miss keyed by the body hash %s", inst.CacheHit, inst.Key, keyB)
+	}
+
+	// An honest request for A must miss (nothing legitimate cached it),
+	// not hit B's instance under A's key.
+	_, instA, err := sv.SolveReaderKeyed(context.Background(), bytes.NewReader(bodyA), graphio.FormatAuto, keyA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if instA.CacheHit {
+		t.Fatal("honest request hit an entry it never inserted: the forged key poisoned the cache")
+	}
+	if instA.Key != keyA {
+		t.Fatalf("honest request keyed as %s, want %s", instA.Key, keyA)
+	}
+}
+
 func TestKeyedReaderCacheless(t *testing.T) {
 	// Without a cache the key is ignored entirely and the body streams.
 	_, body := testInstance(t, 11)

@@ -575,10 +575,16 @@ func kindMatches(kind string, v any) bool {
 // hit path allocates nothing. Without a cache the reader streams straight
 // into graphio and Instance.Key stays empty — no buffering, no hashing.
 //
-// A valid presetKey replaces the hash: a cache hit drains r without
-// buffering it, a miss reads and parses the body and caches it under the
-// preset key as-is. A preset key resolving to the wrong substrate is
-// ignored and the request falls back to the hashing flow.
+// A valid presetKey shortcuts only on a cache hit: the body is drained
+// without buffering or hashing and the entry's canonical key is
+// borrowed. On a miss (or a wrong-substrate entry) the request falls
+// through to the hashing flow — the preset key is never used as a cache
+// write key, because caching a body under a caller-supplied key without
+// verifying they match would let one forged request (body A sent with
+// key(B)) poison the cache for every later honest request for B. An
+// honest gateway's preset key equals the computed hash, so the entry
+// still lands under the forwarded key; a forged key merely costs its
+// sender the sha256 it tried to skip.
 func (s *Solver) readInstance(r io.Reader, f graphio.Format, kind string, inst *Instance, presetKey string,
 	parse func(io.Reader, graphio.Format) (any, error),
 	dims func(any) (int, int)) (any, error) {
@@ -593,35 +599,17 @@ func (s *Solver) readInstance(r io.Reader, f graphio.Format, kind string, inst *
 		return v, nil
 	}
 	if presetKey != "" && validInstanceKey(presetKey) {
-		if cached, ok := s.cache.get(presetKey); ok {
-			if kindMatches(kind, cached) {
-				// The body is never parsed; drain it so the connection
-				// stays reusable.
-				if _, err := io.Copy(io.Discard, r); err != nil {
-					return nil, fmt.Errorf("%w: %w", ErrReadInstance, err)
-				}
-				inst.Key = presetKey
-				inst.CacheHit = true
-				inst.N, inst.M = dims(cached)
-				inst.value = cached
-				return cached, nil
-			}
-		} else {
-			sc := grabServeScratch()
-			defer releaseServeScratch(sc)
-			body, err := sc.readAll(r)
-			if err != nil {
+		if cached, ok := s.cache.get(presetKey); ok && kindMatches(kind, cached) {
+			// The body is never parsed; drain it so the connection
+			// stays reusable.
+			if _, err := io.Copy(io.Discard, r); err != nil {
 				return nil, fmt.Errorf("%w: %w", ErrReadInstance, err)
 			}
 			inst.Key = presetKey
-			v, err := parse(bytes.NewReader(body), f)
-			if err != nil {
-				return nil, err
-			}
-			s.cache.put(presetKey, v)
-			inst.N, inst.M = dims(v)
-			inst.value = v
-			return v, nil
+			inst.CacheHit = true
+			inst.N, inst.M = dims(cached)
+			inst.value = cached
+			return cached, nil
 		}
 	}
 	sc := grabServeScratch()
