@@ -12,6 +12,13 @@
 //	GET /healthz   gateway liveness
 //	GET /readyz    ready when at least one backend is admitted
 //	GET /statz     routing policy, per-backend health/in-flight/proxied
+//	GET /metrics   Prometheus exposition: request/reroute/failure counters,
+//	               per-backend proxy latency, retries, health and ejections
+//
+// Every request carries an X-Pslocal-Request-Id — the client's when
+// valid, minted here otherwise — forwarded on every proxy attempt and
+// echoed on the response; proxied requests at or above -slow-ms log a
+// structured warning.
 //
 // Backends are probed on -probe-interval at -probe-path (cfserve's
 // /readyz, which a draining node answers 503): -fail-after consecutive
@@ -36,7 +43,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -96,8 +103,12 @@ func run() error {
 		probeTimeout  = flag.Duration("probe-timeout", 0, "probe request timeout (0 = the interval)")
 		probePath     = flag.String("probe-path", "/readyz", "probed backend endpoint")
 		failAfter     = flag.Int("fail-after", 3, "consecutive probe/transport failures that eject a backend")
+		slowMS        = flag.Int64("slow-ms", 1000,
+			"log a structured warning for proxied requests at or above this many milliseconds (0 = disabled)")
 	)
 	flag.Parse()
+
+	logger := slog.New(slog.NewTextHandler(os.Stderr, nil)).With("component", "cfgate")
 
 	backends, err := resolveBackends(*backendsCSV, *backendsFile)
 	if err != nil {
@@ -116,6 +127,8 @@ func run() error {
 			FailAfter: *failAfter,
 			Path:      *probePath,
 		},
+		Logger:        logger,
+		SlowThreshold: time.Duration(*slowMS) * time.Millisecond,
 	})
 	if err != nil {
 		return err
@@ -131,8 +144,10 @@ func run() error {
 	}
 	errc := make(chan error, 1)
 	go func() {
-		log.Printf("cfgate: listening on %s, policy %s, %d backends: %s",
-			*addr, *policy, len(backends), strings.Join(backends, " "))
+		logger.Info("listening",
+			"addr", *addr,
+			"policy", *policy,
+			"backends", strings.Join(backends, " "))
 		errc <- httpServer.ListenAndServe()
 	}()
 
@@ -142,7 +157,7 @@ func run() error {
 	case err := <-errc:
 		return err
 	case sig := <-stop:
-		log.Printf("cfgate: %v, shutting down", sig)
+		logger.Info("shutting down on signal", "signal", sig.String())
 		sctx, scancel := context.WithTimeout(context.Background(), 15*time.Second)
 		defer scancel()
 		if err := httpServer.Shutdown(sctx); err != nil && !errors.Is(err, http.ErrServerClosed) {

@@ -102,6 +102,7 @@ func (s *server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 		Deadline:   time.Duration(deadlineMS) * time.Millisecond,
 		MaxRetries: maxRetries,
 		Label:      q.Get("label"),
+		RequestID:  r.Header.Get(pslocal.RequestIDHeader),
 	})
 	if err != nil {
 		s.failJob(w, err)
@@ -111,7 +112,7 @@ func (s *server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 	if !accepted { // idempotent resubmission: report the existing job
 		status = http.StatusOK
 	}
-	s.latency.jobsSubmit.observe(time.Since(started))
+	s.met.jobsSubmit.Observe(time.Since(started))
 	s.writeJSON(w, status, jobEnvelope(info))
 }
 

@@ -459,7 +459,7 @@ func TestStatzMergesJobCounters(t *testing.T) {
 // envelope, not net/http's plain text.
 func TestNotFoundAndMethodNotAllowedAreJSON(t *testing.T) {
 	s, ts := newTestServer(t)
-	failuresBefore := s.failures.Load()
+	failuresBefore := s.met.failures.Value()
 	for _, tc := range []struct {
 		name, method, path string
 		wantStatus         int
@@ -497,7 +497,7 @@ func TestNotFoundAndMethodNotAllowedAreJSON(t *testing.T) {
 			}
 		})
 	}
-	if got := s.failures.Load(); got != failuresBefore+4 {
+	if got := s.met.failures.Value(); got != failuresBefore+4 {
 		t.Errorf("failures counter advanced by %d, want 4", got-failuresBefore)
 	}
 }

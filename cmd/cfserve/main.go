@@ -20,6 +20,13 @@
 //	GET    /readyz          readiness (503 while draining — what cfgate probes)
 //	POST   /drainz          start a graceful drain: stop admitting, finish running jobs
 //	GET    /statz           request/cache/inflight/job counters as JSON
+//	GET    /metrics         the same counters as a Prometheus text exposition
+//	GET    /v1/traces       recent solve traces newest-first, ?limit=N (ring sized by -trace-ring)
+//
+// Observability: ?trace=1 on the solve endpoints embeds the per-phase
+// span tree in the response; every response echoes (or mints) an
+// X-Pslocal-Request-Id correlation id, also stamped on traces and job
+// metadata; requests at or above -slow-ms log a structured warning.
 //
 // With -jobs-dir set, jobs persist their results there as graphio result
 // documents named by the job's content hash; on restart the directory is
@@ -57,7 +64,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
 	"net/http/pprof"
 	"os"
@@ -91,8 +98,14 @@ func run() error {
 			"bound on finishing in-flight requests and running jobs at shutdown")
 		drainGrace = flag.Duration("drain-grace", 2*time.Second,
 			"how long SIGTERM keeps the listener open after flipping /readyz to 503, so a probing gateway ejects the node before connections refuse (0 = close immediately; skipped when nothing probes /readyz)")
+		slowMS = flag.Int64("slow-ms", 1000,
+			"log a structured warning for requests at or above this many milliseconds (0 = disabled)")
+		traceRing = flag.Int("trace-ring", 128,
+			"how many finished solve traces GET /v1/traces retains")
 	)
 	flag.Parse()
+
+	logger := slog.New(slog.NewTextHandler(os.Stderr, nil)).With("component", "cfserve")
 
 	if *pprofAddr != "" {
 		// Profiling gets its own mux on its own listener: the service mux
@@ -105,9 +118,9 @@ func run() error {
 			mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 			mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 			mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-			log.Printf("cfserve: pprof on http://%s/debug/pprof/", *pprofAddr)
+			logger.Info("pprof listening", "url", "http://"+*pprofAddr+"/debug/pprof/")
 			if err := http.ListenAndServe(*pprofAddr, mux); err != nil {
-				log.Printf("cfserve: pprof server: %v", err)
+				logger.Error("pprof server failed", "err", err)
 			}
 		}()
 	}
@@ -121,6 +134,9 @@ func run() error {
 		jobsDir:      *jobsDir,
 		jobWorkers:   *jobWorkers,
 		jobQueueCap:  *jobQueue,
+		slow:         time.Duration(*slowMS) * time.Millisecond,
+		traceRing:    *traceRing,
+		logger:       logger,
 	})
 	if err != nil {
 		return err
@@ -138,7 +154,10 @@ func run() error {
 		if store == "" {
 			store = "in-memory"
 		}
-		log.Printf("cfserve: listening on %s (POST /v1/reduce, POST /v1/maxis, /v1/jobs..., GET /healthz, GET /statz; job store %s)", *addr, store)
+		logger.Info("listening",
+			"addr", *addr,
+			"endpoints", "POST /v1/reduce, POST /v1/maxis, /v1/jobs..., GET /metrics, GET /v1/traces, GET /healthz, GET /statz",
+			"job_store", store)
 		errc <- httpServer.ListenAndServe()
 	}()
 
@@ -153,7 +172,7 @@ func run() error {
 		// HTTP requests, then wait for running and queued jobs — all
 		// under one deadline. The deferred Close cancels whatever the
 		// deadline cut off.
-		log.Printf("cfserve: %v, draining (timeout %s)", sig, *drainTimeout)
+		logger.Info("draining on signal", "signal", sig.String(), "timeout", drainTimeout.String())
 		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 		defer cancel()
 		s.draining.Store(true)
@@ -174,9 +193,9 @@ func run() error {
 			return err
 		}
 		if err := s.Drain(ctx); err != nil {
-			log.Printf("cfserve: drain incomplete: %v (remaining jobs cancel)", err)
+			logger.Warn("drain incomplete, remaining jobs cancel", "err", err)
 		} else {
-			log.Printf("cfserve: drained, exiting")
+			logger.Info("drained, exiting")
 		}
 		return nil
 	}

@@ -24,6 +24,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"strconv"
 	"strings"
@@ -83,6 +84,12 @@ type config struct {
 	jobWorkers int
 	// jobQueueCap bounds the job queue across lanes; < 1 selects 1024.
 	jobQueueCap int
+	// slow is the slow-request log threshold; 0 disables slow logging.
+	slow time.Duration
+	// traceRing bounds the retained trace snapshots; < 1 selects 128.
+	traceRing int
+	// logger receives structured request logs; nil selects slog.Default.
+	logger *slog.Logger
 }
 
 // server is the HTTP handler plus its shared state.
@@ -113,12 +120,12 @@ type server struct {
 	drainEjectedOnce sync.Once
 	drainProbes      atomic.Int64
 
-	requests atomic.Uint64 // all requests, any endpoint
-	reduces  atomic.Uint64 // successful /v1/reduce responses
-	solves   atomic.Uint64 // successful /v1/maxis responses
-	failures atomic.Uint64 // 4xx/5xx responses
-	canceled atomic.Uint64 // requests abandoned by the client mid-solve
-	latency  latencyTracks // per-endpoint and per-cache-disposition histograms
+	// met is the metrics surface shared by GET /metrics and /statz;
+	// traces is the ring GET /v1/traces serves (job runs push into the
+	// same ring through the manager).
+	met    *serverMetrics
+	traces *pslocal.TraceRing
+	logger *slog.Logger
 }
 
 // newServer wires the routes, resolves config defaults, and builds the
@@ -137,6 +144,9 @@ func newServer(cfg config) (*server, error) {
 	if cfg.maxBodyBytes <= 0 {
 		cfg.maxBodyBytes = 64 << 20
 	}
+	if cfg.logger == nil {
+		cfg.logger = slog.Default()
+	}
 	s := &server{
 		cfg:          cfg,
 		drainEjected: make(chan struct{}),
@@ -145,19 +155,23 @@ func newServer(cfg config) (*server, error) {
 			pslocal.WithMaxInflight(cfg.maxInflight),
 			pslocal.WithSeed(cfg.seed),
 		),
-		mux:   http.NewServeMux(),
-		start: time.Now(),
+		mux:    http.NewServeMux(),
+		start:  time.Now(),
+		traces: pslocal.NewTraceRing(cfg.traceRing),
+		logger: cfg.logger,
 	}
 	jm, err := pslocal.NewJobManager(pslocal.JobConfig{
 		Solver:   s.solver, // jobs share the instance cache and admission gate
 		Dir:      cfg.jobsDir,
 		Workers:  cfg.jobWorkers,
 		QueueCap: cfg.jobQueueCap,
+		Traces:   s.traces, // job runs publish into the same trace ring
 	})
 	if err != nil {
 		return nil, err
 	}
 	s.jobs = jm
+	s.met = newServerMetrics(s.solver, s.jobs)
 	s.mux.HandleFunc("POST /v1/reduce", s.handleReduce)
 	s.mux.HandleFunc("POST /v1/maxis", s.handleMaxIS)
 	s.mux.HandleFunc("POST /v1/jobs", s.handleJobSubmit)
@@ -165,10 +179,12 @@ func newServer(cfg config) (*server, error) {
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleJobEvents)
+	s.mux.HandleFunc("GET /v1/traces", s.handleTraces)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 	s.mux.HandleFunc("POST /drainz", s.handleDrainz)
 	s.mux.HandleFunc("GET /statz", s.handleStatz)
+	s.mux.Handle("GET /metrics", s.met.reg.Handler())
 	return s, nil
 }
 
@@ -196,14 +212,20 @@ func (s *server) Close() {
 	s.jobs.Close()
 }
 
-// ServeHTTP implements http.Handler. Requests no route matches — 404s
-// and wrong-method 405s — go through a rewriting writer that turns the
-// mux's plain-text error into the same JSON envelope every other error
-// response uses.
+// ServeHTTP implements http.Handler. Every request gets a request id —
+// a valid caller-supplied X-Pslocal-Request-Id survives (cfgate mints
+// one when the client had none), anything else is replaced — echoed on
+// the response and readable by handlers from r.Header. Requests no
+// route matches — 404s and wrong-method 405s — go through a rewriting
+// writer that turns the mux's plain-text error into the same JSON
+// envelope every other error response uses.
 func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	s.requests.Add(1)
+	s.met.requests.Inc()
+	rid := pslocal.EnsureRequestID(r.Header.Get(pslocal.RequestIDHeader))
+	r.Header.Set(pslocal.RequestIDHeader, rid)
+	w.Header().Set(pslocal.RequestIDHeader, rid)
 	if _, pattern := s.mux.Handler(r); pattern == "" {
-		s.failures.Add(1)
+		s.met.failures.Inc()
 		s.mux.ServeHTTP(&jsonErrorRewriter{w: w}, r)
 		return
 	}
@@ -283,6 +305,9 @@ type reduceResponse struct {
 	Verified  bool            `json:"verified"`
 	ElapsedMS float64         `json:"elapsed_ms"`
 	Result    json.RawMessage `json:"result"`
+	// Trace is the per-phase span tree, embedded when the request asked
+	// for it with ?trace=1.
+	Trace *pslocal.TraceSnapshot `json:"trace,omitempty"`
 }
 
 // refuseDraining rejects new work on a draining server with 503 and a
@@ -337,15 +362,21 @@ func (s *server) handleReduce(w http.ResponseWriter, r *http.Request) {
 		pslocal.WithOracle(oracleName),
 	)
 	started := time.Now()
+	// Every solve runs under a pooled trace: the snapshot lands in the
+	// /v1/traces ring whether the solve succeeds or fails, and ?trace=1
+	// embeds it in the response.
+	tr := grabTrace("reduce", r.Header.Get(pslocal.RequestIDHeader))
+	ctx := pslocal.ContextWithTrace(r.Context(), tr)
 	// Admission (the shared gate) happens inside SolveReaderKeyed before
 	// the body is even read: parsing and CSR construction are exactly
 	// the costs the gate exists to bound. A gateway-supplied instance
 	// key (X-Pslocal-Instance-Key) skips re-hashing the body; requests
 	// without one hash as before.
-	res, inst, err := sv.SolveReaderKeyed(r.Context(),
+	res, inst, err := sv.SolveReaderKeyed(ctx,
 		http.MaxBytesReader(w, r.Body, s.cfg.maxBodyBytes), format,
 		r.Header.Get(pslocal.HeaderInstanceKey))
 	if err != nil {
+		s.finishTrace(tr)
 		s.failSolve(w, err)
 		return
 	}
@@ -361,19 +392,42 @@ func (s *server) handleReduce(w http.ResponseWriter, r *http.Request) {
 	docBuf := grabEncodeBuf()
 	defer releaseEncodeBuf(docBuf)
 	if err := pslocal.WriteResult(&docBuf.buf, res); err != nil {
+		s.finishTrace(tr)
 		s.fail(w, http.StatusInternalServerError, err)
 		return
 	}
-	s.reduces.Add(1)
-	s.latency.observeSolve(&s.latency.reduce, time.Since(started), inst.CacheHit)
-	s.writeJSON(w, http.StatusOK, reduceResponse{
+	snap := s.finishTrace(tr)
+	elapsed := time.Since(started)
+	s.met.reduces.Inc()
+	s.met.observeSolve(s.met.reduce, elapsed, inst.CacheHit)
+	s.logSlow(r, "reduce", elapsed)
+	resp := reduceResponse{
 		Instance:  describe(inst),
 		Oracle:    oracleName,
 		Workers:   workers,
 		Verified:  verified,
 		ElapsedMS: msSince(started),
 		Result:    json.RawMessage(docBuf.buf.Bytes()),
-	})
+	}
+	if wantTrace(q.Get("trace")) {
+		resp.Trace = snap
+	}
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+// wantTrace interprets the ?trace= query parameter.
+func wantTrace(v string) bool { return v == "1" || v == "true" }
+
+// logSlow emits a structured warning for requests at or above the
+// -slow-ms threshold (0 disables).
+func (s *server) logSlow(r *http.Request, endpoint string, d time.Duration) {
+	if s.cfg.slow <= 0 || d < s.cfg.slow {
+		return
+	}
+	s.logger.Warn("slow request",
+		"endpoint", endpoint,
+		"dur_ms", float64(d.Microseconds())/1000,
+		"request_id", r.Header.Get(pslocal.RequestIDHeader))
 }
 
 // maxisResponse is the /v1/maxis response body. Locality is present only
@@ -390,6 +444,9 @@ type maxisResponse struct {
 	Locality       int          `json:"locality,omitempty"`
 	RadiusBound    int          `json:"radius_bound,omitempty"`
 	ElapsedMS      float64      `json:"elapsed_ms"`
+	// Trace is the per-phase span tree, embedded when the request asked
+	// for it with ?trace=1.
+	Trace *pslocal.TraceSnapshot `json:"trace,omitempty"`
 }
 
 // handleMaxIS solves MaxIS on the posted graph, either through a registry
@@ -446,13 +503,18 @@ func (s *server) handleMaxIS(w http.ResponseWriter, r *http.Request) {
 
 	sv := s.solver.With(opts...)
 	started := time.Now()
-	res, inst, err := sv.MaxISReaderKeyed(r.Context(),
+	tr := grabTrace("maxis", r.Header.Get(pslocal.RequestIDHeader))
+	ctx := pslocal.ContextWithTrace(r.Context(), tr)
+	res, inst, err := sv.MaxISReaderKeyed(ctx,
 		http.MaxBytesReader(w, r.Body, s.cfg.maxBodyBytes), format,
 		r.Header.Get(pslocal.HeaderInstanceKey))
 	if err != nil {
+		s.finishTrace(tr)
 		s.failSolve(w, err)
 		return
 	}
+	snap := s.finishTrace(tr)
+	elapsed := time.Since(started)
 	resp := maxisResponse{
 		Instance:       describe(inst),
 		Algorithm:      algorithm,
@@ -468,8 +530,12 @@ func (s *server) handleMaxIS(w http.ResponseWriter, r *http.Request) {
 	if g := inst.Graph(); g != nil {
 		resp.Verified = pslocal.VerifyIndependentSet(g, res.Set) == nil
 	}
-	s.solves.Add(1)
-	s.latency.observeSolve(&s.latency.maxis, time.Since(started), inst.CacheHit)
+	if wantTrace(q.Get("trace")) {
+		resp.Trace = snap
+	}
+	s.met.solves.Inc()
+	s.met.observeSolve(s.met.maxis, elapsed, inst.CacheHit)
+	s.logSlow(r, "maxis", elapsed)
 	s.writeJSON(w, http.StatusOK, resp)
 }
 
@@ -548,7 +614,7 @@ type statzResponse struct {
 	// Latency carries per-track response-latency histograms: reduce,
 	// maxis, jobs_submit, and the solve samples split into cache_hit /
 	// cache_miss (cold parse+CSR vs hot instance-cache path).
-	Latency map[string]latencySnapshot `json:"latency"`
+	Latency map[string]pslocal.MetricsHistSnapshot `json:"latency"`
 }
 
 // handleStatz reports the service counters, the Solver's cache and
@@ -559,17 +625,17 @@ func (s *server) handleStatz(w http.ResponseWriter, _ *http.Request) {
 		UptimeS:     time.Since(s.start).Seconds(),
 		Ready:       !draining,
 		Draining:    draining,
-		Requests:    s.requests.Load(),
-		Reduces:     s.reduces.Load(),
-		Solves:      s.solves.Load(),
-		Failures:    s.failures.Load(),
-		Canceled:    s.canceled.Load(),
+		Requests:    s.met.requests.Value(),
+		Reduces:     s.met.reduces.Value(),
+		Solves:      s.met.solves.Value(),
+		Failures:    s.met.failures.Value(),
+		Canceled:    s.met.canceled.Value(),
 		Inflight:    s.solver.InFlight(),
 		MaxInflight: s.solver.MaxInFlight(),
 		MaxWorkers:  s.cfg.maxWorkers,
 		Cache:       s.solver.CacheStats(),
 		Jobs:        s.jobs.Stats(),
-		Latency:     s.latency.snapshot(),
+		Latency:     s.met.latencySnapshot(),
 	})
 }
 
@@ -612,14 +678,14 @@ func (s *server) failSolve(w http.ResponseWriter, err error) {
 
 // fail writes a JSON error response and counts the failure.
 func (s *server) fail(w http.ResponseWriter, status int, err error) {
-	s.failures.Add(1)
+	s.met.failures.Inc()
 	s.writeJSON(w, status, map[string]string{"error": err.Error()})
 }
 
 // abandon records a request whose client went away mid-solve; nothing is
 // written because nobody is listening.
 func (s *server) abandon(error) {
-	s.canceled.Add(1)
+	s.met.canceled.Inc()
 }
 
 // writeJSON encodes v into a pooled buffer and writes it with the given
@@ -629,7 +695,7 @@ func (s *server) writeJSON(w http.ResponseWriter, status int, v any) {
 	e := grabEncodeBuf()
 	defer releaseEncodeBuf(e)
 	if err := e.enc.Encode(v); err != nil {
-		s.failures.Add(1)
+		s.met.failures.Inc()
 		http.Error(w, `{"error":"response encoding failed"}`, http.StatusInternalServerError)
 		return
 	}

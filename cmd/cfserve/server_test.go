@@ -306,13 +306,13 @@ func TestCancellationMidReduction(t *testing.T) {
 	}
 
 	deadline := time.Now().Add(5 * time.Second)
-	for s.canceled.Load() == 0 {
+	for s.met.canceled.Value() == 0 {
 		if time.Now().After(deadline) {
 			t.Fatal("server never recorded the cancelled request")
 		}
 		time.Sleep(5 * time.Millisecond)
 	}
-	if s.reduces.Load() != 0 {
+	if s.met.reduces.Value() != 0 {
 		t.Errorf("cancelled request counted as a successful reduce")
 	}
 }

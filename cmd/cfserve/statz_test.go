@@ -143,46 +143,3 @@ func TestStatzMaxISLatencyTrack(t *testing.T) {
 		t.Fatalf("maxis cold solve missing from cache_miss: %+v", st.Latency)
 	}
 }
-
-func TestLatencyHistQuantiles(t *testing.T) {
-	var h latencyHist
-	if snap := h.snapshot(); snap.Count != 0 || snap.P99MS != 0 || snap.MaxMS != 0 {
-		t.Fatalf("empty histogram snapshot not zero: %+v", snap)
-	}
-	// 90 samples at ~1ms, 10 at ~100ms: p50 lands in the 1ms bucket's
-	// range, p99 in the 100ms bucket's, max is exact.
-	for i := 0; i < 90; i++ {
-		h.observe(time.Millisecond)
-	}
-	for i := 0; i < 10; i++ {
-		h.observe(100 * time.Millisecond)
-	}
-	snap := h.snapshot()
-	if snap.Count != 100 {
-		t.Fatalf("count = %d", snap.Count)
-	}
-	if snap.MaxMS != 100 {
-		t.Fatalf("max = %v, want 100", snap.MaxMS)
-	}
-	if snap.P50MS < 1 || snap.P50MS > 4 {
-		t.Fatalf("p50 = %vms, want the ~1ms bucket bound", snap.P50MS)
-	}
-	if snap.P99MS < 100 || snap.P99MS > 400 {
-		t.Fatalf("p99 = %vms, want the ~100ms bucket bound", snap.P99MS)
-	}
-	if snap.MeanMS < 10 || snap.MeanMS > 12 {
-		t.Fatalf("mean = %vms, want ~10.9", snap.MeanMS)
-	}
-	if snap.P50MS > snap.P95MS || snap.P95MS > snap.P99MS || snap.P99MS > 400 {
-		t.Fatalf("quantiles not monotone: %+v", snap)
-	}
-}
-
-func TestLatencyHistZeroSample(t *testing.T) {
-	var h latencyHist
-	h.observe(0)
-	snap := h.snapshot()
-	if snap.Count != 1 || snap.P50MS != 0 || snap.MaxMS != 0 {
-		t.Fatalf("zero-duration sample mishandled: %+v", snap)
-	}
-}

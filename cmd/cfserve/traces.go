@@ -1,0 +1,53 @@
+package main
+
+// traces.go is the solve-tracing surface: every synchronous solve runs
+// under a pooled pslocal.Trace (job runs get theirs from the job
+// manager), finished traces land in a bounded ring served by
+// GET /v1/traces?limit=N, and ?trace=1 on /v1/reduce and /v1/maxis
+// embeds the span tree in the response. Traces are pooled because a
+// trace preallocates its whole span store — steady state reuses it
+// instead of paying the allocation per request.
+
+import (
+	"fmt"
+	"net/http"
+	"sync"
+
+	"pslocal"
+)
+
+var tracePool = sync.Pool{New: func() any { return pslocal.NewTrace("", "") }}
+
+// grabTrace leases a reset trace for one request.
+func grabTrace(op, requestID string) *pslocal.Trace {
+	tr := tracePool.Get().(*pslocal.Trace)
+	tr.Reset(op, requestID)
+	return tr
+}
+
+// finishTrace closes the trace, publishes its snapshot to the ring, and
+// returns the trace to the pool. The returned snapshot is safe to embed
+// in the response (snapshots are immutable copies).
+func (s *server) finishTrace(tr *pslocal.Trace) *pslocal.TraceSnapshot {
+	tr.Finish()
+	snap := tr.Snapshot()
+	s.traces.Push(snap)
+	tracePool.Put(tr)
+	return snap
+}
+
+// handleTraces serves the retained trace snapshots, newest first.
+// ?limit=N bounds the response (0 = everything retained).
+func (s *server) handleTraces(w http.ResponseWriter, r *http.Request) {
+	limit, err := intParam(r.URL.Query().Get("limit"), 0)
+	if err != nil || limit < 0 {
+		s.fail(w, http.StatusBadRequest, fmt.Errorf("bad limit parameter %q", r.URL.Query().Get("limit")))
+		return
+	}
+	snaps := s.traces.Snapshot(limit)
+	s.writeJSON(w, http.StatusOK, map[string]any{
+		"total":  s.traces.Total(),
+		"count":  len(snaps),
+		"traces": snaps,
+	})
+}

@@ -17,6 +17,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"net/textproto"
 	"slices"
@@ -27,6 +28,7 @@ import (
 	"time"
 
 	"pslocal/internal/graphio"
+	"pslocal/internal/obs"
 	"pslocal/internal/solver"
 )
 
@@ -63,6 +65,11 @@ type Config struct {
 	Probe ProbeConfig
 	// Transport overrides the proxy transport (tests; nil = default).
 	Transport http.RoundTripper
+	// Logger receives structured request logs (nil = slog.Default).
+	Logger *slog.Logger
+	// SlowThreshold is the proxied-request duration at which a
+	// structured warning is logged (0 disables slow logging).
+	SlowThreshold time.Duration
 }
 
 // Gateway routes requests across the configured backends. Construct
@@ -76,10 +83,11 @@ type Gateway struct {
 	client *http.Client
 	mux    *http.ServeMux
 	start  time.Time
+	logger *slog.Logger
 
-	requests atomic.Uint64
-	rerouted atomic.Uint64
-	failures atomic.Uint64
+	// met owns the request counters (shared by /statz and /metrics) and
+	// the per-backend proxy series. Built after the ring in New.
+	met *gatewayMetrics
 
 	proxiedMu sync.Mutex
 	proxied   map[string]*atomic.Uint64
@@ -115,6 +123,10 @@ func New(cfg Config) (*Gateway, error) {
 	ring := NewRing(backends, cfg.Replicas)
 	hlth := newHealth(ring.Backends(), cfg.Probe, cfg.Transport)
 	loads := newLoadTracker(ring.Backends())
+	logger := cfg.Logger
+	if logger == nil {
+		logger = slog.Default()
+	}
 	g := &Gateway{
 		cfg:    cfg,
 		ring:   ring,
@@ -124,6 +136,7 @@ func New(cfg Config) (*Gateway, error) {
 		client: &http.Client{Transport: cfg.Transport}, // no client timeout: solves are long; contexts bound them
 		mux:    http.NewServeMux(),
 		start:  time.Now(),
+		logger: logger,
 		proxied: func() map[string]*atomic.Uint64 {
 			m := make(map[string]*atomic.Uint64, len(backends))
 			for _, b := range backends {
@@ -132,6 +145,7 @@ func New(cfg Config) (*Gateway, error) {
 			return m
 		}(),
 	}
+	g.met = newGatewayMetrics(g)
 	g.mux.HandleFunc("POST /v1/reduce", g.solveHandler(solver.KindHypergraph, true))
 	g.mux.HandleFunc("POST /v1/maxis", g.solveHandler(solver.KindGraph, true))
 	g.mux.HandleFunc("POST /v1/jobs", g.solveHandler(solver.KindHypergraph, false))
@@ -142,6 +156,7 @@ func New(cfg Config) (*Gateway, error) {
 	g.mux.HandleFunc("GET /healthz", g.handleHealthz)
 	g.mux.HandleFunc("GET /readyz", g.handleReadyz)
 	g.mux.HandleFunc("GET /statz", g.handleStatz)
+	g.mux.Handle("GET /metrics", g.met.reg.Handler())
 	return g, nil
 }
 
@@ -158,9 +173,18 @@ func (g *Gateway) Run(ctx context.Context) { g.hlth.run(ctx) }
 // rewriting writer that turns its plain-text body into the gateway's
 // JSON error envelope.
 func (g *Gateway) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	g.requests.Add(1)
+	g.met.requests.Inc()
+	// Every request gets a correlation id here, at the cluster's edge: a
+	// valid caller-supplied X-Pslocal-Request-Id survives, anything else
+	// is replaced with a fresh one. Setting it on r.Header makes it ride
+	// every proxy attempt (it is end-to-end, not hop-by-hop), and the
+	// response echoes it whether a backend answers or the gateway
+	// synthesizes the error.
+	rid := obs.EnsureRequestID(r.Header.Get(obs.RequestIDHeader))
+	r.Header.Set(obs.RequestIDHeader, rid)
+	w.Header().Set(obs.RequestIDHeader, rid)
 	if _, pattern := g.mux.Handler(r); pattern == "" {
-		g.failures.Add(1)
+		g.met.failures.Inc()
 		g.mux.ServeHTTP(&jsonErrorRewriter{w: w}, r)
 		return
 	}
@@ -218,6 +242,36 @@ func (g *Gateway) markProxied(backend string) {
 	c.Add(1)
 }
 
+// observeAttempt records one upstream attempt's latency on the
+// backend's proxy-duration series.
+func (g *Gateway) observeAttempt(backend string, d time.Duration) {
+	if h, ok := g.met.proxy[backend]; ok {
+		h.Observe(d)
+	}
+}
+
+// countRetry counts an attempt the backend failed or declined (the
+// request moved to the next candidate, or ran out of them).
+func (g *Gateway) countRetry(backend string) {
+	if c, ok := g.met.retries[backend]; ok {
+		c.Inc()
+	}
+}
+
+// logSlow emits a structured warning for proxied requests at or above
+// the configured slow threshold (0 disables). backend is "" when no
+// candidate answered.
+func (g *Gateway) logSlow(r *http.Request, backend string, d time.Duration) {
+	if g.cfg.SlowThreshold <= 0 || d < g.cfg.SlowThreshold {
+		return
+	}
+	g.logger.Warn("slow proxied request",
+		"path", r.URL.Path,
+		"backend", backend,
+		"dur_ms", float64(d.Microseconds())/1000,
+		"request_id", r.Header.Get(obs.RequestIDHeader))
+}
+
 // retryableStatus reports a response worth rerouting: the backend is
 // shedding (queue full, draining) or the hop in front of it broke.
 func retryableStatus(code int) bool {
@@ -235,13 +289,13 @@ func (g *Gateway) solveHandler(kind string, withKey bool) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		format, err := graphio.ParseFormat(r.URL.Query().Get("format"))
 		if err != nil {
-			g.failures.Add(1)
+			g.met.failures.Inc()
 			g.writeError(w, http.StatusBadRequest, err)
 			return
 		}
 		body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, g.cfg.MaxBodyBytes))
 		if err != nil {
-			g.failures.Add(1)
+			g.met.failures.Inc()
 			var tooLarge *http.MaxBytesError
 			if errors.As(err, &tooLarge) {
 				g.writeError(w, http.StatusRequestEntityTooLarge, err)
@@ -324,11 +378,12 @@ func copyClientHeaders(dst, src http.Header) {
 // overlaid on top (the gateway-owned instance key).
 func (g *Gateway) forward(w http.ResponseWriter, r *http.Request, plan []string, hdr http.Header, body []byte, skipNext func(*http.Response) bool) {
 	if len(plan) == 0 {
-		g.failures.Add(1)
+		g.met.failures.Inc()
 		w.Header().Set("Retry-After", "1")
 		g.writeError(w, http.StatusServiceUnavailable, errors.New("cluster: no backends available"))
 		return
 	}
+	started := time.Now()
 	var lastStatus int
 	var lastResp *http.Response
 	closeLast := func() {
@@ -341,7 +396,7 @@ func (g *Gateway) forward(w http.ResponseWriter, r *http.Request, plan []string,
 	defer closeLast()
 	for i, backend := range plan {
 		if i > 0 {
-			g.rerouted.Add(1)
+			g.met.rerouted.Inc()
 		}
 		release := g.loads.acquire(backend)
 		var reqBody io.Reader
@@ -355,7 +410,7 @@ func (g *Gateway) forward(w http.ResponseWriter, r *http.Request, plan []string,
 		req, err := http.NewRequestWithContext(r.Context(), r.Method, target, reqBody)
 		if err != nil {
 			release()
-			g.failures.Add(1)
+			g.met.failures.Inc()
 			g.writeError(w, http.StatusInternalServerError, err)
 			return
 		}
@@ -363,15 +418,18 @@ func (g *Gateway) forward(w http.ResponseWriter, r *http.Request, plan []string,
 		for k, vs := range hdr {
 			req.Header[k] = vs
 		}
+		attemptStart := time.Now()
 		resp, err := g.client.Do(req)
+		g.observeAttempt(backend, time.Since(attemptStart))
 		if err != nil {
 			release()
 			// The client went away: not the backend's fault, stop here.
 			if r.Context().Err() != nil {
-				g.failures.Add(1)
+				g.met.failures.Inc()
 				return
 			}
 			g.hlth.reportFailure(backend)
+			g.countRetry(backend)
 			lastStatus = http.StatusBadGateway
 			continue
 		}
@@ -383,17 +441,20 @@ func (g *Gateway) forward(w http.ResponseWriter, r *http.Request, plan []string,
 			lastStatus = resp.StatusCode
 			lastResp = resp
 			release()
+			g.countRetry(backend)
 			continue
 		}
 		g.hlth.reportSuccess(backend)
 		g.markProxied(backend)
 		g.copyResponse(w, resp, backend)
 		release()
+		g.logSlow(r, backend, time.Since(started))
 		return
 	}
 	// Every candidate failed or declined. Relay the last declined
 	// response verbatim when there is one; otherwise synthesize.
-	g.failures.Add(1)
+	g.met.failures.Inc()
+	g.logSlow(r, "", time.Since(started))
 	if lastResp != nil {
 		resp := lastResp
 		lastResp = nil
@@ -516,7 +577,7 @@ func (g *Gateway) handleJobList(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	if answered == 0 {
-		g.failures.Add(1)
+		g.met.failures.Inc()
 		g.writeError(w, http.StatusBadGateway, errors.New("cluster: no backend answered the list"))
 		return
 	}
@@ -586,9 +647,9 @@ func (g *Gateway) Stats() GatewayStats {
 		Service:  "cfgate",
 		Policy:   g.cfg.Policy,
 		UptimeMS: float64(time.Since(g.start).Microseconds()) / 1000,
-		Requests: g.requests.Load(),
-		Rerouted: g.rerouted.Load(),
-		Failures: g.failures.Load(),
+		Requests: g.met.requests.Value(),
+		Rerouted: g.met.rerouted.Value(),
+		Failures: g.met.failures.Value(),
 		Backends: rows,
 	}
 }

@@ -21,6 +21,7 @@ import (
 	"pslocal/internal/engine"
 	"pslocal/internal/hypergraph"
 	"pslocal/internal/maxis"
+	"pslocal/internal/obs"
 )
 
 // ffScratchPool recycles FirstFitScratch buffers across Reduce calls, so
@@ -74,6 +75,10 @@ type Options struct {
 	// (the portfolio), so the per-phase solve fans out on the same pool;
 	// the zero value leaves a pre-configured oracle untouched.
 	Engine engine.Options
+	// OracleName labels phase spans on traced calls ("implicit", "exact",
+	// or the registry name behind Oracle). Informational only; it does not
+	// affect solving.
+	OracleName string
 }
 
 // PhaseStat records one phase of the reduction, the raw material of
@@ -168,6 +173,9 @@ func Reduce(ctx context.Context, h *hypergraph.Hypergraph, opts Options) (*Resul
 	cur := h
 	ff := ffScratchPool.Get().(*FirstFitScratch) // shared across phases (implicit mode)
 	defer ffScratchPool.Put(ff)
+	// Phase spans land under the request trace when one rides the context;
+	// a nil trace makes every span call a no-op.
+	tr := obs.TraceFrom(opts.Engine.Ctx)
 	for phase := 1; cur.M() > 0; phase++ {
 		if phase > maxPhases {
 			return nil, fmt.Errorf("%w: %d phases with %d edges left", ErrPhaseBudget, maxPhases, cur.M())
@@ -175,8 +183,12 @@ func Reduce(ctx context.Context, h *hypergraph.Hypergraph, opts Options) (*Resul
 		if err := opts.Engine.Err(); err != nil {
 			return nil, fmt.Errorf("core: phase %d: %w", phase, err)
 		}
+		sp := tr.Start("phase")
+		sp.SetPhase(phase)
+		sp.SetOracle(opts.OracleName)
 		ix, err := NewIndex(cur, opts.K)
 		if err != nil {
+			sp.End()
 			return nil, err
 		}
 		stat := PhaseStat{
@@ -185,8 +197,9 @@ func Reduce(ctx context.Context, h *hypergraph.Hypergraph, opts Options) (*Resul
 			ConflictNodes: ix.NumNodes(),
 			ConflictEdges: -1,
 		}
-		triples, conflictEdges, err := solvePhase(ix, opts, ff)
+		triples, conflictEdges, err := solvePhase(ix, opts, ff, sp)
 		if err != nil {
+			sp.End()
 			return nil, fmt.Errorf("core: phase %d: %w", phase, err)
 		}
 		stat.ConflictEdges = conflictEdges
@@ -196,9 +209,12 @@ func Reduce(ctx context.Context, h *hypergraph.Hypergraph, opts Options) (*Resul
 				stat.ISWeight += cur.Weight(t.Vertex)
 			}
 		}
+		sp.SetDims(stat.ConflictNodes, stat.ConflictEdges)
+		sp.SetIS(stat.ISSize, stat.ISWeight)
 
 		f, err := ISToColoring(ix, triples)
 		if err != nil {
+			sp.End()
 			return nil, fmt.Errorf("core: phase %d: %w", phase, err)
 		}
 		unhappy := cfcolor.UnhappyEdges(cur, f)
@@ -206,10 +222,12 @@ func Reduce(ctx context.Context, h *hypergraph.Hypergraph, opts Options) (*Resul
 		if stat.HappyRemoved < stat.ISSize {
 			// Lemma 2.1(b) guarantees >= |I| happy edges; anything less
 			// means the oracle or the mapping is broken.
+			sp.End()
 			return nil, fmt.Errorf("core: phase %d removed %d < |I| = %d edges, violating Lemma 2.1(b)",
 				phase, stat.HappyRemoved, stat.ISSize)
 		}
 		if stat.HappyRemoved == 0 {
+			sp.End()
 			return nil, fmt.Errorf("%w: phase %d", ErrNoProgress, phase)
 		}
 		// Commit the phase colouring with a fresh palette block.
@@ -224,6 +242,7 @@ func Reduce(ctx context.Context, h *hypergraph.Hypergraph, opts Options) (*Resul
 		}
 		res.Phases = append(res.Phases, stat)
 		cur, err = cur.KeepEdges(unhappy)
+		sp.End()
 		if err != nil {
 			return nil, fmt.Errorf("core: phase %d residual: %w", phase, err)
 		}
@@ -240,14 +259,20 @@ func Reduce(ctx context.Context, h *hypergraph.Hypergraph, opts Options) (*Resul
 // solvePhase produces the phase's independent set of triples and, when the
 // conflict graph was materialised, its edge count. The implicit mode reuses
 // ff's buffers across phases; its result is consumed within the phase.
-func solvePhase(ix *Index, opts Options, ff *FirstFitScratch) ([]Triple, int, error) {
+// Child spans (csr_build, oracle_solve) attach under the phase span.
+func solvePhase(ix *Index, opts Options, ff *FirstFitScratch, phaseSp obs.Span) ([]Triple, int, error) {
 	if opts.Mode == ModeImplicitFirstFit {
 		return ff.FirstFit(ix), -1, nil
 	}
+	build := phaseSp.Child("csr_build")
 	g, err := BuildOpts(ix, opts.Engine)
+	build.End()
 	if err != nil {
 		return nil, 0, err
 	}
+	build.SetDims(g.N(), g.M())
+	solve := phaseSp.Child("oracle_solve")
+	solve.SetOracle(opts.OracleName)
 	var ids []int32
 	switch opts.Mode {
 	case ModeExactHinted:
@@ -255,9 +280,11 @@ func solvePhase(ix *Index, opts Options, ff *FirstFitScratch) ([]Triple, int, er
 	case ModeOracle:
 		ids, err = maxis.OracleSolve(opts.Engine.Ctx, opts.Oracle, g)
 	}
+	solve.End()
 	if err != nil {
 		return nil, 0, err
 	}
+	solve.SetIS(len(ids), 0)
 	if !maxis.IsIndependentSet(g, ids) {
 		return nil, 0, ErrOracleNotIndependent
 	}

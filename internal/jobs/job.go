@@ -29,6 +29,7 @@ import (
 	"strings"
 	"time"
 
+	"pslocal/internal/obs"
 	"pslocal/internal/solver"
 )
 
@@ -212,6 +213,11 @@ type Request struct {
 	// Label is a free-form tag (cfbatch uses the file name); it is not
 	// part of the job id.
 	Label string
+	// RequestID is the observability correlation id of the submitting
+	// request (see obs.RequestIDHeader). Like Label it is not part of the
+	// job id: resubmitting the same body under a new request id must
+	// dedupe onto the existing job.
+	RequestID string
 }
 
 // id derives the job's content-hash identity.
@@ -255,6 +261,12 @@ type Info struct {
 	PhaseCount  int `json:"phase_count,omitempty"`
 	// Recovered marks a job restored from the store by a restart rescan.
 	Recovered bool `json:"recovered,omitempty"`
+	// RequestID is the correlation id of the submitting request; it ties
+	// the job to the gateway/backend logs and traces that carried it.
+	RequestID string `json:"request_id,omitempty"`
+	// Trace is the per-phase span tree of the job's solve, recorded on the
+	// run that reached a terminal state (nil while queued/running).
+	Trace *obs.TraceSnapshot `json:"trace,omitempty"`
 
 	SubmittedAt time.Time `json:"submitted_at"`
 	StartedAt   time.Time `json:"started_at,omitzero"`

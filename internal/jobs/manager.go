@@ -20,6 +20,7 @@ import (
 	"pslocal/internal/core"
 	"pslocal/internal/engine"
 	"pslocal/internal/graphio"
+	"pslocal/internal/obs"
 	"pslocal/internal/solver"
 )
 
@@ -67,6 +68,10 @@ type Config struct {
 	// Retryable classifies errors worth re-running; nil retries exactly
 	// the errors matching ErrTransient. Cancellations never retry.
 	Retryable func(error) bool
+	// Traces, when non-nil, receives the span snapshot of every job run
+	// that reaches a terminal state (the same ring cfserve serves through
+	// GET /v1/traces). Nil disables job tracing.
+	Traces *obs.Ring
 }
 
 // Manager is the job orchestrator. Construct with New, submit with
@@ -79,6 +84,7 @@ type Manager struct {
 	retryable func(error) bool
 	workers   int
 	queueCap  int
+	traces    *obs.Ring // nil when job tracing is off
 
 	mu    sync.Mutex
 	jobs  map[string]*job
@@ -117,6 +123,7 @@ func New(cfg Config) (*Manager, error) {
 		retryable: retryable,
 		workers:   workers,
 		queueCap:  queueCap,
+		traces:    cfg.Traces,
 		jobs:      make(map[string]*job),
 	}
 	m.baseCtx, m.stopBase = context.WithCancel(context.Background())
@@ -206,6 +213,7 @@ func (m *Manager) Submit(req Request) (Info, bool, error) {
 			Priority:    req.Priority,
 			Params:      req.Params,
 			Format:      req.Format,
+			RequestID:   req.RequestID,
 			SubmittedAt: time.Now(),
 		},
 	}
@@ -243,6 +251,7 @@ func (m *Manager) resubmit(j *job, req Request, f graphio.Format) (Info, bool, e
 		Priority:    req.Priority,
 		Params:      req.Params,
 		Format:      req.Format,
+		RequestID:   req.RequestID,
 		SubmittedAt: time.Now(),
 	}
 	info := j.info
@@ -647,6 +656,13 @@ func (m *Manager) run(j *job) {
 	defer m.met.running.Add(-1)
 
 	sv := m.base.With(j.req.Params.options()...)
+	// Job tracing is on only when the manager has a ring to publish into:
+	// a nil trace makes every span below a no-op.
+	var tr *obs.Trace
+	if m.traces != nil {
+		tr = obs.NewTrace("job", j.req.RequestID)
+		ctx = obs.ContextWithTrace(ctx, tr)
+	}
 	var (
 		res  *core.Result
 		inst *solver.Instance
@@ -662,6 +678,7 @@ func (m *Manager) run(j *job) {
 		j.info.Retries++
 		j.mu.Unlock()
 	}
+	tr.Finish()
 	// Persist the result before announcing done: a watcher that sees the
 	// terminal event can immediately read the document.
 	if err == nil && m.store != nil {
@@ -674,6 +691,10 @@ func (m *Manager) run(j *job) {
 	j.mu.Lock()
 	if inst != nil {
 		j.info.N, j.info.M = inst.N, inst.M
+	}
+	if tr != nil {
+		j.info.Trace = tr.Snapshot()
+		m.traces.Push(j.info.Trace)
 	}
 	j.info.FinishedAt = finished
 	cancelRequested := j.cancelRequested

@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"pslocal/internal/cluster"
+	"pslocal/internal/obs"
 )
 
 // Client drives a trace against one server.
@@ -214,6 +215,7 @@ func (c *Client) do(ctx context.Context, httpc *http.Client, base *url.URL, bodi
 		Key:       parsed.Instance.Key,
 		LatencyUS: latency,
 		Backend:   resp.Header.Get(cluster.HeaderBackend),
+		RequestID: resp.Header.Get(obs.RequestIDHeader),
 	}
 	if decodeErr != nil {
 		o.Err = "decode: " + decodeErr.Error()

@@ -96,6 +96,11 @@ type Outcome struct {
 	// depends on fleet health at dispatch time, so it is excluded from
 	// the deterministic outcome digest.
 	Backend string `json:"backend,omitempty"`
+	// RequestID echoes the X-Pslocal-Request-Id the server (or gateway)
+	// stamped on the response — the correlation handle into server logs
+	// and /v1/traces. Minted per run, so it is excluded from the
+	// deterministic outcome digest.
+	RequestID string `json:"request_id,omitempty"`
 	// Err is the transport error, if any (timing-dependent; excluded
 	// from the outcome digest).
 	Err string `json:"err,omitempty"`

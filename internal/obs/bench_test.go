@@ -1,0 +1,82 @@
+package obs
+
+// bench_test.go holds the span-recording cost benchmarks backing the
+// bench.sh alloc gate: recording a span (start, attributes, end) on a
+// live trace must not allocate, or tracing would tax the cache-hit serve
+// path it instruments.
+
+import (
+	"testing"
+	"time"
+)
+
+// BenchmarkSpanRecord is one traced pipeline step: open a span, tag it,
+// close it. The trace is Reset-reused the way the solver reuses one per
+// request, so steady-state recording — not trace construction — is what
+// the alloc gate sees.
+func BenchmarkSpanRecord(b *testing.B) {
+	tr := NewTrace("bench", "bench-req-id")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if i%defaultTraceSpans == 0 {
+			tr.Reset("bench", "bench-req-id")
+		}
+		sp := tr.Start("phase")
+		sp.SetPhase(1)
+		sp.SetDims(1024, 4096)
+		sp.SetDetail("hit")
+		sp.End()
+	}
+}
+
+// BenchmarkSpanRecordUntraced is the no-trace fast path: every recording
+// call against a nil trace, which is what untraced requests pay.
+func BenchmarkSpanRecordUntraced(b *testing.B) {
+	var tr *Trace
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sp := tr.Start("phase")
+		sp.SetPhase(1)
+		sp.Child("csr_build").End()
+		sp.End()
+	}
+}
+
+// TestSpanRecordAllocatesNothing pins the zero-alloc contract with
+// AllocsPerRun, so a regression fails `go test` rather than waiting for a
+// benchmark diff.
+func TestSpanRecordAllocatesNothing(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; the zero line is checked in the non-race run")
+	}
+	tr := NewTrace("alloc", "alloc-req-id", 8)
+	allocs := testing.AllocsPerRun(100, func() {
+		tr.Reset("alloc", "alloc-req-id")
+		sp := tr.Start("cache_lookup")
+		sp.SetDetail("hit")
+		sp.SetDims(64, 512)
+		sp.End()
+		tr.Finish()
+	})
+	if allocs != 0 {
+		t.Errorf("span recording allocates %.1f objects per op, want 0", allocs)
+	}
+}
+
+// TestHistogramObserveAllocatesNothing holds the same zero line on the
+// metrics side: Observe on the request-latency histograms sits on every
+// response path.
+func TestHistogramObserveAllocatesNothing(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; the zero line is checked in the non-race run")
+	}
+	var h Histogram
+	allocs := testing.AllocsPerRun(100, func() {
+		h.Observe(3 * time.Millisecond)
+	})
+	if allocs != 0 {
+		t.Errorf("histogram observe allocates %.1f objects per op, want 0", allocs)
+	}
+}

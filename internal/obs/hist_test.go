@@ -1,0 +1,152 @@
+package obs
+
+// hist_test.go pins the histogram's edge cases: empty snapshots,
+// sub-microsecond samples landing in bucket 0, negative durations
+// clamping instead of wrapping into the top bucket, the saturating top
+// bucket, the upper-bound quantile semantics, and concurrent
+// observe/snapshot safety under -race.
+
+import (
+	"math"
+	"math/bits"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHistogramEmpty(t *testing.T) {
+	var h Histogram
+	snap := h.Snapshot()
+	if snap != (HistSnapshot{}) {
+		t.Fatalf("empty histogram snapshot not zero: %+v", snap)
+	}
+	counts, total, sumUS := h.expo()
+	if total != 0 || sumUS != 0 {
+		t.Fatalf("empty expo: total %d sum %d", total, sumUS)
+	}
+	for i, c := range counts {
+		if c != 0 {
+			t.Fatalf("bucket %d nonzero on empty histogram", i)
+		}
+	}
+}
+
+func TestHistogramSubMicrosecondBucketZero(t *testing.T) {
+	var h Histogram
+	h.Observe(0)
+	h.Observe(500 * time.Nanosecond) // truncates to 0 µs
+	snap := h.Snapshot()
+	if snap.Count != 2 || snap.P50MS != 0 || snap.P99MS != 0 || snap.MaxMS != 0 || snap.MeanMS != 0 {
+		t.Fatalf("sub-microsecond samples mishandled: %+v", snap)
+	}
+	counts, total, _ := h.expo()
+	if total != 2 || counts[0] != 2 {
+		t.Fatalf("sub-microsecond samples landed outside bucket 0: total %d, bucket0 %d", total, counts[0])
+	}
+}
+
+func TestHistogramNegativeDurationClamps(t *testing.T) {
+	var h Histogram
+	// Before the clamp this wrapped to a huge uint64, bits.Len64 = 64,
+	// and indexed out of the 64-bucket array.
+	h.Observe(-time.Second)
+	counts, total, sumUS := h.expo()
+	if total != 1 || counts[0] != 1 || sumUS != 0 {
+		t.Fatalf("negative duration not clamped to bucket 0: total %d bucket0 %d sum %d", total, counts[0], sumUS)
+	}
+}
+
+func TestHistogramTopBucketSaturates(t *testing.T) {
+	var h Histogram
+	// The largest representable duration (~292 years) must land in its
+	// log2 bucket without indexing out of the array; the explicit clamp
+	// to bucket 63 is defensive headroom beyond what time.Duration can
+	// express.
+	huge := time.Duration(math.MaxInt64)
+	h.Observe(huge)
+	want := bits.Len64(uint64(huge.Microseconds()))
+	counts, total, _ := h.expo()
+	if total != 1 || counts[want] != 1 {
+		t.Fatalf("huge duration missed bucket %d: total %d counts[%d]=%d", want, total, want, counts[want])
+	}
+	snap := h.Snapshot()
+	if snap.Count != 1 || snap.MaxMS <= 0 {
+		t.Fatalf("saturated snapshot implausible: %+v", snap)
+	}
+}
+
+func TestHistogramQuantileUpperBounds(t *testing.T) {
+	var h Histogram
+	// 90 samples at ~1ms, 10 at ~100ms: p50 reports the 1ms bucket's
+	// upper bound, p99 the 100ms bucket's, max is exact.
+	for i := 0; i < 90; i++ {
+		h.Observe(time.Millisecond)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(100 * time.Millisecond)
+	}
+	snap := h.Snapshot()
+	if snap.Count != 100 {
+		t.Fatalf("count = %d", snap.Count)
+	}
+	if snap.MaxMS != 100 {
+		t.Fatalf("max = %v, want 100", snap.MaxMS)
+	}
+	// 1000 µs lands in bucket 10 ([512, 1024)), upper bound 1023 µs.
+	if snap.P50MS != float64(bucketUpperUS(10))/1000 {
+		t.Fatalf("p50 = %vms, want the 1ms bucket's upper bound", snap.P50MS)
+	}
+	// 100000 µs lands in bucket 17 ([65536, 131072)), upper bound 131071 µs.
+	if snap.P99MS != float64(bucketUpperUS(17))/1000 {
+		t.Fatalf("p99 = %vms, want the 100ms bucket's upper bound", snap.P99MS)
+	}
+	if snap.MeanMS < 10 || snap.MeanMS > 12 {
+		t.Fatalf("mean = %vms, want ~10.9", snap.MeanMS)
+	}
+	if snap.P50MS > snap.P95MS || snap.P95MS > snap.P99MS {
+		t.Fatalf("quantiles not monotone: %+v", snap)
+	}
+}
+
+func TestHistogramConcurrentObserveSnapshot(t *testing.T) {
+	var h Histogram
+	const (
+		writers = 8
+		perG    = 2000
+	)
+	stop := make(chan struct{})
+	var reader sync.WaitGroup
+	reader.Add(1)
+	go func() { // concurrent reader: -race plus the snapshot invariants
+		defer reader.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			snap := h.Snapshot()
+			if snap.P50MS > snap.P95MS || snap.P95MS > snap.P99MS {
+				t.Error("torn snapshot: non-monotone quantiles")
+				return
+			}
+		}
+	}()
+	var wg sync.WaitGroup
+	for g := 0; g < writers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				h.Observe(time.Duration(g*i) * time.Microsecond)
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(stop)
+	reader.Wait()
+	snap := h.Snapshot()
+	if snap.Count != writers*perG {
+		t.Fatalf("count = %d, want %d", snap.Count, writers*perG)
+	}
+}

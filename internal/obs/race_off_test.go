@@ -1,0 +1,8 @@
+//go:build !race
+
+package obs
+
+// raceEnabled mirrors the -race flag so alloc-count tests can skip under
+// instrumentation (the race runtime allocates on paths that are clean in
+// a normal build).
+const raceEnabled = false

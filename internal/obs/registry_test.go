@@ -1,0 +1,149 @@
+package obs
+
+// registry_test.go covers the registry and its Prometheus exposition:
+// family grouping and ordering, label rendering and escaping, histogram
+// bucket cumulativity, func-backed series, duplicate/kind-clash panics,
+// and the HTTP handler's content type.
+
+import (
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestRegistryExposition(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_requests_total", "Requests received.")
+	c.Add(42)
+	r.Counter("test_solves_total", "Solves by endpoint.", L("endpoint", "reduce")).Add(3)
+	r.Counter("test_solves_total", "Solves by endpoint.", L("endpoint", "maxis")).Inc()
+	g := r.Gauge("test_inflight", "In-flight solves.")
+	g.Set(2.5)
+	r.GaugeFunc("test_queue_depth", "Queue depth.", func() float64 { return 7 })
+	r.CounterFunc("test_cache_hits_total", "Cache hits.", func() float64 { return 11 })
+	h := r.Histogram("test_latency_seconds", "Latency.", L("track", "reduce"))
+	h.Observe(time.Millisecond)
+	h.Observe(3 * time.Millisecond)
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# HELP test_requests_total Requests received.\n",
+		"# TYPE test_requests_total counter\n",
+		"test_requests_total 42\n",
+		`test_solves_total{endpoint="reduce"} 3` + "\n",
+		`test_solves_total{endpoint="maxis"} 1` + "\n",
+		"# TYPE test_inflight gauge\n",
+		"test_inflight 2.5\n",
+		"test_queue_depth 7\n",
+		"test_cache_hits_total 11\n",
+		"# TYPE test_latency_seconds histogram\n",
+		`test_latency_seconds_bucket{track="reduce",le="+Inf"} 2` + "\n",
+		`test_latency_seconds_count{track="reduce"} 2` + "\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// One TYPE line per family, even with several series.
+	if got := strings.Count(out, "# TYPE test_solves_total counter"); got != 1 {
+		t.Fatalf("TYPE rendered %d times, want 1", got)
+	}
+}
+
+func TestRegistryHistogramCumulative(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("cum_seconds", "x")
+	h.Observe(0)
+	h.Observe(time.Millisecond)
+	h.Observe(time.Millisecond)
+	h.Observe(time.Second)
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	var prev uint64
+	var last uint64
+	var bucketLines int
+	for _, line := range strings.Split(sb.String(), "\n") {
+		if !strings.HasPrefix(line, "cum_seconds_bucket{") {
+			continue
+		}
+		bucketLines++
+		v, err := strconv.ParseUint(line[strings.LastIndexByte(line, ' ')+1:], 10, 64)
+		if err != nil {
+			t.Fatalf("bad bucket line %q: %v", line, err)
+		}
+		if v < prev {
+			t.Fatalf("bucket counts not cumulative: %q after %d", line, prev)
+		}
+		prev = v
+		last = v
+	}
+	if bucketLines < 2 {
+		t.Fatalf("expected several bucket lines, got %d", bucketLines)
+	}
+	if last != 4 {
+		t.Fatalf("+Inf bucket = %d, want 4", last)
+	}
+	if !strings.Contains(sb.String(), "cum_seconds_count 4\n") {
+		t.Fatalf("missing _count:\n%s", sb.String())
+	}
+}
+
+func TestRegistryLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("esc_total", "x", L("path", `a"b\c`+"\n")).Inc()
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := `esc_total{path="a\"b\\c\n"} 1`
+	if !strings.Contains(sb.String(), want) {
+		t.Fatalf("escaping wrong, want %q in:\n%s", want, sb.String())
+	}
+}
+
+func TestRegistryMisusePanics(t *testing.T) {
+	expectPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	expectPanic("bad metric name", func() { NewRegistry().Counter("1bad", "x") })
+	expectPanic("bad label name", func() { NewRegistry().Counter("ok_total", "x", L("1bad", "v")) })
+	expectPanic("reserved le", func() { NewRegistry().Histogram("ok_seconds", "x", L("le", "1")) })
+	expectPanic("duplicate series", func() {
+		r := NewRegistry()
+		r.Counter("dup_total", "x")
+		r.Counter("dup_total", "x")
+	})
+	expectPanic("kind clash", func() {
+		r := NewRegistry()
+		r.Counter("clash", "x", L("a", "1"))
+		r.Gauge("clash", "x", L("a", "2"))
+	})
+}
+
+func TestRegistryHandler(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("handler_total", "x").Inc()
+	rec := httptest.NewRecorder()
+	r.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Fatalf("content type %q", ct)
+	}
+	if !strings.Contains(rec.Body.String(), "handler_total 1\n") {
+		t.Fatalf("handler body:\n%s", rec.Body.String())
+	}
+}

@@ -1,0 +1,186 @@
+package obs
+
+// trace_test.go covers the span tracer: nesting, attribute carriage,
+// the children-duration-bounded-by-root invariant, unended-span
+// clamping, capacity drops, nil-safety, the ring buffer, request-id
+// validation, and the context plumbing.
+
+import (
+	"context"
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+func TestTraceNesting(t *testing.T) {
+	tr := NewTrace("reduce", "req-12345678")
+	gate := tr.Start("gate_wait")
+	gate.End()
+	phase := tr.Start("phase")
+	phase.SetPhase(1)
+	phase.SetDims(10, 45)
+	phase.SetOracle("greedy-mindeg")
+	phase.SetIS(4, 9)
+	build := phase.Child("csr_build")
+	time.Sleep(time.Millisecond)
+	build.End()
+	phase.End()
+	tr.Finish()
+
+	snap := tr.Snapshot()
+	if snap.Op != "reduce" || snap.RequestID != "req-12345678" {
+		t.Fatalf("root mislabeled: %+v", snap)
+	}
+	if len(snap.Spans) != 2 {
+		t.Fatalf("top-level spans = %d, want 2", len(snap.Spans))
+	}
+	ph := snap.Spans[1]
+	if ph.Phase != 1 || ph.N != 10 || ph.M != 45 || ph.Oracle != "greedy-mindeg" || ph.ISSize != 4 || ph.ISWeight != 9 {
+		t.Fatalf("phase attrs lost: %+v", ph)
+	}
+	if len(ph.Children) != 1 || ph.Children[0].Name != "csr_build" {
+		t.Fatalf("nesting lost: %+v", ph.Children)
+	}
+	if ph.Children[0].DurUS > ph.DurUS {
+		t.Fatalf("child longer than parent: %d > %d", ph.Children[0].DurUS, ph.DurUS)
+	}
+	// The acceptance invariant: top-level span durations sum to at most
+	// the root duration (they are sequential inside one request).
+	var sum int64
+	for _, sp := range snap.Spans {
+		sum += sp.DurUS
+	}
+	if sum > snap.DurUS {
+		t.Fatalf("children sum %dµs exceeds root %dµs", sum, snap.DurUS)
+	}
+	// The snapshot must be JSON-encodable (it rides in responses).
+	if _, err := json.Marshal(snap); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTraceUnendedSpanClamps(t *testing.T) {
+	tr := NewTrace("reduce", "")
+	tr.Start("parse") // never ended: an error unwound past it
+	tr.Finish()
+	snap := tr.Snapshot()
+	if len(snap.Spans) != 1 {
+		t.Fatalf("spans = %d", len(snap.Spans))
+	}
+	if snap.Spans[0].DurUS > snap.DurUS {
+		t.Fatalf("unended span not clamped: %d > %d", snap.Spans[0].DurUS, snap.DurUS)
+	}
+}
+
+func TestTraceCapacityDrops(t *testing.T) {
+	tr := NewTrace("op", "", 2)
+	a := tr.Start("a")
+	b := tr.Start("b")
+	c := tr.Start("dropped")
+	a.End()
+	b.End()
+	c.End() // no-op handle, must not panic
+	c.SetPhase(9)
+	tr.Finish()
+	snap := tr.Snapshot()
+	if len(snap.Spans) != 2 || snap.Dropped != 1 {
+		t.Fatalf("capacity accounting wrong: %d spans, %d dropped", len(snap.Spans), snap.Dropped)
+	}
+}
+
+func TestTraceNilSafety(t *testing.T) {
+	var tr *Trace
+	sp := tr.Start("x")
+	sp.SetPhase(1)
+	sp.Child("y").End()
+	sp.End()
+	tr.Finish()
+	tr.Reset("op", "")
+	if tr.Snapshot() != nil || tr.RequestID() != "" {
+		t.Fatal("nil trace must snapshot to nil")
+	}
+	if got := TraceFrom(context.Background()); got != nil {
+		t.Fatalf("TraceFrom(empty ctx) = %v", got)
+	}
+	if got := TraceFrom(nil); got != nil { //nolint:staticcheck // nil ctx is part of the contract
+		t.Fatalf("TraceFrom(nil) = %v", got)
+	}
+}
+
+func TestTraceReset(t *testing.T) {
+	tr := NewTrace("a", "id-aaaaaaaa", 8)
+	tr.Start("x").End()
+	tr.Finish()
+	tr.Reset("b", "id-bbbbbbbb")
+	tr.Start("y").End()
+	tr.Finish()
+	snap := tr.Snapshot()
+	if snap.Op != "b" || snap.RequestID != "id-bbbbbbbb" || len(snap.Spans) != 1 || snap.Spans[0].Name != "y" {
+		t.Fatalf("reset incomplete: %+v", snap)
+	}
+}
+
+func TestContextTracePlumbing(t *testing.T) {
+	tr := NewTrace("op", "")
+	ctx := ContextWithTrace(context.Background(), tr)
+	if TraceFrom(ctx) != tr {
+		t.Fatal("trace lost in context")
+	}
+}
+
+func TestRingNewestFirstAndOverwrite(t *testing.T) {
+	r := NewRing(2)
+	for _, op := range []string{"a", "b", "c"} {
+		tr := NewTrace(op, "")
+		tr.Finish()
+		r.Push(tr.Snapshot())
+	}
+	got := r.Snapshot(0)
+	if len(got) != 2 || got[0].Op != "c" || got[1].Op != "b" {
+		t.Fatalf("ring contents wrong: %+v", got)
+	}
+	if limited := r.Snapshot(1); len(limited) != 1 || limited[0].Op != "c" {
+		t.Fatalf("limit ignored: %+v", limited)
+	}
+	if r.Total() != 3 {
+		t.Fatalf("total = %d", r.Total())
+	}
+	var nilRing *Ring
+	nilRing.Push(nil)
+	if nilRing.Snapshot(5) != nil || nilRing.Total() != 0 {
+		t.Fatal("nil ring must no-op")
+	}
+}
+
+func TestRequestIDs(t *testing.T) {
+	id := NewRequestID()
+	if !ValidRequestID(id) {
+		t.Fatalf("minted id %q invalid", id)
+	}
+	if id2 := NewRequestID(); id2 == id {
+		t.Fatalf("two minted ids collided: %q", id)
+	}
+	for _, ok := range []string{"abcd1234", "A-b_c.d12345", "12345678"} {
+		if !ValidRequestID(ok) {
+			t.Fatalf("%q should be valid", ok)
+		}
+	}
+	for _, bad := range []string{"", "short", "has space8", "evil\r\nheader", "x" + string(make([]byte, 64))} {
+		if ValidRequestID(bad) {
+			t.Fatalf("%q should be invalid", bad)
+		}
+	}
+	if got := EnsureRequestID("caller-supplied-1"); got != "caller-supplied-1" {
+		t.Fatalf("valid id replaced: %q", got)
+	}
+	if got := EnsureRequestID("no"); !ValidRequestID(got) || got == "no" {
+		t.Fatalf("invalid id not replaced: %q", got)
+	}
+	ctx := ContextWithRequestID(context.Background(), "rid-12345678")
+	if RequestIDFrom(ctx) != "rid-12345678" {
+		t.Fatal("request id lost in context")
+	}
+	if RequestIDFrom(context.Background()) != "" || RequestIDFrom(nil) != "" { //nolint:staticcheck
+		t.Fatal("missing request id must read as empty")
+	}
+}

@@ -15,6 +15,7 @@ import (
 
 	"pslocal/internal/graph"
 	"pslocal/internal/graphio"
+	"pslocal/internal/obs"
 )
 
 // benchGraphBody serialises a moderately dense graph as edge-list bytes.
@@ -33,14 +34,14 @@ func BenchmarkSolverCacheHitAllocs(b *testing.B) {
 	body := benchGraphBody(b, 256, 0.3)
 	r := bytes.NewReader(body)
 	var inst Instance
-	if _, _, err := s.readGraphInto(r, graphio.FormatEdgeList, &inst, ""); err != nil {
+	if _, _, err := s.readGraphInto(context.Background(), r, graphio.FormatEdgeList, &inst, ""); err != nil {
 		b.Fatal(err)
 	}
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		r.Reset(body)
-		if _, _, err := s.readGraphInto(r, graphio.FormatEdgeList, &inst, ""); err != nil {
+		if _, _, err := s.readGraphInto(context.Background(), r, graphio.FormatEdgeList, &inst, ""); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -78,14 +79,14 @@ func BenchmarkSolverCacheHitAllocsWeighted(b *testing.B) {
 	body := benchWeightedGraphBody(b, 256, 0.3)
 	r := bytes.NewReader(body)
 	var inst Instance
-	if _, _, err := s.readGraphInto(r, graphio.FormatEdgeList, &inst, ""); err != nil {
+	if _, _, err := s.readGraphInto(context.Background(), r, graphio.FormatEdgeList, &inst, ""); err != nil {
 		b.Fatal(err)
 	}
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		r.Reset(body)
-		if _, _, err := s.readGraphInto(r, graphio.FormatEdgeList, &inst, ""); err != nil {
+		if _, _, err := s.readGraphInto(context.Background(), r, graphio.FormatEdgeList, &inst, ""); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -150,19 +151,19 @@ func TestCacheHitReadAllocatesNothing(t *testing.T) {
 	body := benchGraphBody(t, 64, 0.3)
 	r := bytes.NewReader(body)
 	var inst Instance
-	if _, _, err := s.readGraphInto(r, graphio.FormatEdgeList, &inst, ""); err != nil {
+	if _, _, err := s.readGraphInto(context.Background(), r, graphio.FormatEdgeList, &inst, ""); err != nil {
 		t.Fatal(err)
 	}
 	// Warm the scratch pool so steady state, not first touch, is measured.
 	for i := 0; i < 4; i++ {
 		r.Reset(body)
-		if _, _, err := s.readGraphInto(r, graphio.FormatEdgeList, &inst, ""); err != nil {
+		if _, _, err := s.readGraphInto(context.Background(), r, graphio.FormatEdgeList, &inst, ""); err != nil {
 			t.Fatal(err)
 		}
 	}
 	allocs := testing.AllocsPerRun(50, func() {
 		r.Reset(body)
-		if _, _, err := s.readGraphInto(r, graphio.FormatEdgeList, &inst, ""); err != nil {
+		if _, _, err := s.readGraphInto(context.Background(), r, graphio.FormatEdgeList, &inst, ""); err != nil {
 			t.Fatal(err)
 		}
 	})
@@ -185,18 +186,18 @@ func TestWeightedCacheHitReadAllocatesNothing(t *testing.T) {
 	body := benchWeightedGraphBody(t, 64, 0.3)
 	r := bytes.NewReader(body)
 	var inst Instance
-	if _, _, err := s.readGraphInto(r, graphio.FormatEdgeList, &inst, ""); err != nil {
+	if _, _, err := s.readGraphInto(context.Background(), r, graphio.FormatEdgeList, &inst, ""); err != nil {
 		t.Fatal(err)
 	}
 	for i := 0; i < 4; i++ {
 		r.Reset(body)
-		if _, _, err := s.readGraphInto(r, graphio.FormatEdgeList, &inst, ""); err != nil {
+		if _, _, err := s.readGraphInto(context.Background(), r, graphio.FormatEdgeList, &inst, ""); err != nil {
 			t.Fatal(err)
 		}
 	}
 	allocs := testing.AllocsPerRun(50, func() {
 		r.Reset(body)
-		if _, _, err := s.readGraphInto(r, graphio.FormatEdgeList, &inst, ""); err != nil {
+		if _, _, err := s.readGraphInto(context.Background(), r, graphio.FormatEdgeList, &inst, ""); err != nil {
 			t.Fatal(err)
 		}
 	})
@@ -205,5 +206,74 @@ func TestWeightedCacheHitReadAllocatesNothing(t *testing.T) {
 	}
 	if !inst.CacheHit || !inst.Weighted() {
 		t.Errorf("expected a weighted cache hit (hit=%v weighted=%v)", inst.CacheHit, inst.Weighted())
+	}
+}
+
+// BenchmarkSolverCacheHitAllocsTraced is the cache-hit read with a live
+// trace on the context: span recording rides the same zero line, so the
+// bench.sh alloc gate (matching SolverCacheHitAllocs by substring) holds
+// tracing to 0 allocs/op on the hot path.
+func BenchmarkSolverCacheHitAllocsTraced(b *testing.B) {
+	s := New(WithCache(8))
+	body := benchGraphBody(b, 256, 0.3)
+	r := bytes.NewReader(body)
+	var inst Instance
+	tr := obs.NewTrace("bench", "bench-req-id")
+	ctx := obs.ContextWithTrace(context.Background(), tr)
+	if _, _, err := s.readGraphInto(ctx, r, graphio.FormatEdgeList, &inst, ""); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Reset("bench", "bench-req-id")
+		r.Reset(body)
+		if _, _, err := s.readGraphInto(ctx, r, graphio.FormatEdgeList, &inst, ""); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if !inst.CacheHit {
+		b.Fatal("expected a cache hit")
+	}
+}
+
+// TestTracedCacheHitReadAllocatesNothing pins the traced zero line with
+// AllocsPerRun: recording read_hash/cache_lookup spans must not add an
+// allocation over the untraced hit path.
+func TestTracedCacheHitReadAllocatesNothing(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; the zero line is checked in the non-race run")
+	}
+	s := New(WithCache(8))
+	body := benchGraphBody(t, 64, 0.3)
+	r := bytes.NewReader(body)
+	var inst Instance
+	tr := obs.NewTrace("alloc", "alloc-req-id")
+	ctx := obs.ContextWithTrace(context.Background(), tr)
+	if _, _, err := s.readGraphInto(ctx, r, graphio.FormatEdgeList, &inst, ""); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		tr.Reset("alloc", "alloc-req-id")
+		r.Reset(body)
+		if _, _, err := s.readGraphInto(ctx, r, graphio.FormatEdgeList, &inst, ""); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		tr.Reset("alloc", "alloc-req-id")
+		r.Reset(body)
+		if _, _, err := s.readGraphInto(ctx, r, graphio.FormatEdgeList, &inst, ""); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("traced cache-hit read allocates %.1f objects per op, want 0", allocs)
+	}
+	if !inst.CacheHit {
+		t.Error("expected a cache hit")
+	}
+	if snap := tr.Snapshot(); len(snap.Spans) == 0 {
+		t.Error("trace recorded no spans on the hit path")
 	}
 }

@@ -24,6 +24,7 @@ import (
 	"pslocal/internal/graphio"
 	"pslocal/internal/hypergraph"
 	"pslocal/internal/maxis"
+	"pslocal/internal/obs"
 	"pslocal/internal/slocal"
 )
 
@@ -245,6 +246,7 @@ func (s *Solver) MaxInFlight() int {
 }
 
 // acquire admits one solve, queueing at the gate when one is configured.
+// Time spent queueing shows up as a gate_wait span on a traced call.
 func (s *Solver) acquire(ctx context.Context) error {
 	if s.gate == nil {
 		if ctx != nil {
@@ -252,7 +254,10 @@ func (s *Solver) acquire(ctx context.Context) error {
 		}
 		return nil
 	}
-	return wrapCancelled(ctx, s.gate.Acquire(ctx))
+	sp := obs.TraceFrom(ctx).Start("gate_wait")
+	err := s.gate.Acquire(ctx)
+	sp.End()
+	return wrapCancelled(ctx, err)
 }
 
 // release frees the slot taken by acquire.
@@ -292,6 +297,14 @@ func (s *Solver) reduceOptions(ctx context.Context) (core.Options, error) {
 		}
 		opts.Mode = core.ModeOracle
 		opts.Oracle = oracle
+		opts.OracleName = s.cfg.oracleName
+	}
+	if opts.OracleName == "" {
+		if opts.Mode == core.ModeExactHinted {
+			opts.OracleName = "exact"
+		} else {
+			opts.OracleName = "implicit"
+		}
 	}
 	return opts, nil
 }
@@ -377,6 +390,10 @@ func (s *Solver) MaxIS(ctx context.Context, g *graph.Graph) (*ISResult, error) {
 // kernel-capable oracles so cache-hit requests never re-pack.
 func (s *Solver) maxIS(ctx context.Context, g *graph.Graph, cg *cachedGraph) (*ISResult, error) {
 	if s.cfg.carving {
+		sp := obs.TraceFrom(ctx).Start("carving_solve")
+		sp.SetDims(g.N(), g.M())
+		sp.SetOracle("carving")
+		defer sp.End()
 		res, err := slocal.BallCarvingMaxIS(g, slocal.CarvingOptions{
 			Delta: s.cfg.delta,
 			Ctx:   ctx,
@@ -394,6 +411,7 @@ func (s *Solver) maxIS(ctx context.Context, g *graph.Graph, cg *cachedGraph) (*I
 		if err != nil {
 			return nil, wrapCancelled(ctx, err)
 		}
+		sp.SetIS(len(res.Set), maxis.SetWeight(g, res.Set))
 		return &ISResult{
 			Set:         res.Set,
 			TotalWeight: maxis.SetWeight(g, res.Set),
@@ -419,10 +437,16 @@ func (s *Solver) maxIS(ctx context.Context, g *graph.Graph, cg *cachedGraph) (*I
 			}
 		}
 	}
+	sp := obs.TraceFrom(ctx).Start("oracle_solve")
+	sp.SetDims(g.N(), g.M())
+	sp.SetOracle(name)
 	set, err := maxis.OracleSolve(ctx, oracle, g)
 	if err != nil {
+		sp.End()
 		return nil, wrapCancelled(ctx, err)
 	}
+	sp.SetIS(len(set), maxis.SetWeight(g, set))
+	sp.End()
 	return &ISResult{Set: set, TotalWeight: maxis.SetWeight(g, set), Oracle: name}, nil
 }
 
@@ -492,7 +516,7 @@ func (s *Solver) SolveReaderKeyed(ctx context.Context, r io.Reader, f graphio.Fo
 	}
 	defer s.release()
 	inst := new(Instance)
-	h, err := s.readHypergraphInto(r, f, inst, key)
+	h, err := s.readHypergraphInto(ctx, r, f, inst, key)
 	if err != nil {
 		return nil, nil, wrapCancelled(ctx, err)
 	}
@@ -517,7 +541,7 @@ func (s *Solver) MaxISReaderKeyed(ctx context.Context, r io.Reader, f graphio.Fo
 	}
 	defer s.release()
 	inst := new(Instance)
-	g, cg, err := s.readGraphInto(r, f, inst, key)
+	g, cg, err := s.readGraphInto(ctx, r, f, inst, key)
 	if err != nil {
 		return nil, nil, wrapCancelled(ctx, err)
 	}
@@ -585,61 +609,85 @@ func kindMatches(kind string, v any) bool {
 // honest gateway's preset key equals the computed hash, so the entry
 // still lands under the forwarded key; a forged key merely costs its
 // sender the sha256 it tried to skip.
-func (s *Solver) readInstance(r io.Reader, f graphio.Format, kind string, inst *Instance, presetKey string,
+func (s *Solver) readInstance(ctx context.Context, r io.Reader, f graphio.Format, kind string, inst *Instance, presetKey string,
 	parse func(io.Reader, graphio.Format) (any, error),
 	dims func(any) (int, int)) (any, error) {
+	tr := obs.TraceFrom(ctx)
 	*inst = Instance{Kind: kind}
 	if s.cache == nil {
+		sp := tr.Start("parse")
 		v, err := parse(r, f)
+		sp.End()
 		if err != nil {
 			return nil, err
 		}
 		inst.N, inst.M = dims(v)
 		inst.value = v
+		sp.SetDims(inst.N, inst.M)
 		return v, nil
 	}
 	if presetKey != "" && validInstanceKey(presetKey) {
 		if cached, ok := s.cache.get(presetKey); ok && kindMatches(kind, cached) {
+			sp := tr.Start("read_body")
+			sp.SetDetail("drain")
 			// The body is never parsed; drain it so the connection
 			// stays reusable.
-			if _, err := io.Copy(io.Discard, r); err != nil {
+			_, err := io.Copy(io.Discard, r)
+			sp.End()
+			if err != nil {
 				return nil, fmt.Errorf("%w: %w", ErrReadInstance, err)
 			}
 			inst.Key = presetKey
 			inst.CacheHit = true
 			inst.N, inst.M = dims(cached)
 			inst.value = cached
+			hit := tr.Start("cache_lookup")
+			hit.SetDetail("hit")
+			hit.SetDims(inst.N, inst.M)
+			hit.End()
 			return cached, nil
 		}
 	}
 	sc := grabServeScratch()
 	defer releaseServeScratch(sc)
+	sp := tr.Start("read_hash")
 	body, err := sc.readAll(r)
 	if err != nil {
+		sp.End()
 		return nil, fmt.Errorf("%w: %w", ErrReadInstance, err)
 	}
 	keyHex := sc.key(kind, f.String(), body)
+	sp.End()
+	lookup := tr.Start("cache_lookup")
 	if cached, canonical, ok := s.cache.getBytes(keyHex); ok {
 		inst.Key = canonical
 		inst.CacheHit = true
 		inst.N, inst.M = dims(cached)
 		inst.value = cached
+		lookup.SetDetail("hit")
+		lookup.SetDims(inst.N, inst.M)
+		lookup.End()
 		return cached, nil
 	}
+	lookup.SetDetail("miss")
+	lookup.End()
 	inst.Key = string(keyHex)
+	parseSp := tr.Start("parse")
 	v, err := parse(bytes.NewReader(body), f)
+	parseSp.End()
 	if err != nil {
 		return nil, err
 	}
 	s.cache.put(inst.Key, v)
 	inst.N, inst.M = dims(v)
 	inst.value = v
+	parseSp.SetDims(inst.N, inst.M)
 	return v, nil
 }
 
 // readHypergraphInto parses a hypergraph through the cache.
-func (s *Solver) readHypergraphInto(r io.Reader, f graphio.Format, inst *Instance, presetKey string) (*hypergraph.Hypergraph, error) {
-	v, err := s.readInstance(r, f, KindHypergraph, inst, presetKey, parseHypergraphEntry, dimsHypergraphEntry)
+func (s *Solver) readHypergraphInto(ctx context.Context, r io.Reader, f graphio.Format, inst *Instance, presetKey string) (*hypergraph.Hypergraph, error) {
+	v, err := s.readInstance(ctx, r, f, KindHypergraph, inst, presetKey, parseHypergraphEntry, dimsHypergraphEntry)
 	if err != nil {
 		return nil, err
 	}
@@ -648,8 +696,8 @@ func (s *Solver) readHypergraphInto(r io.Reader, f graphio.Format, inst *Instanc
 
 // readGraphInto parses a graph through the cache, returning both the CSR
 // and the cache entry that lazily owns its packed bitset adjacency.
-func (s *Solver) readGraphInto(r io.Reader, f graphio.Format, inst *Instance, presetKey string) (*graph.Graph, *cachedGraph, error) {
-	v, err := s.readInstance(r, f, KindGraph, inst, presetKey, parseGraphEntry, dimsGraphEntry)
+func (s *Solver) readGraphInto(ctx context.Context, r io.Reader, f graphio.Format, inst *Instance, presetKey string) (*graph.Graph, *cachedGraph, error) {
+	v, err := s.readInstance(ctx, r, f, KindGraph, inst, presetKey, parseGraphEntry, dimsGraphEntry)
 	if err != nil {
 		return nil, nil, err
 	}

@@ -1,6 +1,7 @@
 #!/bin/sh
 # Runs the hot-path benchmarks (conflict-graph construction, reduction,
-# oracle portfolio, SLOCAL simulator, Moser-Tardos splitting) and appends
+# oracle portfolio, SLOCAL simulator, Moser-Tardos splitting, span
+# recording) and appends
 # the results to the perf trajectory (default BENCH_gk.json): a stable
 # {"schema":1,"history":[...]} document with one entry per run, keyed by
 # git SHA (suffixed "-dirty" when the tree has uncommitted changes), so
@@ -34,6 +35,8 @@ go test -run '^$' -bench 'OracleKernels|BipartiteExact|GreedyWeightedDense' -ben
   ./internal/maxis/ >> "$tmp"
 go test -run '^$' -bench 'SolverCacheHitAllocs|SolverMaxISReaderHot' -benchmem -count=1 $benchtime \
   ./internal/solver/ >> "$tmp"
+go test -run '^$' -bench 'SpanRecord' -benchmem -count=1 $benchtime \
+  ./internal/obs/ >> "$tmp"
 cat "$tmp"
 
 sha="$(git rev-parse HEAD 2>/dev/null || echo unknown)"
@@ -51,5 +54,5 @@ if [ -n "${BENCH_LOAD_PERF:-}" ]; then
 fi
 # shellcheck disable=SC2086  # quickflag/loadflag are intentionally word-split
 go run ./scripts/benchmerge -out "$out" -sha "$sha" $quickflag $loadflag \
-  -alloc-gate 'SolverCacheHitAllocs|SolverMaxISReaderHot' < "$tmp"
+  -alloc-gate 'SolverCacheHitAllocs|SolverMaxISReaderHot|SpanRecord' < "$tmp"
 echo "wrote $out"

@@ -94,6 +94,27 @@ jq -e '.count > 0' "$work/jobs.json" >/dev/null
 id=$(jq -r '.jobs[0].job.id' "$work/jobs.json")
 curl -fsS "http://$gate/v1/jobs/$id" | jq -e '.job.state == "done"' >/dev/null
 
+# Observability: a caller-supplied request id survives the whole path —
+# echoed by the gateway, forwarded to the backend, stamped on the job's
+# metadata — and both tiers serve scrape-valid Prometheus expositions.
+rid="smoke-rid-$$"
+curl -fsS -D "$work/submit.hdr" -X POST -H "X-Pslocal-Request-Id: $rid" \
+  --data-binary @cmd/cfserve/testdata/quickstart.json \
+  "http://$gate/v1/jobs?k=3&oracle=greedy-mindeg" > "$work/submit.json"
+grep -qi "^X-Pslocal-Request-Id: $rid" "$work/submit.hdr"
+jid=$(jq -r .job.id "$work/submit.json")
+for i in $(seq 1 100); do
+  state=$(curl -fsS "http://$gate/v1/jobs/$jid" | jq -r .job.state)
+  [ "$state" = done ] && break
+  sleep 0.1
+done
+curl -fsS "http://$gate/v1/jobs/$jid" \
+  | jq -e --arg rid "$rid" '.job.request_id == $rid' >/dev/null
+curl -fsS "http://$gate/metrics" | go run ./scripts/metricscheck \
+  -require cfgate_requests_total,cfgate_proxy_duration_seconds,cfgate_backend_healthy,cfgate_healthy_backends
+curl -fsS "http://$b1/metrics" | go run ./scripts/metricscheck \
+  -require pslocal_requests_total,pslocal_request_duration_seconds
+
 # --- Phase 3: SIGTERM one node mid-burst, zero failed requests --------
 "$work/cfload" -addr "http://$gate" -requests 200 -rate 100 -seed 23 \
   -hit-ratio 0.6 -speed 1 > "$work/summary_drain.json" & load_pid=$!

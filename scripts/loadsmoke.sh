@@ -54,6 +54,10 @@ jq -e '.latency.cache_hit.count > 0 and .latency.cache_miss.count > 0' \
   "$work/statz.json" >/dev/null
 jq -e '.latency.reduce.p99_ms >= .latency.reduce.p50_ms' "$work/statz.json" >/dev/null
 
+# The Prometheus exposition the burst populated is scrape-valid.
+curl -fsS "http://$addr/metrics" | go run ./scripts/metricscheck \
+  -require pslocal_requests_total,pslocal_request_duration_seconds,pslocal_jobs_submitted_total
+
 # Determinism: two replays of the recorded trace emit byte-identical
 # summary JSON.
 "$work/cfload" -addr "http://$addr" -replay "$work/burst.trace" -seed 1 > "$work/replay1.json"
